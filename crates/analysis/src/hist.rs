@@ -1,0 +1,147 @@
+//! The Fig 9 experiment: distribution of product exponent differences
+//! (`max_exp − exp`, i.e. the alignment size) within inner products.
+//!
+//! The paper's key empirical observation (§6): for forward-path tensors
+//! the differences cluster near zero — only ~1% exceed eight bits — while
+//! backward-path tensors spread much wider, which is why MC-IPU multi-
+//! cycling is rare in inference and common in training backprop.
+
+use crate::dist::{Distribution, Sampler};
+use mpipu_fp::SignedMagnitude;
+
+/// Histogram of alignment sizes observed across sampled inner products.
+#[derive(Debug, Clone)]
+pub struct ExponentHistogram {
+    /// `counts[d]` = number of products whose alignment was `d` bits
+    /// (index saturates at the last bucket).
+    pub counts: Vec<u64>,
+    /// Total number of (live) products observed.
+    pub total: u64,
+}
+
+impl ExponentHistogram {
+    /// Fraction of products in bucket `d`.
+    pub fn fraction(&self, d: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts.get(d).copied().unwrap_or(0) as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of products with alignment strictly greater than `d`.
+    pub fn tail_fraction(&self, d: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let tail: u64 = self.counts.iter().skip(d + 1).sum();
+        tail as f64 / self.total as f64
+    }
+
+    /// Mean alignment in bits.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let s: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as f64 * c as f64)
+            .sum();
+        s / self.total as f64
+    }
+
+    /// Normalized fractions for all buckets (plot series).
+    pub fn fractions(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|d| self.fraction(d)).collect()
+    }
+}
+
+/// Sample `ops` inner products of length `n` from `dist` and histogram
+/// the alignment (`max_exp − exp`) of every live product. Buckets cover
+/// 0..=58 (the FP16 worst case).
+pub fn exponent_histogram(
+    dist: Distribution,
+    n: usize,
+    ops: usize,
+    seed: u64,
+) -> ExponentHistogram {
+    let mut sampler = Sampler::new(dist, seed);
+    let mut counts = vec![0u64; 59];
+    let mut total = 0u64;
+    for _ in 0..ops {
+        let a = sampler.sample_vec(n);
+        let b = sampler.sample_vec(n);
+        let exps: Vec<i32> = a
+            .iter()
+            .zip(&b)
+            .filter_map(|(&x, &y)| {
+                let sx = SignedMagnitude::from_fp16(x)?;
+                let sy = SignedMagnitude::from_fp16(y)?;
+                (!sx.is_zero() && !sy.is_zero()).then(|| sx.exp + sy.exp)
+            })
+            .collect();
+        let Some(&max) = exps.iter().max() else { continue };
+        for &e in &exps {
+            let d = ((max - e) as usize).min(58);
+            counts[d] += 1;
+            total += 1;
+        }
+    }
+    ExponentHistogram { counts, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_alignments_cluster_near_zero() {
+        // Paper Fig 9(a): forward-path differences cluster around zero;
+        // only ~1% exceed eight bits.
+        let h = exponent_histogram(Distribution::Resnet18Like, 8, 4000, 11);
+        assert!(h.total > 0);
+        assert!(
+            h.tail_fraction(8) < 0.15,
+            "forward tail(>8) = {}",
+            h.tail_fraction(8)
+        );
+        assert!(h.mean() < 6.0, "forward mean {}", h.mean());
+    }
+
+    #[test]
+    fn backward_alignments_spread_wide() {
+        // Paper Fig 9(b): backward products have a much wider distribution.
+        let fwd = exponent_histogram(Distribution::Resnet18Like, 8, 4000, 11);
+        let bwd = exponent_histogram(Distribution::BackwardLike, 8, 4000, 11);
+        assert!(bwd.mean() > fwd.mean() + 2.0,
+            "bwd mean {} vs fwd mean {}", bwd.mean(), fwd.mean());
+        assert!(bwd.tail_fraction(8) > fwd.tail_fraction(8) * 2.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let h = exponent_histogram(Distribution::Normal { std: 1.0 }, 16, 1000, 3);
+        let s: f64 = h.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_zero_always_populated() {
+        // The max-exponent product of every op has alignment 0.
+        let h = exponent_histogram(Distribution::Uniform { scale: 1.0 }, 4, 500, 5);
+        assert!(h.counts[0] >= 500);
+    }
+
+    #[test]
+    fn empty_histogram_is_harmless() {
+        let h = ExponentHistogram {
+            counts: vec![0; 59],
+            total: 0,
+        };
+        assert_eq!(h.fraction(0), 0.0);
+        assert_eq!(h.tail_fraction(5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

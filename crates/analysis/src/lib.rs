@@ -1,0 +1,27 @@
+//! # `mpipu-analysis` — numerical precision and alignment studies
+//!
+//! Implements the paper's §3.1 numerical analysis and §4.3 exponent
+//! statistics:
+//!
+//! * [`dist`] — seeded samplers for the input distributions the paper uses
+//!   (Laplace, Normal, Uniform) plus synthetic stand-ins for the sampled
+//!   ResNet-18/50 convolution tensors and backward-pass error tensors
+//!   (see `DESIGN.md` for the substitution rationale).
+//! * [`sweep`] — the Fig 3 experiment: median absolute error, median
+//!   absolute relative error (%), and median/mean contaminated bits of the
+//!   approximate FP-IP versus the FP32-CPU reference, swept over IPU
+//!   precision, for FP16 and FP32 accumulators.
+//! * [`hist`] — the Fig 9 experiment: the distribution of product
+//!   exponent differences (`max_exp − exp`, the alignment size) for
+//!   forward and backward tensors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod hist;
+pub mod sweep;
+
+pub use dist::{Distribution, Sampler};
+pub use hist::{exponent_histogram, ExponentHistogram};
+pub use sweep::{precision_sweep, PrecisionRow, SweepConfig};

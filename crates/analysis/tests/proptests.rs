@@ -1,0 +1,91 @@
+//! Property-based invariants of the analysis crate.
+
+use mpipu_analysis::dist::{Distribution, Sampler};
+use mpipu_analysis::hist::exponent_histogram;
+use mpipu_analysis::sweep::{precision_sweep, SweepConfig};
+use mpipu_datapath::AccFormat;
+use mpipu_fp::FpFormat;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every sampler produces finite FP16 values only.
+    #[test]
+    fn samples_always_finite(seed in 0u64..1000, pick in 0usize..6) {
+        let dist = [
+            Distribution::Uniform { scale: 10.0 },
+            Distribution::Normal { std: 5.0 },
+            Distribution::Laplace { b: 2.0 },
+            Distribution::Resnet18Like,
+            Distribution::BackwardLike,
+            Distribution::WeightLike,
+        ][pick];
+        let mut s = Sampler::new(dist, seed);
+        for _ in 0..200 {
+            prop_assert!(!s.sample_fp16().is_non_finite());
+        }
+    }
+
+    /// Histogram fractions always sum to 1 (when any product is live) and
+    /// bucket 0 is populated (the max-exponent product aligns by zero).
+    #[test]
+    fn histogram_invariants(seed in 0u64..500, n in 2usize..16) {
+        let h = exponent_histogram(Distribution::Normal { std: 1.0 }, n, 200, seed);
+        prop_assume!(h.total > 0);
+        let s: f64 = h.fractions().iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(h.counts[0] > 0);
+        prop_assert!(h.tail_fraction(58) == 0.0);
+    }
+
+    /// Wider inner products have (weakly) larger mean alignment: the max
+    /// over more products dominates each one more.
+    #[test]
+    fn alignment_grows_with_lanes(seed in 0u64..200) {
+        let small = exponent_histogram(Distribution::Normal { std: 1.0 }, 4, 400, seed);
+        let large = exponent_histogram(Distribution::Normal { std: 1.0 }, 16, 400, seed);
+        prop_assert!(large.mean() + 0.3 > small.mean(),
+            "16-lane mean {} vs 4-lane mean {}", large.mean(), small.mean());
+    }
+
+    /// Sweep rows come back in the requested precision order and all
+    /// metrics are non-negative.
+    #[test]
+    fn sweep_rows_well_formed(seed in 0u64..100) {
+        let cfg = SweepConfig {
+            dist: Distribution::Uniform { scale: 1.0 },
+            acc: AccFormat::Fp32,
+            n: 8,
+            samples: 40,
+            precisions: vec![10, 14, 18, 22],
+            seed,
+        };
+        let rows = precision_sweep(&cfg);
+        prop_assert_eq!(rows.len(), 4);
+        for (row, &p) in rows.iter().zip(&cfg.precisions) {
+            prop_assert_eq!(row.precision, p);
+            prop_assert!(row.median_abs_err >= 0.0);
+            prop_assert!(row.median_rel_err_pct >= 0.0);
+            prop_assert!(row.median_contaminated >= 0.0);
+            prop_assert!(row.mean_contaminated >= row.median_contaminated / 32.0);
+        }
+    }
+
+    /// The FP16-accumulator sweep is bounded by the FP16 format itself:
+    /// contaminated bits never exceed 16.
+    #[test]
+    fn fp16_contamination_bounded(seed in 0u64..100) {
+        let rows = precision_sweep(&SweepConfig {
+            dist: Distribution::Laplace { b: 1.0 },
+            acc: AccFormat::Fp16,
+            n: 8,
+            samples: 40,
+            precisions: vec![8, 16],
+            seed,
+        });
+        for row in rows {
+            prop_assert!(row.mean_contaminated <= 16.0);
+        }
+    }
+}

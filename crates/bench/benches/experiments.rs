@@ -1,0 +1,105 @@
+//! Criterion wrappers around every paper experiment at smoke scale, so
+//! `cargo bench` regenerates (a reduced form of) each table and figure and
+//! tracks the harness's own runtime. Full-scale series come from the
+//! `fig*`/`table1`/`accuracy` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpipu_analysis::dist::Distribution;
+use mpipu_analysis::hist::exponent_histogram;
+use mpipu_analysis::sweep::{precision_sweep, SweepConfig};
+use mpipu_datapath::AccFormat;
+use mpipu_dnn::zoo::{resnet18, Pass};
+use mpipu_hw::table1_designs;
+use mpipu_hw::tile_model::{TileBreakdown, TileHwConfig};
+use mpipu_hw::DesignPoint;
+use mpipu_sim::{run_workload, SimDesign, SimOptions, TileConfig};
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_sweep_smoke", |b| {
+        b.iter(|| {
+            precision_sweep(&SweepConfig {
+                dist: Distribution::Normal { std: 1.0 },
+                acc: AccFormat::Fp32,
+                n: 16,
+                samples: 50,
+                precisions: vec![12, 16, 28],
+                seed: 1,
+            })
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_breakdowns", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for w in [12u32, 16, 20, 24, 28, 38] {
+                total += TileBreakdown::model(TileHwConfig::big(w)).area_um2();
+                total += TileBreakdown::model(TileHwConfig::small(w)).area_um2();
+            }
+            total
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let opts = SimOptions {
+        sample_steps: 32,
+        seed: 5,
+    };
+    let wl = resnet18(Pass::Forward);
+    c.bench_function("fig8_sim_smoke", |b| {
+        b.iter(|| {
+            let d = SimDesign {
+                tile: TileConfig::small(),
+                w: 16,
+                software_precision: 28,
+                n_tiles: 4,
+            };
+            run_workload(&d, &wl, &opts).normalized()
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9_histogram_smoke", |b| {
+        b.iter(|| exponent_histogram(Distribution::Resnet18Like, 8, 500, 3).mean())
+    });
+}
+
+fn bench_fig10_and_table1(c: &mut Criterion) {
+    c.bench_function("fig10_design_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in [12u32, 16, 28] {
+                let m = DesignPoint {
+                    w,
+                    cluster_size: 1,
+                    big: true,
+                }
+                .metrics(1.5);
+                acc += m.int_tops_per_mm2 + m.fp_tflops_per_w;
+            }
+            acc
+        })
+    });
+    c.bench_function("table1_all_designs", |b| {
+        b.iter(|| {
+            table1_designs()
+                .iter()
+                .flat_map(|d| d.rows())
+                .filter_map(|r| r.tops_per_mm2)
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig3,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10_and_table1
+);
+criterion_main!(benches);

@@ -1,0 +1,265 @@
+//! The non-normalized fixed-point accumulator (paper §2.2, right side of
+//! Fig 1).
+//!
+//! During accumulation the unit keeps two values: the accumulator's
+//! exponent and a non-normalized signed magnitude in a `33 + t + l`-bit
+//! register. Left shifts are never performed; when a new adder-tree result
+//! arrives with a larger maximum exponent, the *register* is right-shifted
+//! instead (the "swap" path), and otherwise the *addend* receives the
+//! exponent difference on top of its nibble-significance shift.
+//!
+//! ## Value grids
+//!
+//! * **FP mode** — the register holds `reg · 2^(exp + G)` where
+//!   `G = 4 − w − zero_pad` (`= −29` for all paper designs with `w ≤ 33`,
+//!   i.e. ~30 fraction bits below the maximum product exponent). Every
+//!   right shift truncates toward −∞, exactly like the hardware register.
+//! * **INT mode** — nibble-iteration partial sums are exact integers; the
+//!   emulation accumulates `Σ S_{ij} · 2^{4(i+j)}` on the integer grid.
+//!   (The silicon orients the same shifts MSB-first from bit 33; the two
+//!   orientations differ by the constant factor `2^{23−4(Ka+Kb−2)−(w−10)}`
+//!   which cancels at read-out, so integer results are bit-identical.)
+
+use crate::config::IpuConfig;
+use mpipu_fp::{FixedPoint, Fp16};
+
+/// Arithmetic shift right that saturates the shift amount (sign smear),
+/// matching a sign-extending barrel shifter of unbounded range.
+#[inline]
+pub(crate) fn asr128(v: i128, shift: u32) -> i128 {
+    v >> shift.min(127)
+}
+
+/// Accumulator state for one IPU.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    cfg: IpuConfig,
+    /// FP-mode register (two's complement, architecturally
+    /// `cfg.register_bits()` wide).
+    reg: i128,
+    /// FP-mode accumulator exponent; `None` until the first contribution.
+    exp: Option<i32>,
+    /// INT-mode register (exact integer grid).
+    int_reg: i128,
+    /// Sticky flag: the FP register exceeded its architectural width.
+    overflow: bool,
+    /// High-water mark of INT register occupancy in bits (model check).
+    int_occupancy: u32,
+}
+
+impl Accumulator {
+    /// Fresh, zeroed accumulator.
+    pub fn new(cfg: IpuConfig) -> Self {
+        cfg.validate();
+        Accumulator {
+            cfg,
+            reg: 0,
+            exp: None,
+            int_reg: 0,
+            overflow: false,
+            int_occupancy: 0,
+        }
+    }
+
+    /// Clear all state (start of a new output pixel).
+    pub fn reset(&mut self) {
+        self.reg = 0;
+        self.exp = None;
+        self.int_reg = 0;
+        self.overflow = false;
+        self.int_occupancy = 0;
+    }
+
+    /// The configuration this accumulator was built with.
+    pub fn config(&self) -> &IpuConfig {
+        &self.cfg
+    }
+
+    /// Sticky FP-register overflow flag (architectural width exceeded).
+    pub fn overflowed(&self) -> bool {
+        self.overflow
+    }
+
+    /// High-water INT register occupancy in bits (incl. sign).
+    pub fn int_occupancy_bits(&self) -> u32 {
+        self.int_occupancy
+    }
+
+    /// FP-mode update with one adder-tree result.
+    ///
+    /// * `sum` — the `w+t`-bit adder-tree output (window units);
+    /// * `max_exp` — the adder-tree exponent from the EHU;
+    /// * `nibble_shift` — `4·((2−i)+(2−j))` for nibble iteration `(i,j)`;
+    /// * `extra_shift` — the MC-IPU post-adder shift `k·sp` (0 for plain
+    ///   IPUs).
+    pub fn add_fp(&mut self, sum: i64, max_exp: i32, nibble_shift: u32, extra_shift: u32) {
+        let v = (sum as i128) << self.cfg.zero_pad();
+        let exp = match self.exp {
+            None => {
+                self.exp = Some(max_exp);
+                max_exp
+            }
+            Some(e) if max_exp > e => {
+                // Swap path: right-shift the register instead of
+                // left-shifting the addend (truncates old LSBs).
+                self.reg = asr128(self.reg, (max_exp - e) as u32);
+                self.exp = Some(max_exp);
+                max_exp
+            }
+            Some(e) => e,
+        };
+        let shift = nibble_shift + extra_shift + (exp - max_exp) as u32;
+        self.reg += asr128(v, shift);
+        self.check_width();
+    }
+
+    /// INT-mode update: adder-tree result of nibble iteration `(i, j)`.
+    pub fn add_int(&mut self, sum: i64, i: usize, j: usize) {
+        self.int_reg += (sum as i128) << (4 * (i + j));
+        let occ = 128 - self.int_reg.unsigned_abs().leading_zeros() + 1;
+        self.int_occupancy = self.int_occupancy.max(occ);
+    }
+
+    /// Current FP-mode value as an exact fixed point.
+    pub fn fixed(&self) -> FixedPoint {
+        match self.exp {
+            None => FixedPoint::ZERO,
+            Some(e) => {
+                let g = 4 - self.cfg.w as i32 - self.cfg.zero_pad() as i32;
+                FixedPoint {
+                    mag: self.reg,
+                    lsb_pow2: e + g,
+                }
+            }
+        }
+    }
+
+    /// Normalize and round to FP16 (write-back path).
+    pub fn read_fp16(&self) -> Fp16 {
+        self.fixed().to_fp16_rne()
+    }
+
+    /// Normalize and round to FP32 (write-back path).
+    pub fn read_f32(&self) -> f32 {
+        self.fixed().to_f32_rne()
+    }
+
+    /// INT-mode value (exact).
+    pub fn read_int(&self) -> i128 {
+        self.int_reg
+    }
+
+    fn check_width(&mut self) {
+        let bits = self.cfg.register_bits();
+        let lim = 1i128 << (bits - 1);
+        if self.reg >= lim || self.reg < -lim {
+            self.overflow = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccFormat;
+
+    fn acc(w: u32) -> Accumulator {
+        Accumulator::new(IpuConfig::big(w))
+    }
+
+    #[test]
+    fn single_product_one_times_one() {
+        // a = b = 1.0 ⇒ signed magnitude 1024, only nibble pair (2,2)
+        // contributes: p = 8·8 = 64 top-aligned.
+        let mut a = acc(16);
+        let sum = 64i64 << (16 - 10);
+        a.add_fp(sum, 0, 0, 0);
+        assert_eq!(a.fixed().to_f64(), 1.0);
+        assert_eq!(a.read_f32(), 1.0);
+        assert_eq!(a.read_fp16(), Fp16::ONE);
+    }
+
+    #[test]
+    fn grid_constant_is_minus_29_for_paper_widths() {
+        for w in [12u32, 16, 20, 28, 33] {
+            let c = IpuConfig::big(w);
+            assert_eq!(4 - w as i32 - c.zero_pad() as i32, -29, "w={w}");
+        }
+        // Wider trees shift the grid instead of growing the pad.
+        let c = IpuConfig::big(38);
+        assert_eq!(4 - c.w as i32 - c.zero_pad() as i32, -34);
+    }
+
+    #[test]
+    fn swap_right_shifts_old_contents() {
+        let mut a = acc(16);
+        // First contribution at exponent 0 with an odd LSB.
+        a.add_fp(1 << 6, 0, 0, 0); // value 2^-... (64 window units = p=1)
+        let v0 = a.fixed().to_f64();
+        assert!(v0 > 0.0);
+        // New contribution at a much larger exponent: the register shifts
+        // right far enough that the old value is entirely truncated.
+        // Contribution value = S·2^{max_e − w + 4} = 2^12 · 2^{28} = 2^40.
+        a.add_fp(64 << 6, 40, 0, 0);
+        let v1 = a.fixed().to_f64();
+        assert_eq!(v1, 2f64.powi(40));
+    }
+
+    #[test]
+    fn smaller_exponent_shifts_addend_not_register() {
+        let mut a = acc(28);
+        a.add_fp(64 << 18, 0, 0, 0); // 1.0 (p = 64 top-aligned at w=28)
+        a.add_fp(64 << 18, -1, 0, 0); // 0.5: addend shifted right by 1
+        assert_eq!(a.fixed().to_f64(), 1.5);
+    }
+
+    #[test]
+    fn nibble_shift_scales_contribution() {
+        let mut a = acc(16);
+        let s = 64i64 << 6;
+        a.add_fp(s, 0, 0, 0);
+        a.add_fp(s, 0, 4, 0); // one nibble step down: 1/16
+        a.add_fp(s, 0, 0, 4); // MC extra shift behaves identically
+        assert_eq!(a.fixed().to_f64(), 1.0 + 1.0 / 16.0 + 1.0 / 16.0);
+    }
+
+    #[test]
+    fn int_mode_accumulates_exactly() {
+        let mut a = acc(16);
+        // (i,j) grid: value = Σ S·2^{4(i+j)}.
+        a.add_int(5, 0, 0);
+        a.add_int(-3, 1, 0);
+        a.add_int(7, 1, 1);
+        assert_eq!(a.read_int(), 5 - 3 * 16 + 7 * 256);
+        assert!(a.int_occupancy_bits() <= 13);
+    }
+
+    #[test]
+    fn overflow_flag_sets_and_sticks() {
+        let mut a = acc(12);
+        for _ in 0..10_000 {
+            a.add_fp(i64::from(i16::MAX) << 8, 0, 0, 0);
+        }
+        assert!(a.overflowed());
+        a.add_fp(0, 0, 0, 0);
+        assert!(a.overflowed());
+        a.reset();
+        assert!(!a.overflowed());
+    }
+
+    #[test]
+    fn truncation_toward_minus_infinity() {
+        let mut a = acc(16);
+        // v = −1 · 2^17 after padding; shifting right by 18 floors the
+        // result to −1 (toward −∞), not 0.
+        a.add_fp(-1, 0, 18, 0);
+        assert_eq!(a.fixed().mag, -1);
+    }
+
+    #[test]
+    fn fp16_acc_format_software_precision() {
+        let c = IpuConfig::big(16).with_acc(AccFormat::Fp16);
+        assert_eq!(c.software_precision, 16);
+        assert_eq!(c.acc, AccFormat::Fp16);
+    }
+}

@@ -1,0 +1,230 @@
+//! Chunked-multiplier INT datapaths — bit-level emulation of the §4.5
+//! sensitivity designs.
+//!
+//! The paper's Table 1 evaluates the MC optimization across baseline
+//! multiplier precisions: `MC-SER` (12×1, weight-bit-serial like Stripes),
+//! `MC-IPU84` (8×4) and `MC-IPU8` (8×8), alongside the 4×4 design of the
+//! main text. This module generalizes the temporal decomposition from
+//! 4-bit nibbles to arbitrary chunk widths: an `A`-bit operand splits into
+//! `⌈A/ca⌉` chunks of `ca` bits (top chunk sign-carrying for signed
+//! operands), and an `A×W` MAC takes `⌈A/ca⌉·⌈W/cb⌉` cycles.
+//!
+//! Physical multipliers are `(ca+1)×(cb+1)`-bit signed so unsigned chunks
+//! fit, exactly like the 5b×5b units of the primary design.
+
+use crate::ipu::IntSignedness;
+
+/// Decompose `v` (an `bits`-bit integer) into `⌈bits/chunk⌉` chunks of
+/// `chunk` bits, least significant first; for signed operands the top
+/// chunk is an arithmetic (sign-carrying) slice.
+///
+/// # Panics
+/// Panics if `v` does not fit `bits` in the requested signedness, or if
+/// `chunk` is 0 or exceeds 15 (our widest modeled multiplier is 16-bit).
+pub fn chunks_from_int(v: i64, bits: u32, chunk: u32, signedness: IntSignedness) -> Vec<i32> {
+    assert!((1..=15).contains(&chunk), "chunk width {chunk} out of range");
+    assert!((1..=32).contains(&bits), "operand width {bits} out of range");
+    match signedness {
+        IntSignedness::Signed => {
+            let lo = -(1i64 << (bits - 1));
+            let hi = (1i64 << (bits - 1)) - 1;
+            assert!((lo..=hi).contains(&v), "{v} does not fit INT{bits} signed");
+        }
+        IntSignedness::Unsigned => {
+            assert!(
+                v >= 0 && v < (1i64 << bits),
+                "{v} does not fit INT{bits} unsigned"
+            );
+        }
+    }
+    let k = bits.div_ceil(chunk);
+    (0..k)
+        .map(|i| {
+            let shift = i * chunk;
+            if i + 1 == k && matches!(signedness, IntSignedness::Signed) {
+                // Top slice: arithmetic shift preserves the sign through
+                // the (possibly partial) final chunk.
+                (v >> shift) as i32
+            } else {
+                ((v >> shift) & ((1i64 << chunk) - 1)) as i32
+            }
+        })
+        .collect()
+}
+
+/// An inner-product unit built from `(ca+1)×(cb+1)`-bit signed multipliers
+/// running INT operands temporally.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedIpu {
+    /// Activation-side chunk width in bits.
+    pub ca: u32,
+    /// Weight-side chunk width in bits (1 = weight-bit-serial, MC-SER).
+    pub cb: u32,
+    /// Lane count.
+    pub n: usize,
+}
+
+impl ChunkedIpu {
+    /// The paper's four MC designs (§4.5), by name.
+    pub fn by_name(name: &str) -> Option<ChunkedIpu> {
+        let (ca, cb) = match name {
+            "MC-SER" => (12, 1),
+            "MC-IPU4" => (4, 4),
+            "MC-IPU84" => (8, 4),
+            "MC-IPU8" => (8, 8),
+            _ => return None,
+        };
+        Some(ChunkedIpu { ca, cb, n: 16 })
+    }
+
+    /// Cycles for an `a_bits × b_bits` MAC.
+    pub fn cycles(&self, a_bits: u32, b_bits: u32) -> u64 {
+        u64::from(a_bits.div_ceil(self.ca)) * u64::from(b_bits.div_ceil(self.cb))
+    }
+
+    /// Exact INT inner product via temporal chunk iterations; returns the
+    /// value and the cycles consumed.
+    ///
+    /// # Panics
+    /// Panics on mismatched lengths, oversized vectors, or range errors.
+    pub fn int_ip(
+        &self,
+        a: &[i64],
+        b: &[i64],
+        a_bits: u32,
+        b_bits: u32,
+        sa: IntSignedness,
+        sb: IntSignedness,
+    ) -> (i128, u64) {
+        assert_eq!(a.len(), b.len(), "operand vectors must match");
+        assert!(a.len() <= self.n, "vector exceeds the {}-lane IPU", self.n);
+        let ca_chunks: Vec<Vec<i32>> = a
+            .iter()
+            .map(|&v| chunks_from_int(v, a_bits, self.ca, sa))
+            .collect();
+        let cb_chunks: Vec<Vec<i32>> = b
+            .iter()
+            .map(|&v| chunks_from_int(v, b_bits, self.cb, sb))
+            .collect();
+        let ka = a_bits.div_ceil(self.ca) as usize;
+        let kb = b_bits.div_ceil(self.cb) as usize;
+        let mut acc: i128 = 0;
+        let mut cycles = 0u64;
+        for i in 0..ka {
+            for j in 0..kb {
+                let mut sum: i64 = 0;
+                for (x, y) in ca_chunks.iter().zip(&cb_chunks) {
+                    sum += i64::from(x[i]) * i64::from(y[j]);
+                }
+                acc += (sum as i128) << (self.ca * i as u32 + self.cb * j as u32);
+                cycles += 1;
+            }
+        }
+        (acc, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: &[i64], b: &[i64]) -> i128 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| x as i128 * y as i128)
+            .sum()
+    }
+
+    #[test]
+    fn chunks_roundtrip_signed() {
+        for chunk in 1u32..=8 {
+            for &v in &[-2048i64, -1, 0, 1, 1777, 2047] {
+                let chunks = chunks_from_int(v, 12, chunk, IntSignedness::Signed);
+                let got: i64 = chunks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| (c as i64) << (chunk * i as u32))
+                    .sum();
+                assert_eq!(got, v, "chunk={chunk} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_design_needs_one_cycle_per_weight_bit() {
+        let ser = ChunkedIpu::by_name("MC-SER").unwrap();
+        assert_eq!(ser.cycles(4, 4), 4);
+        assert_eq!(ser.cycles(8, 8), 8);
+        assert_eq!(ser.cycles(12, 12), 12);
+    }
+
+    #[test]
+    fn paper_iteration_counts() {
+        let mc4 = ChunkedIpu::by_name("MC-IPU4").unwrap();
+        let mc84 = ChunkedIpu::by_name("MC-IPU84").unwrap();
+        let mc8 = ChunkedIpu::by_name("MC-IPU8").unwrap();
+        assert_eq!(mc4.cycles(8, 12), 6); // §2.1's INT8×INT12 example
+        assert_eq!(mc4.cycles(12, 12), 9); // FP16 mantissa case
+        assert_eq!(mc84.cycles(8, 4), 1);
+        assert_eq!(mc8.cycles(8, 8), 1);
+        assert_eq!(mc8.cycles(12, 12), 4);
+    }
+
+    #[test]
+    fn all_designs_compute_exact_dots() {
+        let a = [100i64, -128, 127, 55, -77, 3, 0, 99];
+        let b = [2000i64, -2048, 2047, -999, 1234, -1, 500, -2000];
+        let expect = reference(&a, &b);
+        for name in ["MC-SER", "MC-IPU4", "MC-IPU84", "MC-IPU8"] {
+            let d = ChunkedIpu::by_name(name).unwrap();
+            let (got, cycles) = d.int_ip(
+                &a,
+                &b,
+                8,
+                12,
+                IntSignedness::Signed,
+                IntSignedness::Signed,
+            );
+            assert_eq!(got, expect, "{name}");
+            assert_eq!(cycles, d.cycles(8, 12), "{name}");
+        }
+    }
+
+    #[test]
+    fn unsigned_operands_exact() {
+        let a = [255i64, 128, 0, 17];
+        let b = [4095i64, 1, 4000, 2222];
+        let expect = reference(&a, &b);
+        for name in ["MC-SER", "MC-IPU4", "MC-IPU84", "MC-IPU8"] {
+            let d = ChunkedIpu::by_name(name).unwrap();
+            let (got, _) = d.int_ip(
+                &a,
+                &b,
+                8,
+                12,
+                IntSignedness::Unsigned,
+                IntSignedness::Unsigned,
+            );
+            assert_eq!(got, expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn bit_serial_matches_parallel() {
+        // MC-SER (weight-serial) and MC-IPU8 must agree bit-for-bit.
+        let a = [-1000i64, 999, -2, 1];
+        let b = [-30000i64, 12345, 32767, -32768];
+        let ser = ChunkedIpu::by_name("MC-SER").unwrap();
+        let par = ChunkedIpu::by_name("MC-IPU8").unwrap();
+        let (x, cx) = ser.int_ip(&a, &b, 12, 16, IntSignedness::Signed, IntSignedness::Signed);
+        let (y, cy) = par.int_ip(&a, &b, 12, 16, IntSignedness::Signed, IntSignedness::Signed);
+        assert_eq!(x, y);
+        assert_eq!(x, reference(&a, &b));
+        assert!(cx > cy, "serial {cx} should cost more cycles than {cy}");
+    }
+
+    #[test]
+    fn unknown_design_name() {
+        assert!(ChunkedIpu::by_name("TPU").is_none());
+    }
+}

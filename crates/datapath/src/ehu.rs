@@ -1,0 +1,174 @@
+//! Exponent Handling Unit (EHU) — paper §2.2 and Fig 5.
+//!
+//! The EHU runs once per FP inner-product operation (its result is shared
+//! by all nibble iterations, which is why one EHU can be time-multiplexed
+//! across several IPUs). Its five stages are:
+//!
+//! 1. element-wise sum of the operands' unbiased exponents → product
+//!    exponents;
+//! 2. maximum of the product exponents;
+//! 3. per-product alignment = `max − exp`;
+//! 4. mask products whose alignment exceeds the *software precision*
+//!    (they cannot affect the accumulator's kept bits);
+//! 5. *(MC-IPU only)* iterate: each cycle `k` serves the products whose
+//!    alignment falls in the safe-precision window
+//!    `[k·sp, (k+1)·sp)`, tracking a `serv` bit per product.
+
+/// The alignment plan the EHU hands to the datapath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentPlan {
+    /// Maximum product exponent (the adder-tree exponent).
+    pub max_exp: i32,
+    /// Per-lane alignment: `Some(shift)` for live lanes, `None` for lanes
+    /// masked by stage 4 (alignment > software precision) or with a zero
+    /// operand.
+    pub shifts: Vec<Option<u32>>,
+}
+
+impl AlignmentPlan {
+    /// Number of live (unmasked) lanes.
+    pub fn live_lanes(&self) -> usize {
+        self.shifts.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The MC-IPU partition index of each live lane for safe precision
+    /// `sp`: lane with alignment `s` executes in cycle `⌊s / sp⌋`.
+    pub fn partition_of(&self, lane: usize, sp: u32) -> Option<u32> {
+        self.shifts[lane].map(|s| s / sp.max(1))
+    }
+
+    /// The set of non-empty partitions (sorted ascending) for safe
+    /// precision `sp` — the number of cycles an MC-IPU spends per nibble
+    /// iteration (paper §3.2). Empty input ⇒ one (idle) cycle.
+    pub fn partitions(&self, sp: u32) -> Vec<u32> {
+        let mut ks: Vec<u32> = self
+            .shifts
+            .iter()
+            .flatten()
+            .map(|&s| s / sp.max(1))
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        if ks.is_empty() {
+            ks.push(0);
+        }
+        ks
+    }
+
+    /// Cycles per nibble iteration for an MC-IPU with safe precision `sp`.
+    pub fn cycles(&self, sp: u32) -> u32 {
+        self.partitions(sp).len() as u32
+    }
+}
+
+/// The exponent handling unit.
+///
+/// Stateless; [`Ehu::plan`] is a pure function of the product exponents.
+#[derive(Debug, Clone, Copy)]
+pub struct Ehu {
+    /// Software precision: stage-4 masking threshold.
+    pub software_precision: u32,
+}
+
+impl Ehu {
+    /// Create an EHU with the given stage-4 masking threshold.
+    pub fn new(software_precision: u32) -> Self {
+        Ehu { software_precision }
+    }
+
+    /// Compute the alignment plan for one FP inner product.
+    ///
+    /// `product_exps[k]` is the unbiased exponent of product `k`
+    /// (`exp(a_k) + exp(b_k)`), or `None` when either operand is zero —
+    /// zero operands contribute nothing and must not win the max (a
+    /// hardware EHU gates them with the operand-zero flags).
+    pub fn plan(&self, product_exps: &[Option<i32>]) -> AlignmentPlan {
+        let max_exp = product_exps.iter().flatten().copied().max().unwrap_or(0);
+        let shifts = product_exps
+            .iter()
+            .map(|e| {
+                e.and_then(|e| {
+                    let s = (max_exp - e) as u32;
+                    // Stage 4: beyond the software precision the product
+                    // cannot reach the accumulator's kept bits.
+                    (s <= self.software_precision).then_some(s)
+                })
+            })
+            .collect();
+        AlignmentPlan { max_exp, shifts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exps(v: &[i32]) -> Vec<Option<i32>> {
+        v.iter().map(|&e| Some(e)).collect()
+    }
+
+    #[test]
+    fn walkthrough_example_fig4() {
+        // Paper Fig 4: exponents (10, 2, 3, 8) ⇒ alignments (0, 8, 7, 2);
+        // with sp = 5 products A,D run in cycle 0 and B,C in cycle 1.
+        let plan = Ehu::new(28).plan(&exps(&[10, 2, 3, 8]));
+        assert_eq!(plan.max_exp, 10);
+        assert_eq!(
+            plan.shifts,
+            vec![Some(0), Some(8), Some(7), Some(2)]
+        );
+        assert_eq!(plan.partitions(5), vec![0, 1]);
+        assert_eq!(plan.cycles(5), 2);
+        assert_eq!(plan.partition_of(0, 5), Some(0));
+        assert_eq!(plan.partition_of(1, 5), Some(1));
+        assert_eq!(plan.partition_of(2, 5), Some(1));
+        assert_eq!(plan.partition_of(3, 5), Some(0));
+    }
+
+    #[test]
+    fn stage4_masks_beyond_software_precision() {
+        let plan = Ehu::new(16).plan(&exps(&[0, -17, -16, -30]));
+        assert_eq!(plan.max_exp, 0);
+        assert_eq!(plan.shifts, vec![Some(0), None, Some(16), None]);
+        assert_eq!(plan.live_lanes(), 2);
+    }
+
+    #[test]
+    fn zero_operands_do_not_win_max() {
+        let plan = Ehu::new(28).plan(&[Some(-5), None, Some(-9)]);
+        assert_eq!(plan.max_exp, -5);
+        assert_eq!(plan.shifts, vec![Some(0), None, Some(4)]);
+    }
+
+    #[test]
+    fn all_zero_vector_yields_idle_single_cycle() {
+        let plan = Ehu::new(28).plan(&[None, None]);
+        assert_eq!(plan.live_lanes(), 0);
+        assert_eq!(plan.cycles(7), 1);
+    }
+
+    #[test]
+    fn uniform_exponents_take_one_cycle() {
+        let plan = Ehu::new(28).plan(&exps(&[3; 16]));
+        assert_eq!(plan.cycles(3), 1);
+        assert_eq!(plan.cycles(19), 1);
+    }
+
+    #[test]
+    fn worst_case_fp16_spread_needs_many_cycles() {
+        // Max product exponent 30, min −28 ⇒ alignment 58; with sp = 3
+        // (w = 12) and software precision 28, alignments 0 and 28 live.
+        let plan = Ehu::new(28).plan(&exps(&[30, -28, 2]));
+        assert_eq!(plan.shifts, vec![Some(0), None, Some(28)]);
+        assert_eq!(plan.partitions(3), vec![0, 9]);
+    }
+
+    #[test]
+    fn partition_boundary_is_half_open() {
+        // Alignment exactly k·sp belongs to partition k.
+        let plan = Ehu::new(28).plan(&exps(&[10, 5, 10 - 5 - 4]));
+        assert_eq!(plan.shifts, vec![Some(0), Some(5), Some(9)]);
+        assert_eq!(plan.partition_of(1, 5), Some(1));
+        assert_eq!(plan.partition_of(2, 5), Some(1));
+    }
+}

@@ -1,0 +1,119 @@
+//! One multiplier lane: 5b×5b signed multiply, local right shift, and
+//! truncation to the `w`-bit adder-tree window (paper §2.2 / Fig 1).
+//!
+//! ## Window semantics
+//!
+//! The 10-bit signed product is placed **top-aligned** in the `w`-bit
+//! window (its LSB gains weight `2^{w-10}` relative to the product grid)
+//! and then arithmetically shifted right by the EHU-provided alignment.
+//! Truncation is toward −∞ (two's-complement bit drop), exactly as a
+//! hardware barrel shifter behaves. The window value returned is an
+//! integer in units of `2^{-(w-10)}` product-LSBs.
+
+/// Maximum magnitude of a 5b×5b signed product: (−16)·(−16).
+pub const MAX_PRODUCT: i32 = 256;
+
+/// Multiply two 5-bit signed operands, checking ranges in debug builds.
+#[inline]
+pub fn mul5x5(a: i8, b: i8) -> i32 {
+    debug_assert!((-16..=15).contains(&a), "operand {a} exceeds 5-bit signed");
+    debug_assert!((-16..=15).contains(&b), "operand {b} exceeds 5-bit signed");
+    a as i32 * b as i32
+}
+
+/// Local right-shift + truncate of a product into the `w`-bit window.
+///
+/// * `product` — exact 10-bit signed multiplier output;
+/// * `shift` — EHU alignment for this lane (within the current MC-IPU
+///   cycle's window, i.e. already reduced by `k·sp`);
+/// * `w` — IPU precision (window/adder-tree width).
+///
+/// Returns the window contents in units of `2^{-(w-10)}` product-LSBs.
+/// For `shift ≥ w` every product bit (and eventually even the smeared sign)
+/// leaves the window; the EHU masks such lanes before they get here, but
+/// the function still models the pure barrel-shifter result for testing.
+#[inline]
+pub fn shift_truncate(product: i32, shift: u32, w: u32) -> i64 {
+    debug_assert!(product.abs() <= MAX_PRODUCT);
+    // For w ≥ 10 the product is placed top-aligned (gains w−10 zero LSBs);
+    // for narrower windows the placement itself truncates 10−w product
+    // bits. Arithmetic shifts; amounts clamp to avoid UB — at ≥ 63 a
+    // negative value smears to −1 and a positive one to 0, matching a
+    // sign-extending barrel shifter of unbounded range.
+    if w >= 10 {
+        ((product as i64) << (w - 10)) >> shift.min(63)
+    } else {
+        (product as i64) >> (10 - w + shift).min(63)
+    }
+}
+
+/// `true` when [`shift_truncate`] is exact for this product and shift —
+/// i.e. no non-zero bit is dropped.
+#[inline]
+pub fn is_exact(product: i32, shift: u32, w: u32) -> bool {
+    let v = shift_truncate(product, shift, w);
+    let scale = w as i32 - 10 - shift as i32;
+    v as f64 * (-scale as f64).exp2() == product as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shift_is_exact_placement() {
+        assert_eq!(shift_truncate(225, 0, 16), 225 << 6);
+        assert_eq!(shift_truncate(-240, 0, 12), -240 << 2);
+    }
+
+    #[test]
+    fn truncation_is_floor() {
+        // −3 >> 1 in two's complement is −2 (toward −∞), not −1.
+        assert_eq!(shift_truncate(-3, 1, 10), -2);
+        assert_eq!(shift_truncate(3, 1, 10), 1);
+    }
+
+    #[test]
+    fn proposition1_shifts_up_to_w_minus_10_are_exact() {
+        // Alignments strictly below the safe precision sp = w−9 (i.e.
+        // ≤ w−10) never drop a bit: the 10-bit product has w−10 padding
+        // zeros below it.
+        for w in [12u32, 16, 20, 28] {
+            for p in -240i32..=240 {
+                for s in 0..=(w - 10) {
+                    assert!(is_exact(p, s, w), "p={p} s={s} w={w}");
+                    let exact = (p as f64) * 2f64.powi((w - 10) as i32 - s as i32);
+                    assert_eq!(shift_truncate(p, s, w) as f64, exact);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_at_safe_precision_can_lose_one_bit() {
+        // s = w−9 (the open end of Proposition 1) is lossy for odd
+        // products.
+        assert!(!is_exact(225, 16 - 9, 16));
+        assert!(is_exact(224, 16 - 9, 16));
+        // 256 = (−16)·(−16) has 8 trailing zeros: still exact well past sp.
+        assert!(is_exact(256, 8, 16));
+    }
+
+    #[test]
+    fn deep_shifts_smear_sign() {
+        assert_eq!(shift_truncate(200, 40, 16), 0);
+        assert_eq!(shift_truncate(-200, 40, 16), -1);
+        assert_eq!(shift_truncate(-1, 63, 16), -1);
+    }
+
+    #[test]
+    fn mul5x5_covers_full_range() {
+        let mut max = 0;
+        for a in -16i8..=15 {
+            for b in -16i8..=15 {
+                max = max.max(mul5x5(a, b).abs());
+            }
+        }
+        assert_eq!(max, MAX_PRODUCT);
+    }
+}

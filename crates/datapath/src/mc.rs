@@ -1,0 +1,375 @@
+//! `MC-IPU(w)` — the multi-cycle inner-product unit (paper §3.2, Fig 4/5).
+//!
+//! An MC-IPU keeps the narrow `w`-bit adder tree but serves alignments up
+//! to the *software precision* by decomposing each nibble iteration into
+//! multiple cycles. With safe precision `sp = w − 9`, cycle `k` serves the
+//! products whose alignment lies in `[k·sp, (k+1)·sp)`:
+//!
+//! * lanes outside partition `k` are masked (the per-multiplier AND gates);
+//! * surviving lanes shift locally by `s − k·sp` (< `sp`, hence exact by
+//!   Proposition 1);
+//! * the adder-tree result carries an extra post-shift of `k·sp`
+//!   (`extra_sh_mnt` in Fig 4) into the accumulator.
+//!
+//! Numerically an MC-IPU is therefore at least as accurate as a
+//! single-cycle `IPU(software_precision)`; the price is FP throughput,
+//! captured by [`McSchedule`].
+
+use crate::accum::Accumulator;
+use crate::config::IpuConfig;
+use crate::ehu::{AlignmentPlan, Ehu};
+use crate::ipu::{FpIpResult, IntSignedness, Ipu};
+use crate::lane;
+use mpipu_fp::{FixedPoint, Fp16, Nibbles, SignedMagnitude};
+
+/// Cycle schedule of one FP inner product on an MC-IPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McSchedule {
+    /// Non-empty alignment partitions (ascending `k`).
+    pub partitions: Vec<u32>,
+    /// Cycles each of the nine nibble iterations takes.
+    pub cycles_per_iteration: u32,
+    /// Nibble iterations per FP16 operation (9 = 3×3).
+    pub iterations: u32,
+    /// Total cycles: `iterations · cycles_per_iteration`.
+    pub total_cycles: u64,
+}
+
+/// The multi-cycle IPU.
+#[derive(Debug, Clone)]
+pub struct McIpu {
+    cfg: IpuConfig,
+    acc: Accumulator,
+    cycles: u64,
+}
+
+impl McIpu {
+    /// Build an MC-IPU from a validated configuration. The configuration's
+    /// `software_precision` may exceed `w` — that is the whole point of the
+    /// multi-cycle design.
+    pub fn new(cfg: IpuConfig) -> Self {
+        cfg.validate();
+        McIpu {
+            cfg,
+            acc: Accumulator::new(cfg),
+            cycles: 0,
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &IpuConfig {
+        &self.cfg
+    }
+
+    /// Safe precision `sp = w − 9`.
+    pub fn safe_precision(&self) -> u32 {
+        self.cfg.safe_precision()
+    }
+
+    /// Total cycles consumed since the last [`McIpu::reset`].
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Clear accumulator and cycle counter.
+    pub fn reset(&mut self) {
+        self.acc.reset();
+        self.cycles = 0;
+    }
+
+    /// Borrow the accumulator.
+    pub fn accumulator(&self) -> &Accumulator {
+        &self.acc
+    }
+
+    /// Plan the cycle schedule for a pair of FP16 vectors without
+    /// executing — used by the performance simulator, which only needs
+    /// cycle counts.
+    pub fn schedule(&self, a: &[Fp16], b: &[Fp16]) -> McSchedule {
+        let (_, _, exps) = decode(&self.cfg, a, b);
+        let plan = Ehu::new(self.cfg.software_precision).plan(&exps);
+        self.schedule_for_plan(&plan)
+    }
+
+    /// `true` when the adder tree already covers the software precision —
+    /// the unit then runs as a plain approximate IPU, one cycle per nibble
+    /// iteration (§4.3: "IPUs with a 16b or larger adder tree take exactly
+    /// one cycle per nibble iteration" under FP16 accumulation).
+    pub fn single_cycle(&self) -> bool {
+        self.cfg.w >= self.cfg.software_precision
+    }
+
+    /// Schedule from a precomputed alignment plan.
+    pub fn schedule_for_plan(&self, plan: &AlignmentPlan) -> McSchedule {
+        let partitions = if self.single_cycle() {
+            vec![0]
+        } else {
+            plan.partitions(self.safe_precision())
+        };
+        let cpi = partitions.len() as u32;
+        McSchedule {
+            partitions,
+            cycles_per_iteration: cpi,
+            iterations: 9,
+            total_cycles: 9 * cpi as u64,
+        }
+    }
+
+    /// One FP16 inner product, accumulated on top of existing state.
+    /// Returns the schedule actually executed.
+    pub fn fp_ip_accumulate(&mut self, a: &[Fp16], b: &[Fp16]) -> McSchedule {
+        let (na, nb, exps) = decode(&self.cfg, a, b);
+        let plan = Ehu::new(self.cfg.software_precision).plan(&exps);
+        let sched = self.schedule_for_plan(&plan);
+        let sp = self.safe_precision();
+        let w = self.cfg.w;
+        let single = self.single_cycle();
+        for i in (0..3usize).rev() {
+            for j in (0..3usize).rev() {
+                if plan.live_lanes() == 0 {
+                    continue;
+                }
+                let nibble_shift = 4 * ((2 - i) + (2 - j)) as u32;
+                for &k in &sched.partitions {
+                    // Cycle k: mask lanes outside [k·sp, (k+1)·sp), shift
+                    // the rest locally by the remainder. In single-cycle
+                    // mode the window covers the software precision and
+                    // every lane aligns locally (plain IPU semantics).
+                    let mut sum: i64 = 0;
+                    for (lane_idx, (x, y)) in na.iter().zip(&nb).enumerate() {
+                        let Some(s) = plan.shifts[lane_idx] else { continue };
+                        if !single && s / sp != k {
+                            continue;
+                        }
+                        let local = if single { s } else { s - k * sp };
+                        let p = lane::mul5x5(x.n[i], y.n[j]);
+                        sum += lane::shift_truncate(p, local, w);
+                    }
+                    self.acc.add_fp(sum, plan.max_exp, nibble_shift, k * sp);
+                }
+            }
+        }
+        self.cycles += sched.total_cycles;
+        sched
+    }
+
+    /// Single-shot FP16 inner product: reset, run, read out.
+    pub fn fp_ip(&mut self, a: &[Fp16], b: &[Fp16]) -> FpIpResult {
+        self.reset();
+        let sched = self.fp_ip_accumulate(a, b);
+        FpIpResult {
+            fixed: self.acc.fixed(),
+            fp16: self.acc.read_fp16(),
+            f32: self.acc.read_f32(),
+            cycles: sched.total_cycles,
+        }
+    }
+
+    /// Exact accumulator contents.
+    pub fn read_fixed(&self) -> FixedPoint {
+        self.acc.fixed()
+    }
+
+    /// Write-back rounded to FP32.
+    pub fn read_f32(&self) -> f32 {
+        self.acc.read_f32()
+    }
+
+    /// Write-back rounded to FP16.
+    pub fn read_fp16(&self) -> Fp16 {
+        self.acc.read_fp16()
+    }
+
+    /// INT mode is unchanged from the plain IPU (the MC machinery only
+    /// affects FP alignment); provided for convenience so a tile can be
+    /// built from MC-IPUs alone.
+    pub fn int_ip(
+        &mut self,
+        a: &[i32],
+        b: &[i32],
+        ka: usize,
+        kb: usize,
+        sa: IntSignedness,
+        sb: IntSignedness,
+    ) -> i128 {
+        let mut ipu = Ipu::new(self.cfg);
+        let r = ipu.int_ip(a, b, ka, kb, sa, sb);
+        self.cycles += ipu.cycles();
+        r
+    }
+}
+
+fn decode(
+    cfg: &IpuConfig,
+    a: &[Fp16],
+    b: &[Fp16],
+) -> (Vec<Nibbles>, Vec<Nibbles>, Vec<Option<i32>>) {
+    assert_eq!(a.len(), b.len(), "operand vectors must match");
+    assert!(
+        a.len() <= cfg.n,
+        "vector of {} exceeds the {}-lane MC-IPU",
+        a.len(),
+        cfg.n
+    );
+    let mut na = Vec::with_capacity(a.len());
+    let mut nb = Vec::with_capacity(a.len());
+    let mut exps = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let sx = SignedMagnitude::from_fp16(x).expect("finite input required");
+        let sy = SignedMagnitude::from_fp16(y).expect("finite input required");
+        exps.push((!sx.is_zero() && !sy.is_zero()).then(|| sx.product_exp(sy)));
+        na.push(Nibbles::from_fp16_magnitude(sx));
+        nb.push(Nibbles::from_fp16_magnitude(sy));
+    }
+    (na, nb, exps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccFormat;
+    use crate::reference::exact_dot_fp16;
+    use mpipu_fp::FpFormat;
+
+    fn fp16v(v: &[f32]) -> Vec<Fp16> {
+        v.iter().map(|&x| Fp16::from_f32(x)).collect()
+    }
+
+    #[test]
+    fn single_partition_matches_plain_ipu_bit_exact() {
+        // All alignments below sp ⇒ one cycle per iteration and identical
+        // numerics to IPU(w).
+        let a = fp16v(&[1.5, 1.25, -1.75, 1.0625]);
+        let b = fp16v(&[1.0, -1.5, 1.25, 1.75]);
+        let cfg = IpuConfig::small(16);
+        let mut mc = McIpu::new(cfg);
+        let mut ipu = Ipu::new(cfg);
+        let rm = mc.fp_ip(&a, &b);
+        let ri = ipu.fp_ip(&a, &b);
+        assert_eq!(rm.fixed, ri.fixed);
+        assert_eq!(rm.cycles, 9);
+        assert_eq!(ri.cycles, 9);
+    }
+
+    #[test]
+    fn fig4_walkthrough_two_cycles() {
+        // Exponent spread (10, 2, 3, 8) with sp = 5 (w = 14): alignments
+        // (0, 8, 7, 2) ⇒ partitions {0, 1} ⇒ 2 cycles per iteration.
+        let a = fp16v(&[1024.0, 4.0, 8.0, 256.0]);
+        let b = fp16v(&[1.0, 1.0, 1.0, 1.0]);
+        let cfg = IpuConfig {
+            n: 4,
+            w: 14,
+            software_precision: 28,
+            acc: AccFormat::Fp32,
+            headroom_l: 10,
+        };
+        let mc = McIpu::new(cfg);
+        let sched = mc.schedule(&a, &b);
+        assert_eq!(sched.partitions, vec![0, 1]);
+        assert_eq!(sched.total_cycles, 18);
+    }
+
+    #[test]
+    fn multi_cycle_result_is_exact_for_spread_exponents() {
+        // Alignment 28 with w = 12 would truncate everything on a plain
+        // IPU; the MC-IPU recovers the small product exactly.
+        let a = fp16v(&[1024.0, 1.0 / 1024.0, 512.0]);
+        let b = fp16v(&[1024.0, 1.0 / 256.0, 2.0]);
+        let cfg = IpuConfig {
+            n: 3,
+            w: 12,
+            software_precision: 28,
+            acc: AccFormat::Fp32,
+            headroom_l: 10,
+        };
+        let mut mc = McIpu::new(cfg);
+        let r = mc.fp_ip(&a, &b);
+        let exact = exact_dot_fp16(&a, &b).to_f64();
+        // Product exponents are 20, −18 and 10 ⇒ alignments 0, 38, 10.
+        // The 38-bit alignment exceeds the 28-bit software precision, so
+        // EHU stage 4 masks that lane; the other two are exact despite the
+        // 12-bit adder tree thanks to multi-cycling.
+        let kept = 1024.0 * 1024.0 + 512.0 * 2.0;
+        assert_eq!(r.fixed.to_f64(), kept);
+        assert_eq!(exact, kept + 2f64.powi(-18));
+    }
+
+    #[test]
+    fn masked_lanes_cost_no_cycles() {
+        let a = fp16v(&[1024.0, 1.0 / 1024.0]);
+        let b = fp16v(&[1024.0, 1.0 / 256.0]);
+        let cfg = IpuConfig {
+            n: 2,
+            w: 12,
+            software_precision: 28,
+            acc: AccFormat::Fp32,
+            headroom_l: 10,
+        };
+        let mc = McIpu::new(cfg);
+        // Shifts 0 and 38 → lane 1 masked → single partition.
+        let sched = mc.schedule(&a, &b);
+        assert_eq!(sched.partitions, vec![0]);
+    }
+
+    #[test]
+    fn deep_alignment_multi_cycle_recovers_accuracy() {
+        // Products at alignment 20: IPU(12) truncates them entirely
+        // (window is 12 bits); MC-IPU(12) serves them in partition 6 and
+        // keeps the value.
+        let big = 512.0f32; // exp 9 ⇒ product exp 18 with itself
+        let small = 2.0f32.powi(-5); // product with itself: exp -10
+        let a = fp16v(&[big, small]);
+        let b = fp16v(&[big, small]);
+        let exact = exact_dot_fp16(&a, &b).to_f64();
+        let cfg = IpuConfig {
+            n: 2,
+            w: 12,
+            software_precision: 28,
+            acc: AccFormat::Fp32,
+            headroom_l: 10,
+        };
+        let mut mc = McIpu::new(cfg);
+        let r = mc.fp_ip(&a, &b);
+        assert_eq!(r.fixed.to_f64(), exact);
+        assert!(r.cycles > 9, "required multiple cycles, got {}", r.cycles);
+    }
+
+    #[test]
+    fn schedule_cycles_scale_with_spread() {
+        let cfg = IpuConfig::small(12).with_software_precision(28);
+        let mc = McIpu::new(cfg);
+        // sp = 3. Alignments 0..=27 across 8 lanes ⇒ up to 8 partitions.
+        let a = fp16v(&[65504.0, 1.0, 0.5, 0.25, 0.125, 0.0625, 2.0, 4.0]);
+        let b = fp16v(&[1.0; 8]);
+        let sched = mc.schedule(&a, &b);
+        assert!(sched.cycles_per_iteration >= 3);
+        assert_eq!(
+            sched.total_cycles,
+            9 * sched.cycles_per_iteration as u64
+        );
+    }
+
+    #[test]
+    fn int_mode_unaffected_by_mc() {
+        let cfg = IpuConfig::small(12);
+        let mut mc = McIpu::new(cfg);
+        let a = [1, 2, 3, 4];
+        let b = [5, 6, 7, -8];
+        let r = mc.int_ip(&a, &b, 1, 1, IntSignedness::Signed, IntSignedness::Signed);
+        assert_eq!(r, 5 + 12 + 21 - 32);
+        assert_eq!(mc.cycles(), 1);
+    }
+
+    #[test]
+    fn accumulate_multiple_ops_tracks_cycles() {
+        let cfg = IpuConfig::small(16).with_software_precision(28);
+        let mut mc = McIpu::new(cfg);
+        let a = fp16v(&[2.0, 3.0]);
+        let b = fp16v(&[4.0, 5.0]);
+        let s1 = mc.fp_ip_accumulate(&a, &b);
+        let s2 = mc.fp_ip_accumulate(&a, &b);
+        assert_eq!(mc.read_f32(), 2.0 * 23.0);
+        assert_eq!(mc.cycles(), s1.total_cycles + s2.total_cycles);
+    }
+}

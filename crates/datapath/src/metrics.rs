@@ -1,0 +1,120 @@
+//! Error metrics from the paper's numerical analysis (§3.1, Fig 3):
+//! absolute error, absolute relative error, and "contaminated bits".
+
+use mpipu_fp::Fp16;
+
+/// Absolute computation error `|approx − reference|`.
+pub fn abs_error(approx: f64, reference: f64) -> f64 {
+    (approx - reference).abs()
+}
+
+/// Absolute relative error in percent, `100·|approx − ref| / |ref|`.
+/// Returns 0 when both are zero, and infinity when only the reference is.
+pub fn rel_error(approx: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if approx == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * ((approx - reference) / reference).abs()
+    }
+}
+
+/// Number of contaminated bits between two FP32 results: the count of
+/// differing bit positions in their IEEE bit patterns (paper §3.1: "the
+/// number of different bits between the result of approximated FP-IP and
+/// the FP32 CPU computation").
+pub fn contaminated_bits_f32(approx: f32, reference: f32) -> u32 {
+    (approx.to_bits() ^ reference.to_bits()).count_ones()
+}
+
+/// Contaminated bits for FP16 results (FP16-accumulator case).
+pub fn contaminated_bits_fp16(approx: Fp16, reference: Fp16) -> u32 {
+    (approx.0 ^ reference.0).count_ones()
+}
+
+/// Median of a sample set (destructive sort on a copy); NaNs are pushed to
+/// the end and ignored unless the set is all-NaN.
+pub fn median(samples: &[f64]) -> f64 {
+    let mut v: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Arithmetic mean (NaNs ignored).
+pub fn mean(samples: &[f64]) -> f64 {
+    let (mut s, mut n) = (0.0, 0usize);
+    for &x in samples {
+        if !x.is_nan() {
+            s += x;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        s / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpipu_fp::FpFormat;
+
+    #[test]
+    fn abs_and_rel() {
+        assert_eq!(abs_error(1.5, 1.0), 0.5);
+        assert_eq!(rel_error(1.5, 1.0), 50.0);
+        assert_eq!(rel_error(0.0, 0.0), 0.0);
+        assert!(rel_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn contaminated_zero_when_equal() {
+        assert_eq!(contaminated_bits_f32(3.25, 3.25), 0);
+        assert_eq!(
+            contaminated_bits_fp16(Fp16::from_f32(2.0), Fp16::from_f32(2.0)),
+            0
+        );
+    }
+
+    #[test]
+    fn contaminated_counts_lsb_flips() {
+        let a = f32::from_bits(0x3f80_0000);
+        let b = f32::from_bits(0x3f80_0001);
+        assert_eq!(contaminated_bits_f32(a, b), 1);
+        let c = f32::from_bits(0x3f80_0003);
+        assert_eq!(contaminated_bits_f32(a, c), 2);
+    }
+
+    #[test]
+    fn median_odd_even_and_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn median_ignores_nans() {
+        assert_eq!(median(&[1.0, f64::NAN, 3.0]), 2.0);
+        assert!(median(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[1.0, f64::NAN, 3.0]), 2.0);
+        assert!(mean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,111 @@
+//! Reference implementations the approximate datapath is compared against.
+//!
+//! * [`exact_dot_fp16`] — the infinitely precise dot product of two FP16
+//!   vectors, computed on an exact integer fixed-point grid (products are
+//!   22-bit magnitudes spanning exponents [−28, 30]; the whole sum fits
+//!   comfortably in `i128`).
+//! * [`f32_cpu_dot`] — the "FP32 CPU" reference of paper §3.1: products
+//!   and accumulation performed in IEEE f32, sequentially.
+//! * [`f64_dot`] — double-precision reference (effectively exact for
+//!   FP16 inputs of practical lengths).
+
+use mpipu_fp::{FixedPoint, Fp16, FpFormat, SignedMagnitude};
+
+/// Fixed-point grid LSB for exact FP16 products: products are
+/// `m_a·m_b · 2^(e−20)` with `e ≥ −28`, so every product lies on the
+/// `2^(−28−20)` grid.
+const EXACT_LSB: i32 = -48;
+
+/// Exact dot product of two FP16 vectors as a [`FixedPoint`].
+///
+/// # Panics
+/// Panics on non-finite inputs or mismatched lengths.
+pub fn exact_dot_fp16(a: &[Fp16], b: &[Fp16]) -> FixedPoint {
+    assert_eq!(a.len(), b.len());
+    let mut sum: i128 = 0;
+    for (&x, &y) in a.iter().zip(b) {
+        let sx = SignedMagnitude::from_fp16(x).expect("finite input");
+        let sy = SignedMagnitude::from_fp16(y).expect("finite input");
+        let prod = sx.m as i128 * sy.m as i128; // ≤ 22 bits + sign
+        let e = sx.exp + sy.exp; // [−28, 30]
+        // Product value = prod · 2^(e − 20); place on the 2^EXACT_LSB grid.
+        let up = e - 20 - EXACT_LSB;
+        debug_assert!(up >= 0);
+        sum += prod << up;
+    }
+    FixedPoint {
+        mag: sum,
+        lsb_pow2: EXACT_LSB,
+    }
+}
+
+/// Sequential f32 multiply-accumulate, the way a scalar CPU loop (or a
+/// GPU FMA chain with f32 accumulation) computes the reference in §3.1.
+pub fn f32_cpu_dot(a: &[Fp16], b: &[Fp16]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = x.to_f32().mul_add(y.to_f32(), acc);
+    }
+    acc
+}
+
+/// Double-precision dot product (exact for any practical FP16 vector,
+/// since each product fits 22 bits and f64 carries 53).
+pub fn f64_dot(a: &[Fp16], b: &[Fp16]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x.to_f64() * y.to_f64())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp16v(v: &[f32]) -> Vec<Fp16> {
+        v.iter().map(|&x| Fp16::from_f32(x)).collect()
+    }
+
+    #[test]
+    fn exact_matches_f64_on_simple_vectors() {
+        let a = fp16v(&[1.0, 2.0, 3.0, -4.0]);
+        let b = fp16v(&[0.5, 0.25, 2.0, 8.0]);
+        assert_eq!(exact_dot_fp16(&a, &b).to_f64(), f64_dot(&a, &b));
+    }
+
+    #[test]
+    fn exact_handles_extreme_exponents_f64_cannot_mix() {
+        // 65504·65504 + tiny subnormal product: f64 still represents this,
+        // but the fixed-point path must agree bit-for-bit.
+        let a = fp16v(&[65504.0, f32::from(Fp16(0x0001))]);
+        let b = fp16v(&[65504.0, f32::from(Fp16(0x0001))]);
+        let exact = exact_dot_fp16(&a, &b);
+        // 2047·2047·2^(30−20) + 1·2^(−28−20)
+        let expect = 2047.0f64 * 2047.0 * 1024.0 + 2f64.powi(-48);
+        assert_eq!(exact.to_f64(), expect);
+        assert_eq!(exact.mag & 1, 1, "subnormal product occupies the grid LSB");
+    }
+
+    #[test]
+    fn exact_cancellation_is_exact() {
+        let a = fp16v(&[65504.0, -65504.0, 1.0]);
+        let b = fp16v(&[1.0, 1.0, 1.0]);
+        assert_eq!(exact_dot_fp16(&a, &b).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn f32_cpu_dot_rounds_like_a_cpu() {
+        let a = fp16v(&[1.0; 3]);
+        let b = fp16v(&[1.0; 3]);
+        assert_eq!(f32_cpu_dot(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn empty_vectors_sum_to_zero() {
+        assert_eq!(exact_dot_fp16(&[], &[]).to_f64(), 0.0);
+        assert_eq!(f64_dot(&[], &[]), 0.0);
+        assert_eq!(f32_cpu_dot(&[], &[]), 0.0);
+    }
+}

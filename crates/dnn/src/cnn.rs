@@ -1,0 +1,370 @@
+//! A small trainable CNN with hand-written backprop — the convolutional
+//! counterpart to [`crate::train::Mlp`] for the accuracy-vs-precision
+//! study. Architecture: conv3×3 (C0→C1, pad 1) → ReLU → 2×2 maxpool →
+//! flatten → linear → softmax cross-entropy.
+
+use crate::layers::{conv2d_emulated, conv2d_f32, linear_emulated, linear_f32, maxpool2x2, softmax};
+use crate::tensor::Tensor;
+use mpipu_datapath::IpuConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-stage CNN classifier.
+#[derive(Debug, Clone)]
+pub struct SmallCnn {
+    /// Conv kernel `[C1, C0, 3, 3]`.
+    pub conv_w: Tensor,
+    /// Conv bias, one per output channel.
+    pub conv_b: Vec<f32>,
+    /// Classifier weights `[classes, C1·(H/2)·(W/2)]`.
+    pub fc_w: Tensor,
+    /// Classifier bias.
+    pub fc_b: Vec<f32>,
+    /// Input geometry `(C0, H, W)`.
+    pub input_shape: (usize, usize, usize),
+}
+
+impl SmallCnn {
+    /// He-initialized CNN for `(c0, h, w)` inputs, `c1` conv channels and
+    /// `classes` outputs. `h` and `w` must be even (for the 2×2 pool).
+    pub fn new(
+        c0: usize,
+        h: usize,
+        w: usize,
+        c1: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(h.is_multiple_of(2) && w.is_multiple_of(2), "pooling needs even dimensions");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut normal = move || -> f32 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen();
+            ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+        };
+        let conv_std = (2.0 / (c0 * 9) as f32).sqrt();
+        let conv_w = Tensor::from_vec(
+            &[c1, c0, 3, 3],
+            (0..c1 * c0 * 9).map(|_| normal() * conv_std).collect(),
+        );
+        let feat = c1 * (h / 2) * (w / 2);
+        let fc_std = (2.0 / feat as f32).sqrt();
+        let fc_w = Tensor::from_vec(
+            &[classes, feat],
+            (0..classes * feat).map(|_| normal() * fc_std).collect(),
+        );
+        SmallCnn {
+            conv_w,
+            conv_b: vec![0.0; c1],
+            fc_w,
+            fc_b: vec![0.0; classes],
+            input_shape: (c0, h, w),
+        }
+    }
+
+    fn features_f32(&self, x: &Tensor) -> (Tensor, Tensor, Vec<f32>) {
+        let mut conv = conv2d_f32(x, &self.conv_w, 1, 1);
+        for (kc, chunk) in conv
+            .data_mut()
+            .chunks_mut(self.input_shape.1 * self.input_shape.2)
+            .enumerate()
+        {
+            for v in chunk.iter_mut() {
+                *v += self.conv_b[kc];
+            }
+        }
+        let pre_relu = conv.clone();
+        conv.relu_inplace();
+        let pooled = maxpool2x2(&conv);
+        let flat = pooled.data().to_vec();
+        (pre_relu, pooled, flat)
+    }
+
+    /// f32 logits for one `[C0, H, W]` sample.
+    pub fn logits_f32(&self, x: &Tensor) -> Vec<f32> {
+        let (_, _, flat) = self.features_f32(x);
+        linear_f32(&flat, &self.fc_w, &self.fc_b)
+    }
+
+    /// Logits with both the convolution and the classifier routed through
+    /// the emulated IPU at the given configuration.
+    pub fn logits_emulated(&self, x: &Tensor, cfg: IpuConfig) -> Vec<f32> {
+        let mut conv = conv2d_emulated(x, &self.conv_w, 1, 1, cfg);
+        for (kc, chunk) in conv
+            .data_mut()
+            .chunks_mut(self.input_shape.1 * self.input_shape.2)
+            .enumerate()
+        {
+            for v in chunk.iter_mut() {
+                *v += self.conv_b[kc];
+            }
+        }
+        conv.relu_inplace();
+        let pooled = maxpool2x2(&conv);
+        linear_emulated(pooled.data(), &self.fc_w, &self.fc_b, cfg)
+    }
+
+    /// One SGD step (softmax cross-entropy) on one sample; returns loss.
+    ///
+    /// Backprop is written out by hand: through the linear layer, the
+    /// un-pooling (gradient to the argmax position), the ReLU mask, and
+    /// the convolution (both weight and bias gradients).
+    pub fn sgd_step(&mut self, x: &Tensor, label: usize, lr: f32) -> f32 {
+        let (c0, h, w) = self.input_shape;
+        let c1 = self.conv_w.shape()[0];
+        let (pre_relu, pooled, flat) = self.features_f32(x);
+        let logits = linear_f32(&flat, &self.fc_w, &self.fc_b);
+        let probs = softmax(&logits);
+        let loss = -probs[label].max(1e-12).ln();
+
+        // dL/dlogits.
+        let dlogits: Vec<f32> = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p - if i == label { 1.0 } else { 0.0 })
+            .collect();
+
+        // Linear backward: gradient to the flat features + weight update.
+        let (classes, feat) = (self.fc_w.shape()[0], self.fc_w.shape()[1]);
+        let mut dflat = vec![0.0f32; feat];
+        {
+            let wdat = self.fc_w.data();
+            for o in 0..classes {
+                let row = &wdat[o * feat..(o + 1) * feat];
+                for (d, wv) in dflat.iter_mut().zip(row) {
+                    *d += dlogits[o] * wv;
+                }
+            }
+        }
+        {
+            let wdat = self.fc_w.data_mut();
+            for o in 0..classes {
+                let row = &mut wdat[o * feat..(o + 1) * feat];
+                for (wv, xv) in row.iter_mut().zip(&flat) {
+                    *wv -= lr * dlogits[o] * xv;
+                }
+                self.fc_b[o] -= lr * dlogits[o];
+            }
+        }
+
+        // Un-pool: route each pooled gradient to the max position of its
+        // 2×2 window (post-ReLU activations = max(pre_relu, 0)).
+        let mut dconv = Tensor::zeros(&[c1, h, w]);
+        for kc in 0..c1 {
+            for oh in 0..h / 2 {
+                for ow in 0..w / 2 {
+                    let g = dflat[(kc * (h / 2) + oh) * (w / 2) + ow];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let target = pooled.at3(kc, oh, ow);
+                    // First matching position wins (ties broken like the
+                    // forward max which scans in order).
+                    'win: for dh in 0..2 {
+                        for dw in 0..2 {
+                            let (ih, iw) = (2 * oh + dh, 2 * ow + dw);
+                            let act = pre_relu.at3(kc, ih, iw).max(0.0);
+                            if act == target {
+                                if pre_relu.at3(kc, ih, iw) > 0.0 || target > 0.0 {
+                                    let idx = dconv.idx3(kc, ih, iw);
+                                    // ReLU mask: only positive pre-acts flow.
+                                    if pre_relu.at3(kc, ih, iw) > 0.0 {
+                                        dconv.data_mut()[idx] += g;
+                                    }
+                                }
+                                break 'win;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Conv backward: weight and bias gradients (input gradient not
+        // needed — the conv is the first layer).
+        for kc in 0..c1 {
+            let mut db = 0.0f32;
+            for ih in 0..h {
+                for iw in 0..w {
+                    db += dconv.at3(kc, ih, iw);
+                }
+            }
+            self.conv_b[kc] -= lr * db;
+            for ic in 0..c0 {
+                for rr in 0..3 {
+                    for ss in 0..3 {
+                        let mut dw = 0.0f32;
+                        for oh in 0..h {
+                            for ow in 0..w {
+                                let g = dconv.at3(kc, oh, ow);
+                                if g == 0.0 {
+                                    continue;
+                                }
+                                let (ih, iw) = (oh + rr, ow + ss);
+                                if ih < 1 || iw < 1 {
+                                    continue;
+                                }
+                                let (ih, iw) = (ih - 1, iw - 1);
+                                if ih >= h || iw >= w {
+                                    continue;
+                                }
+                                dw += g * x.at3(ic, ih, iw);
+                            }
+                        }
+                        let idx = self.conv_w.idx4(kc, ic, rr, ss);
+                        self.conv_w.data_mut()[idx] -= lr * dw;
+                    }
+                }
+            }
+        }
+        loss
+    }
+}
+
+/// A synthetic image task: each class is a fixed random 2-D pattern,
+/// samples are `pattern + noise`, channel count 1.
+pub fn pattern_images(
+    n: usize,
+    h: usize,
+    w: usize,
+    classes: usize,
+    noise: f32,
+    seed: u64,
+) -> (Vec<Tensor>, Vec<usize>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut normal = move || -> f32 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+    };
+    let patterns: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..h * w).map(|_| normal()).collect())
+        .collect();
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let cls = i % classes;
+        ys.push(cls);
+        let data: Vec<f32> = patterns[cls]
+            .iter()
+            .map(|&p| p + noise * normal())
+            .collect();
+        xs.push(Tensor::from_vec(&[1, h, w], data));
+    }
+    (xs, ys)
+}
+
+/// Train the CNN with per-sample SGD; returns the final epoch's mean loss.
+pub fn train_cnn(model: &mut SmallCnn, xs: &[Tensor], ys: &[usize], epochs: usize, lr: f32) -> f32 {
+    let mut last = f32::NAN;
+    for _ in 0..epochs {
+        let mut total = 0.0;
+        for (x, &y) in xs.iter().zip(ys) {
+            total += model.sgd_step(x, y, lr);
+        }
+        last = total / xs.len() as f32;
+    }
+    last
+}
+
+/// Top-1 accuracy, f32 path.
+pub fn cnn_accuracy_f32(model: &SmallCnn, xs: &[Tensor], ys: &[usize]) -> f64 {
+    let correct = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, &y)| argmax(&model.logits_f32(x)) == y)
+        .count();
+    correct as f64 / xs.len() as f64
+}
+
+/// Top-1 accuracy with inference through the emulated IPU.
+pub fn cnn_accuracy_emulated(
+    model: &SmallCnn,
+    xs: &[Tensor],
+    ys: &[usize],
+    cfg: IpuConfig,
+) -> f64 {
+    let correct = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, &y)| argmax(&model.logits_emulated(x, cfg)) == y)
+        .count();
+    correct as f64 / xs.len() as f64
+}
+
+fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpipu_datapath::IpuConfig;
+
+    fn trained() -> (SmallCnn, Vec<Tensor>, Vec<usize>) {
+        let (xs, ys) = pattern_images(240, 8, 8, 4, 0.5, 3);
+        let mut model = SmallCnn::new(1, 8, 8, 4, 4, 5);
+        train_cnn(&mut model, &xs[..200], &ys[..200], 4, 0.01);
+        (model, xs[200..].to_vec(), ys[200..].to_vec())
+    }
+
+    #[test]
+    fn cnn_learns_the_pattern_task() {
+        let (model, xs, ys) = trained();
+        let acc = cnn_accuracy_f32(&model, &xs, &ys);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (xs, ys) = pattern_images(100, 8, 8, 4, 0.4, 9);
+        let mut model = SmallCnn::new(1, 8, 8, 4, 4, 1);
+        let first = train_cnn(&mut model, &xs, &ys, 1, 0.01);
+        let later = train_cnn(&mut model, &xs, &ys, 3, 0.01);
+        assert!(later < first, "{first} → {later}");
+    }
+
+    #[test]
+    fn emulated_cnn_matches_f32_at_high_precision() {
+        let (model, xs, ys) = trained();
+        let base = cnn_accuracy_f32(&model, &xs, &ys);
+        let emu = cnn_accuracy_emulated(&model, &xs, &ys, IpuConfig::big(28));
+        assert!((base - emu).abs() <= 0.05, "f32 {base} vs emulated {emu}");
+    }
+
+    #[test]
+    fn emulated_cnn_degrades_at_very_low_precision() {
+        let (model, xs, ys) = trained();
+        let hi = cnn_accuracy_emulated(&model, &xs, &ys, IpuConfig::big(16));
+        let lo = cnn_accuracy_emulated(
+            &model,
+            &xs,
+            &ys,
+            IpuConfig::big(4).with_software_precision(4),
+        );
+        assert!(lo <= hi + 1e-9, "lo {lo} vs hi {hi}");
+    }
+
+    #[test]
+    fn gradients_move_weights() {
+        let (xs, ys) = pattern_images(10, 8, 8, 2, 0.2, 7);
+        let mut model = SmallCnn::new(1, 8, 8, 2, 2, 2);
+        let before = model.conv_w.clone();
+        let before_fc = model.fc_w.clone();
+        model.sgd_step(&xs[0], ys[0], 0.05);
+        assert_ne!(model.fc_w, before_fc, "fc weights should move");
+        assert_ne!(model.conv_w, before, "conv weights should move");
+    }
+
+    #[test]
+    #[should_panic(expected = "even dimensions")]
+    fn odd_input_rejected() {
+        SmallCnn::new(1, 7, 8, 2, 2, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Convolution layer geometry and work accounting.
+
+/// Geometry of one convolution layer (output-centric).
+///
+/// Fully connected layers are the `1×1×1` special case (paper Appendix
+/// A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Input channels.
+    pub c: usize,
+    /// Output channels (number of filters).
+    pub k: usize,
+    /// Output feature-map height.
+    pub h_out: usize,
+    /// Output feature-map width.
+    pub w_out: usize,
+    /// Kernel height.
+    pub r: usize,
+    /// Kernel width.
+    pub s: usize,
+    /// Stride (same in both spatial dims for every layer we model).
+    pub stride: usize,
+}
+
+impl ConvShape {
+    /// A square conv layer: `c → k`, `r×r` kernel, `o×o` output.
+    pub const fn square(c: usize, k: usize, r: usize, o: usize, stride: usize) -> Self {
+        ConvShape {
+            c,
+            k,
+            h_out: o,
+            w_out: o,
+            r,
+            s: r,
+            stride,
+        }
+    }
+
+    /// A fully connected layer `c → k`.
+    pub const fn fc(c: usize, k: usize) -> Self {
+        ConvShape {
+            c,
+            k,
+            h_out: 1,
+            w_out: 1,
+            r: 1,
+            s: 1,
+            stride: 1,
+        }
+    }
+
+    /// Total multiply-accumulates for one input sample.
+    pub fn macs(&self) -> u64 {
+        (self.c * self.k * self.h_out * self.w_out * self.r * self.s) as u64
+    }
+
+    /// Number of inner products of length `c_unroll` needed per output
+    /// pixel: `⌈C/c_unroll⌉ · R · S`.
+    pub fn ip_ops_per_pixel(&self, c_unroll: usize) -> u64 {
+        (self.c.div_ceil(c_unroll) * self.r * self.s) as u64
+    }
+
+    /// Broadcast *steps* a tile of the given unrolling performs for this
+    /// layer: every step issues one inner product to each IPU of the tile.
+    ///
+    /// `k_parallel` is the total output-channel unrolling across all tiles
+    /// working on this layer (tile `k_unroll` × number of tiles).
+    pub fn tile_steps(
+        &self,
+        c_unroll: usize,
+        k_parallel: usize,
+        h_unroll: usize,
+        w_unroll: usize,
+    ) -> u64 {
+        let k_groups = self.k.div_ceil(k_parallel) as u64;
+        let pix_groups =
+            (self.h_out.div_ceil(h_unroll) * self.w_out.div_ceil(w_unroll)) as u64;
+        k_groups * pix_groups * self.ip_ops_per_pixel(c_unroll)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_of_known_layer() {
+        // ResNet-18 conv2_x: 64→64, 3×3, 56×56.
+        let l = ConvShape::square(64, 64, 3, 56, 1);
+        assert_eq!(l.macs(), 64 * 64 * 9 * 56 * 56);
+    }
+
+    #[test]
+    fn fc_is_1x1() {
+        let l = ConvShape::fc(512, 1000);
+        assert_eq!(l.macs(), 512_000);
+        assert_eq!(l.ip_ops_per_pixel(16), 32);
+    }
+
+    #[test]
+    fn ip_ops_round_up_on_channel_remainder() {
+        // conv1 of ResNet: C=3 < c_unroll.
+        let l = ConvShape::square(3, 64, 7, 112, 2);
+        assert_eq!(l.ip_ops_per_pixel(16), 49);
+    }
+
+    #[test]
+    fn tile_steps_big_tile() {
+        let l = ConvShape::square(64, 64, 3, 56, 1);
+        // Big tile (16,16,2,2), 4 tiles ⇒ k_parallel = 64.
+        let steps = l.tile_steps(16, 64, 2, 2);
+        assert_eq!(steps, ((28 * 28) as u64) * (4 * 9) as u64);
+    }
+
+    #[test]
+    fn tile_steps_remainders_round_up() {
+        let l = ConvShape {
+            c: 17,
+            k: 17,
+            h_out: 3,
+            w_out: 3,
+            r: 1,
+            s: 1,
+            stride: 1,
+        };
+        let steps = l.tile_steps(16, 16, 2, 2);
+        assert_eq!(steps, 2 * (2 * 2) * 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic synthetic data: classification datasets and tensor
+//! fillers.
+//!
+//! The accuracy-vs-precision study needs a *trained* model whose inference
+//! can be replayed through the emulated datapath. With no offline access
+//! to ImageNet, we build a separable-but-noisy Gaussian prototype task:
+//! each class is a random unit-ish prototype in `d` dimensions and samples
+//! are `prototype + noise`. A small MLP trained on it reaches high
+//! accuracy, leaving plenty of headroom to observe precision-induced
+//! degradation — the same mechanism the paper measures on ResNet.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled synthetic classification dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Flattened samples, `n × d` row-major.
+    pub x: Vec<f32>,
+    /// Labels in `0..classes`.
+    pub y: Vec<usize>,
+    /// Feature dimensionality.
+    pub d: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Borrow sample `i`.
+    pub fn sample(&self, i: usize) -> (&[f32], usize) {
+        (&self.x[i * self.d..(i + 1) * self.d], self.y[i])
+    }
+}
+
+fn normal(rng: &mut SmallRng) -> f32 {
+    // Box–Muller (one deviate per call is fine here).
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+/// Generate the Gaussian-prototype task.
+///
+/// * `n` samples of dimension `d` over `classes` classes;
+/// * `noise` is the within-class standard deviation (prototypes are
+///   ~unit-norm, so `noise ≈ 0.3` gives a hard-but-learnable task).
+pub fn gaussian_prototypes(
+    n: usize,
+    d: usize,
+    classes: usize,
+    noise: f32,
+    seed: u64,
+) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let protos: Vec<f32> = (0..classes * d)
+        .map(|_| normal(&mut rng) / (d as f32).sqrt() * 4.0)
+        .collect();
+    let mut x = Vec::with_capacity(n * d);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let cls = i % classes;
+        y.push(cls);
+        for j in 0..d {
+            x.push(protos[cls * d + j] + noise * normal(&mut rng));
+        }
+    }
+    Dataset { x, y, d, classes }
+}
+
+/// Fill a buffer with zero-mean normal values of the given std (for
+/// weight init and synthetic tensors).
+pub fn fill_normal(buf: &mut [f32], std: f32, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for v in buf.iter_mut() {
+        *v = normal(&mut rng) * std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_dimensions() {
+        let ds = gaussian_prototypes(100, 16, 10, 0.3, 1);
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.x.len(), 1600);
+        assert!(ds.y.iter().all(|&c| c < 10));
+        let (s0, y0) = ds.sample(0);
+        assert_eq!(s0.len(), 16);
+        assert_eq!(y0, 0);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let ds = gaussian_prototypes(100, 8, 10, 0.3, 2);
+        for c in 0..10 {
+            assert_eq!(ds.y.iter().filter(|&&y| y == c).count(), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = gaussian_prototypes(50, 8, 5, 0.2, 7);
+        let b = gaussian_prototypes(50, 8, 5, 0.2, 7);
+        assert_eq!(a.x, b.x);
+        let c = gaussian_prototypes(50, 8, 5, 0.2, 8);
+        assert_ne!(a.x, c.x);
+    }
+
+    #[test]
+    fn same_class_samples_cluster() {
+        let ds = gaussian_prototypes(200, 32, 4, 0.1, 3);
+        // Distance between two samples of class 0 should typically be
+        // smaller than between class 0 and class 1.
+        let d = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+        };
+        let (a0, _) = ds.sample(0);
+        let (a4, _) = ds.sample(4); // same class (stride = classes)
+        let (b1, _) = ds.sample(1); // different class
+        assert!(d(a0, a4) < d(a0, b1));
+    }
+
+    #[test]
+    fn fill_normal_has_requested_scale() {
+        let mut buf = vec![0.0f32; 20_000];
+        fill_normal(&mut buf, 0.5, 9);
+        let var: f32 =
+            buf.iter().map(|v| v * v).sum::<f32>() / buf.len() as f32;
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+}

@@ -1,0 +1,159 @@
+//! A minimal row-major `f32` tensor.
+//!
+//! Deliberately small: just what the conv/linear layers and the trainer
+//! need — no views, no broadcasting, no autograd.
+
+/// Dense row-major tensor of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Build from an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} does not match buffer of {}",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat immutable view.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Flat offset of a 3-D index `[c, h, w]`.
+    pub fn idx3(&self, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.shape.len(), 3);
+        (c * self.shape[1] + h) * self.shape[2] + w
+    }
+
+    /// Flat offset of a 4-D index `[k, c, h, w]`.
+    pub fn idx4(&self, k: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.shape.len(), 4);
+        ((k * self.shape[1] + c) * self.shape[2] + h) * self.shape[3] + w
+    }
+
+    /// Element access by 3-D index.
+    pub fn at3(&self, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.idx3(c, h, w)]
+    }
+
+    /// Element access by 4-D index.
+    pub fn at4(&self, k: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.idx4(k, c, h, w)]
+    }
+
+    /// In-place ReLU.
+    pub fn relu_inplace(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Index of the maximum element (ties to the first).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = Tensor::from_vec(&[2, 2, 2], (0..8).map(|i| i as f32).collect());
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(0, 0, 1), 1.0);
+        assert_eq!(t.at3(0, 1, 0), 2.0);
+        assert_eq!(t.at3(1, 0, 0), 4.0);
+        assert_eq!(t.at3(1, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn idx4_matches_nested_loops() {
+        let t = Tensor::zeros(&[3, 4, 5, 6]);
+        let mut flat = 0;
+        for k in 0..3 {
+            for c in 0..4 {
+                for h in 0..5 {
+                    for w in 0..6 {
+                        assert_eq!(t.idx4(k, c, h, w), flat);
+                        flat += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relu_and_argmax() {
+        let mut t = Tensor::from_vec(&[4], vec![-1.0, 3.0, 2.0, -0.5]);
+        t.relu_inplace();
+        assert_eq!(t.data(), &[0.0, 3.0, 2.0, 0.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_checks_volume() {
+        Tensor::from_vec(&[2, 2], vec![1.0; 5]);
+    }
+}

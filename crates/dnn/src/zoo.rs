@@ -1,0 +1,267 @@
+//! Model zoo: the convolution-layer tables of the paper's four study
+//! cases (§4.1): ResNet-18 forward, ResNet-50 forward, InceptionV3
+//! forward, and ResNet-18 backward.
+//!
+//! Layer geometries come from the published architectures at 224×224
+//! (299×299 for InceptionV3) ImageNet resolution. Repeated blocks carry a
+//! multiplicity rather than duplicated entries. The backward workload
+//! reuses the forward conv geometries (the data-gradient convolutions
+//! have transposed-symmetric shapes with the same MAC counts) but tags
+//! them with the wide-dynamic-range gradient distribution — what actually
+//! drives the paper's backward-path results (Fig 8/9).
+
+use crate::shape::ConvShape;
+
+/// Which network a workload models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Network {
+    /// ResNet-18 (He et al., 2016).
+    Resnet18,
+    /// ResNet-50 (He et al., 2016).
+    Resnet50,
+    /// InceptionV3 (Szegedy et al., 2016).
+    InceptionV3,
+}
+
+/// Forward inference or backward (error back-propagation) pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Forward path.
+    Forward,
+    /// Backward path (training error propagation).
+    Backward,
+}
+
+/// A complete simulation workload: a network, a pass, and its layer list.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Network identity.
+    pub network: Network,
+    /// Forward or backward.
+    pub pass: Pass,
+    /// `(layer geometry, multiplicity)` pairs.
+    pub layers: Vec<(ConvShape, usize)>,
+}
+
+impl Workload {
+    /// Human-readable label (used in reports): e.g. `resnet18-fwd`.
+    pub fn label(&self) -> String {
+        let net = match self.network {
+            Network::Resnet18 => "resnet18",
+            Network::Resnet50 => "resnet50",
+            Network::InceptionV3 => "inceptionv3",
+        };
+        let pass = match self.pass {
+            Pass::Forward => "fwd",
+            Pass::Backward => "bwd",
+        };
+        format!("{net}-{pass}")
+    }
+
+    /// Total MACs over all layers (×multiplicity), one input sample.
+    pub fn total_macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|(l, m)| l.macs() * *m as u64)
+            .sum()
+    }
+
+    /// The paper's four study cases, in presentation order.
+    pub fn paper_study_cases() -> Vec<Workload> {
+        vec![
+            resnet18(Pass::Forward),
+            resnet50(Pass::Forward),
+            inception_v3(Pass::Forward),
+            resnet18(Pass::Backward),
+        ]
+    }
+}
+
+/// ResNet-18 convolution layers (224×224 input).
+pub fn resnet18(pass: Pass) -> Workload {
+    let layers = vec![
+        // conv1: 7×7/2.
+        (ConvShape::square(3, 64, 7, 112, 2), 1),
+        // conv2_x: two basic blocks of two 3×3 convs.
+        (ConvShape::square(64, 64, 3, 56, 1), 4),
+        // conv3_x: first block downsamples.
+        (ConvShape::square(64, 128, 3, 28, 2), 1),
+        (ConvShape::square(128, 128, 3, 28, 1), 3),
+        (ConvShape::square(64, 128, 1, 28, 2), 1), // projection shortcut
+        // conv4_x.
+        (ConvShape::square(128, 256, 3, 14, 2), 1),
+        (ConvShape::square(256, 256, 3, 14, 1), 3),
+        (ConvShape::square(128, 256, 1, 14, 2), 1),
+        // conv5_x.
+        (ConvShape::square(256, 512, 3, 7, 2), 1),
+        (ConvShape::square(512, 512, 3, 7, 1), 3),
+        (ConvShape::square(256, 512, 1, 7, 2), 1),
+        // classifier.
+        (ConvShape::fc(512, 1000), 1),
+    ];
+    Workload {
+        network: Network::Resnet18,
+        pass,
+        layers,
+    }
+}
+
+/// ResNet-50 convolution layers (bottleneck blocks, 224×224 input).
+pub fn resnet50(pass: Pass) -> Workload {
+    let mut layers = vec![(ConvShape::square(3, 64, 7, 112, 2), 1)];
+    // Bottleneck stages: (in, mid, out, spatial, blocks, stride-of-first).
+    let stages: [(usize, usize, usize, usize, usize); 4] = [
+        (64, 64, 256, 56, 3),
+        (256, 128, 512, 28, 4),
+        (512, 256, 1024, 14, 6),
+        (1024, 512, 2048, 7, 3),
+    ];
+    for (stage_idx, &(cin, mid, cout, o, blocks)) in stages.iter().enumerate() {
+        let stride = if stage_idx == 0 { 1 } else { 2 };
+        // First block (possibly strided) + projection.
+        layers.push((ConvShape::square(cin, mid, 1, o, 1), 1));
+        layers.push((ConvShape::square(mid, mid, 3, o, stride), 1));
+        layers.push((ConvShape::square(mid, cout, 1, o, 1), 1));
+        layers.push((ConvShape::square(cin, cout, 1, o, stride), 1));
+        // Remaining identity blocks.
+        let rest = blocks - 1;
+        layers.push((ConvShape::square(cout, mid, 1, o, 1), rest));
+        layers.push((ConvShape::square(mid, mid, 3, o, 1), rest));
+        layers.push((ConvShape::square(mid, cout, 1, o, 1), rest));
+    }
+    layers.push((ConvShape::fc(2048, 1000), 1));
+    Workload {
+        network: Network::Resnet50,
+        pass,
+        layers,
+    }
+}
+
+/// InceptionV3 convolution layers (299×299 input).
+///
+/// The full graph has ~94 convolutions across repeated inception modules;
+/// we enumerate every distinct geometry with its multiplicity (stem, three
+/// 35×35 modules, grid reduction, four 17×17 modules with 7×1/1×7
+/// factorized kernels, reduction, two 8×8 modules), which preserves the
+/// exact MAC distribution the simulator consumes.
+pub fn inception_v3(pass: Pass) -> Workload {
+    let mut layers: Vec<(ConvShape, usize)> = Vec::new();
+    let mut push = |c, k, r, s, o, stride, m| {
+        layers.push((
+            ConvShape {
+                c,
+                k,
+                h_out: o,
+                w_out: o,
+                r,
+                s,
+                stride,
+            },
+            m,
+        ));
+    };
+    // Stem.
+    push(3, 32, 3, 3, 149, 2, 1);
+    push(32, 32, 3, 3, 147, 1, 1);
+    push(32, 64, 3, 3, 147, 1, 1);
+    push(64, 80, 1, 1, 73, 1, 1);
+    push(80, 192, 3, 3, 71, 1, 1);
+    // 35×35 inception A ×3 (input 192, then 256, then 288 — model at 288).
+    push(192, 64, 1, 1, 35, 1, 1);
+    push(288, 64, 1, 1, 35, 1, 2);
+    push(64, 96, 3, 3, 35, 1, 6); // double-3×3 towers
+    push(96, 96, 3, 3, 35, 1, 3);
+    push(288, 48, 1, 1, 35, 1, 3);
+    push(48, 64, 5, 5, 35, 1, 3);
+    push(288, 32, 1, 1, 35, 1, 3); // pool projections
+    // Grid reduction A (35 → 17).
+    push(288, 384, 3, 3, 17, 2, 1);
+    push(288, 64, 1, 1, 35, 1, 1);
+    push(96, 96, 3, 3, 17, 2, 1);
+    // 17×17 inception B ×4 with 7×1/1×7 factorization (128/160/160/192
+    // mid-channels — model at 160).
+    push(768, 192, 1, 1, 17, 1, 8);
+    push(768, 160, 1, 1, 17, 1, 8);
+    push(160, 160, 1, 7, 17, 1, 8);
+    push(160, 160, 7, 1, 17, 1, 8);
+    push(160, 192, 1, 7, 17, 1, 4);
+    push(160, 192, 7, 1, 17, 1, 4);
+    // Grid reduction B (17 → 8).
+    push(768, 192, 1, 1, 17, 1, 2);
+    push(192, 320, 3, 3, 8, 2, 1);
+    push(192, 192, 1, 7, 17, 1, 1);
+    push(192, 192, 7, 1, 17, 1, 1);
+    push(192, 192, 3, 3, 8, 2, 1);
+    // 8×8 inception C ×2 (expanded 1×3/3×1 towers).
+    push(1280, 320, 1, 1, 8, 1, 2);
+    push(1280, 384, 1, 1, 8, 1, 2);
+    push(384, 384, 1, 3, 8, 1, 4);
+    push(384, 384, 3, 1, 8, 1, 4);
+    push(1280, 448, 1, 1, 8, 1, 2);
+    push(448, 384, 3, 3, 8, 1, 2);
+    push(1280, 192, 1, 1, 8, 1, 2);
+    // Classifier.
+    layers.push((ConvShape::fc(2048, 1000), 1));
+    Workload {
+        network: Network::InceptionV3,
+        pass,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_mac_count_matches_published() {
+        // ResNet-18 is ~1.8 GMACs at 224×224.
+        let w = resnet18(Pass::Forward);
+        let g = w.total_macs() as f64 / 1e9;
+        assert!((1.6..2.1).contains(&g), "{g} GMACs");
+    }
+
+    #[test]
+    fn resnet50_mac_count_matches_published() {
+        // ResNet-50 is ~4.1 GMACs.
+        let w = resnet50(Pass::Forward);
+        let g = w.total_macs() as f64 / 1e9;
+        assert!((3.6..4.4).contains(&g), "{g} GMACs");
+    }
+
+    #[test]
+    fn inception_v3_mac_count_matches_published() {
+        // InceptionV3 is ~5.7 GMACs at 299×299.
+        let w = inception_v3(Pass::Forward);
+        let g = w.total_macs() as f64 / 1e9;
+        assert!((4.8..6.3).contains(&g), "{g} GMACs");
+    }
+
+    #[test]
+    fn study_cases_are_the_papers_four() {
+        let cases = Workload::paper_study_cases();
+        assert_eq!(cases.len(), 4);
+        assert_eq!(cases[0].label(), "resnet18-fwd");
+        assert_eq!(cases[1].label(), "resnet50-fwd");
+        assert_eq!(cases[2].label(), "inceptionv3-fwd");
+        assert_eq!(cases[3].label(), "resnet18-bwd");
+    }
+
+    #[test]
+    fn backward_shares_forward_geometry() {
+        let f = resnet18(Pass::Forward);
+        let b = resnet18(Pass::Backward);
+        assert_eq!(f.total_macs(), b.total_macs());
+        assert_eq!(b.pass, Pass::Backward);
+    }
+
+    #[test]
+    fn all_layers_have_positive_dims() {
+        for w in Workload::paper_study_cases() {
+            for (l, m) in &w.layers {
+                assert!(*m > 0);
+                assert!(l.c > 0 && l.k > 0 && l.h_out > 0 && l.r > 0 && l.s > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! IEEE-754-style storage formats: FP16, BFloat16, TensorFloat-32.
+//!
+//! All three formats share the same five-class decoding (zero, subnormal,
+//! normal, infinity, NaN — paper Table 2) and differ only in exponent and
+//! mantissa widths. The generic machinery lives in [`FpFormat`]; the concrete
+//! types are thin bit-pattern wrappers, so they are `Copy`, comparable by
+//! bits, and free to construct.
+
+/// Classification of a floating-point bit pattern (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpClass {
+    /// Positive or negative zero.
+    Zero,
+    /// Subnormal (denormal): zero exponent field, non-zero mantissa.
+    Subnormal,
+    /// Normal number.
+    Normal,
+    /// Positive or negative infinity.
+    Infinity,
+    /// Not-a-number.
+    Nan,
+}
+
+/// A binary interchange floating-point format parameterized by field widths.
+///
+/// Implementors store the raw bit pattern; this trait supplies bit-exact
+/// decode/encode, classification, and round-to-nearest-even conversion from
+/// `f64` (and therefore from `f32`, which embeds exactly in `f64`).
+pub trait FpFormat: Copy {
+    /// Number of exponent bits.
+    const EXP_BITS: u32;
+    /// Number of explicit mantissa (fraction) bits.
+    const MAN_BITS: u32;
+    /// Human-readable format name (for diagnostics and reports).
+    const NAME: &'static str;
+
+    /// Exponent bias: `2^(EXP_BITS-1) - 1`.
+    const BIAS: i32 = (1 << (Self::EXP_BITS - 1)) - 1;
+    /// Total storage width in bits (sign + exponent + mantissa).
+    const TOTAL_BITS: u32 = 1 + Self::EXP_BITS + Self::MAN_BITS;
+    /// Minimum unbiased exponent of a normal number (also used by
+    /// subnormals after the `0.man` convention): `1 - BIAS`.
+    const MIN_EXP: i32 = 1 - Self::BIAS;
+    /// Maximum unbiased exponent of a finite number: `BIAS`.
+    const MAX_EXP: i32 = (1 << (Self::EXP_BITS - 1)) - 1;
+
+    /// Raw bit pattern, right-aligned in a `u32`.
+    fn to_bits32(self) -> u32;
+    /// Construct from a right-aligned raw bit pattern. Bits above
+    /// [`Self::TOTAL_BITS`] are ignored.
+    fn from_bits32(bits: u32) -> Self;
+
+    /// Sign bit (`true` = negative).
+    fn sign(self) -> bool {
+        (self.to_bits32() >> (Self::EXP_BITS + Self::MAN_BITS)) & 1 == 1
+    }
+
+    /// Raw biased exponent field.
+    fn biased_exp(self) -> u32 {
+        (self.to_bits32() >> Self::MAN_BITS) & ((1 << Self::EXP_BITS) - 1)
+    }
+
+    /// Raw mantissa (fraction) field.
+    fn mantissa(self) -> u32 {
+        self.to_bits32() & ((1 << Self::MAN_BITS) - 1)
+    }
+
+    /// Classify the bit pattern into the five IEEE classes.
+    fn classify(self) -> FpClass {
+        let e = self.biased_exp();
+        let m = self.mantissa();
+        let emax = (1 << Self::EXP_BITS) - 1;
+        match (e, m) {
+            (0, 0) => FpClass::Zero,
+            (0, _) => FpClass::Subnormal,
+            (e, 0) if e == emax => FpClass::Infinity,
+            (e, _) if e == emax => FpClass::Nan,
+            _ => FpClass::Normal,
+        }
+    }
+
+    /// `true` for ±Inf or NaN.
+    fn is_non_finite(self) -> bool {
+        matches!(self.classify(), FpClass::Infinity | FpClass::Nan)
+    }
+
+    /// Unbiased exponent as the IPU's exponent-handling unit sees it:
+    /// `biased_exp - BIAS` for normals, `1 - BIAS` for zeros/subnormals
+    /// (paper Fig 12 note: `exp(x) = x's exponent - bias + 1` for
+    /// subnormals).
+    fn unbiased_exp(self) -> i32 {
+        let e = self.biased_exp();
+        if e == 0 {
+            Self::MIN_EXP
+        } else {
+            e as i32 - Self::BIAS
+        }
+    }
+
+    /// Integer magnitude: `1.man` for normals, `0.man` for subnormals,
+    /// expressed as an integer in units of `2^-MAN_BITS`
+    /// (i.e. `(1 << MAN_BITS) | man` or plain `man`).
+    fn magnitude(self) -> u32 {
+        match self.classify() {
+            FpClass::Normal => (1 << Self::MAN_BITS) | self.mantissa(),
+            _ => self.mantissa(),
+        }
+    }
+
+    /// Exact value as `f64` (every format here embeds exactly in `f64`).
+    /// NaN decodes to a quiet NaN; infinities keep their sign.
+    fn to_f64(self) -> f64 {
+        match self.classify() {
+            FpClass::Nan => f64::NAN,
+            FpClass::Infinity => {
+                if self.sign() {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }
+            _ => {
+                let mag = self.magnitude() as f64;
+                let scale = self.unbiased_exp() - Self::MAN_BITS as i32;
+                let v = mag * (scale as f64).exp2();
+                if self.sign() {
+                    -v
+                } else {
+                    v
+                }
+            }
+        }
+    }
+
+    /// Exact value as `f32`. Exact for FP16/BF16/TF32 since all fit in
+    /// single precision without rounding.
+    fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Convert from `f64` with round-to-nearest-even, overflow to ±Inf,
+    /// and gradual underflow to subnormals, matching IEEE 754 semantics.
+    fn from_f64(x: f64) -> Self {
+        Self::from_bits32(encode_rne(x, Self::EXP_BITS, Self::MAN_BITS))
+    }
+
+    /// Convert from `f32` (widens exactly to `f64`, then rounds once —
+    /// no double-rounding hazard because the widening is exact).
+    fn from_f32(x: f32) -> Self {
+        Self::from_f64(f64::from(x))
+    }
+}
+
+/// Round-to-nearest-even encoder shared by all formats.
+///
+/// Decomposes the `f64` input and re-rounds its 52-bit mantissa into the
+/// target format, handling overflow (→ ±Inf), gradual underflow
+/// (→ subnormal), and underflow to zero.
+fn encode_rne(x: f64, exp_bits: u32, man_bits: u32) -> u32 {
+    let bias: i32 = (1 << (exp_bits - 1)) - 1;
+    let emax_field: u32 = (1 << exp_bits) - 1;
+    let sign_shift = exp_bits + man_bits;
+    let bits = x.to_bits();
+    let sign = ((bits >> 63) as u32) << sign_shift;
+
+    if x.is_nan() {
+        // Quiet NaN: all-ones exponent, MSB of mantissa set.
+        return sign | (emax_field << man_bits) | (1 << (man_bits - 1));
+    }
+    if x.is_infinite() {
+        return sign | (emax_field << man_bits);
+    }
+    if x == 0.0 {
+        return sign;
+    }
+
+    // f64 magnitude as (m52 with implicit bit, unbiased exponent).
+    let e64 = ((bits >> 52) & 0x7ff) as i32;
+    let m64 = bits & ((1u64 << 52) - 1);
+    let (frac, exp) = if e64 == 0 {
+        // f64 subnormal: renormalize.
+        let nz = 63 - m64.leading_zeros() as i32; // position of leading 1
+        (m64 << (52 - nz), -1022 - (52 - nz))
+    } else {
+        ((1u64 << 52) | m64, e64 - 1023)
+    };
+    // `frac` has its leading 1 at bit 52; value = frac * 2^(exp-52).
+
+    // Target biased exponent if the number stays normal.
+    let mut e_t = exp + bias;
+    // Shift needed to reduce the 52-bit fraction to `man_bits`, possibly
+    // widened for subnormal outputs.
+    let mut shift = 52 - man_bits as i32;
+    if e_t <= 0 {
+        // Subnormal in the target: shift further so the exponent field is 0.
+        shift += 1 - e_t;
+        e_t = 0;
+        if shift >= 64 {
+            // Underflows past sticky range: rounds to zero.
+            return sign;
+        }
+    }
+
+    let shift = shift as u32;
+    let kept = frac >> shift;
+    let rem = frac & ((1u64 << shift) - 1);
+    let half = 1u64 << (shift - 1);
+    let mut m_t = kept;
+    if rem > half || (rem == half && (kept & 1) == 1) {
+        m_t += 1;
+    }
+
+    // Rounding may carry out of the mantissa.
+    if m_t >> man_bits >= 2 {
+        m_t >>= 1;
+        e_t += 1;
+    }
+    if e_t == 0 && m_t >> man_bits == 1 {
+        // Subnormal rounded up into the smallest normal.
+        e_t = 1;
+        m_t &= (1u64 << man_bits) - 1;
+    }
+    if e_t >= emax_field as i32 {
+        // Overflow: round-to-nearest-even overflows to infinity.
+        return sign | (emax_field << man_bits);
+    }
+    let m_field = (m_t as u32) & ((1 << man_bits) - 1);
+    let e_field = if e_t > 0 { e_t as u32 } else { 0 };
+    // Normal outputs must have consumed the implicit bit.
+    debug_assert!(e_field != 0 || m_t >> man_bits == 0);
+    sign | (e_field << man_bits) | m_field
+}
+
+macro_rules! fp_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $exp:expr, $man:expr, $sname:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name(pub $repr);
+
+        impl FpFormat for $name {
+            const EXP_BITS: u32 = $exp;
+            const MAN_BITS: u32 = $man;
+            const NAME: &'static str = $sname;
+
+            fn to_bits32(self) -> u32 {
+                self.0 as u32
+            }
+            fn from_bits32(bits: u32) -> Self {
+                $name((bits & ((1u32 << Self::TOTAL_BITS) - 1)) as $repr)
+            }
+        }
+
+        impl From<f32> for $name {
+            fn from(x: f32) -> Self {
+                Self::from_f32(x)
+            }
+        }
+        impl From<$name> for f32 {
+            fn from(x: $name) -> f32 {
+                x.to_f32()
+            }
+        }
+        impl From<$name> for f64 {
+            fn from(x: $name) -> f64 {
+                x.to_f64()
+            }
+        }
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{}", self.to_f32())
+            }
+        }
+    };
+}
+
+fp_type!(
+    /// IEEE 754 half precision: 1 sign, 5 exponent, 10 mantissa bits.
+    ///
+    /// This is the primary operand type of the paper's FP mode. Its 12-bit
+    /// signed magnitude feeds the nibble decomposition in
+    /// [`crate::nibble::Nibbles`].
+    Fp16,
+    u16,
+    5,
+    10,
+    "fp16"
+);
+fp_type!(
+    /// Google BFloat16: 1 sign, 8 exponent, 7 mantissa bits.
+    ///
+    /// Supported by the architecture via an 8-bit-exponent EHU and four
+    /// nibble iterations (paper §5 / Appendix B).
+    Bf16,
+    u16,
+    8,
+    7,
+    "bf16"
+);
+fp_type!(
+    /// Nvidia TensorFloat-32: 1 sign, 8 exponent, 10 mantissa bits
+    /// (19 bits of storage, right-aligned here in a `u32`).
+    Tf32,
+    u32,
+    8,
+    10,
+    "tf32"
+);
+
+impl Fp16 {
+    /// Largest finite FP16 value (65504).
+    pub const MAX: Fp16 = Fp16(0x7bff);
+    /// Smallest positive normal FP16 value (2^-14).
+    pub const MIN_POSITIVE: Fp16 = Fp16(0x0400);
+    /// Smallest positive subnormal FP16 value (2^-24).
+    pub const MIN_SUBNORMAL: Fp16 = Fp16(0x0001);
+    /// Positive infinity.
+    pub const INFINITY: Fp16 = Fp16(0x7c00);
+    /// One.
+    pub const ONE: Fp16 = Fp16(0x3c00);
+    /// Zero.
+    pub const ZERO: Fp16 = Fp16(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_known_constants() {
+        assert_eq!(Fp16::ONE.to_f32(), 1.0);
+        assert_eq!(Fp16::MAX.to_f32(), 65504.0);
+        assert_eq!(Fp16::MIN_POSITIVE.to_f64(), 2f64.powi(-14));
+        assert_eq!(Fp16::MIN_SUBNORMAL.to_f64(), 2f64.powi(-24));
+        assert_eq!(Fp16::from_f32(0.5).0, 0x3800);
+        assert_eq!(Fp16::from_f32(-2.0).0, 0xc000);
+    }
+
+    #[test]
+    fn fp16_classify() {
+        assert_eq!(Fp16(0x0000).classify(), FpClass::Zero);
+        assert_eq!(Fp16(0x8000).classify(), FpClass::Zero);
+        assert_eq!(Fp16(0x0001).classify(), FpClass::Subnormal);
+        assert_eq!(Fp16(0x3c00).classify(), FpClass::Normal);
+        assert_eq!(Fp16(0x7c00).classify(), FpClass::Infinity);
+        assert_eq!(Fp16(0x7c01).classify(), FpClass::Nan);
+        assert_eq!(Fp16(0xfc00).classify(), FpClass::Infinity);
+    }
+
+    #[test]
+    fn fp16_exponent_ranges() {
+        assert_eq!(Fp16::MIN_EXP, -14);
+        assert_eq!(Fp16::MAX_EXP, 15);
+        assert_eq!(Fp16::BIAS, 15);
+        assert_eq!(Fp16(0x0001).unbiased_exp(), -14);
+        assert_eq!(Fp16(0x7bff).unbiased_exp(), 15);
+    }
+
+    #[test]
+    fn fp16_overflow_to_inf_and_underflow_to_zero() {
+        assert_eq!(Fp16::from_f32(1e9).classify(), FpClass::Infinity);
+        assert_eq!(Fp16::from_f32(-1e9).to_f32(), f32::NEG_INFINITY);
+        assert_eq!(Fp16::from_f32(1e-12).classify(), FpClass::Zero);
+        // 65520 is the RNE overflow threshold for FP16.
+        assert_eq!(Fp16::from_f32(65519.0).to_f32(), 65504.0);
+        assert_eq!(Fp16::from_f32(65520.0).classify(), FpClass::Infinity);
+    }
+
+    #[test]
+    fn fp16_rne_ties() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next FP16;
+        // ties go to even (mantissa 0 ⇒ stays 1.0).
+        let halfway = 1.0f64 + 2f64.powi(-11);
+        assert_eq!(Fp16::from_f64(halfway).to_f64(), 1.0);
+        // 1 + 3*2^-11 is halfway between nextafter(1) and next-next;
+        // ties-to-even rounds mantissa to 2.
+        let halfway2 = 1.0f64 + 3.0 * 2f64.powi(-11);
+        assert_eq!(Fp16::from_f64(halfway2).mantissa(), 2);
+    }
+
+    #[test]
+    fn fp16_subnormal_roundtrip() {
+        for bits in 1u16..1024 {
+            let x = Fp16(bits);
+            assert_eq!(x.classify(), FpClass::Subnormal);
+            assert_eq!(Fp16::from_f64(x.to_f64()).0, bits);
+        }
+    }
+
+    #[test]
+    fn fp16_all_finite_roundtrip_exact() {
+        for bits in 0u16..=u16::MAX {
+            let x = Fp16(bits);
+            if x.is_non_finite() {
+                continue;
+            }
+            let back = Fp16::from_f64(x.to_f64());
+            // -0.0 → f64 -0.0 → back to -0.0: sign preserved.
+            assert_eq!(back.0, bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn bf16_tracks_f32_truncation_semantics() {
+        for &v in &[1.0f32, -3.5, 0.1, 1234.5678, 3.0e38, 1.0e-40] {
+            let b = Bf16::from_f32(v);
+            // BF16 RNE from f32 equals rounding the top 16 bits of the f32.
+            let manual = {
+                let bits = v.to_bits();
+                let lower = bits & 0xffff;
+                let mut upper = bits >> 16;
+                if lower > 0x8000 || (lower == 0x8000 && (upper & 1) == 1) {
+                    upper += 1;
+                }
+                upper as u16
+            };
+            assert_eq!(b.0, manual, "value {v}");
+        }
+    }
+
+    #[test]
+    fn tf32_has_fp16_mantissa_fp32_exponent() {
+        assert_eq!(Tf32::EXP_BITS, 8);
+        assert_eq!(Tf32::MAN_BITS, 10);
+        let x = Tf32::from_f32(1.0e30);
+        assert_eq!(x.classify(), FpClass::Normal);
+        assert!((x.to_f32() - 1.0e30).abs() / 1.0e30 < 1e-3);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert_eq!(Fp16::from_f32(f32::NAN).classify(), FpClass::Nan);
+        assert!(Fp16::from_f32(f32::NAN).to_f32().is_nan());
+        assert_eq!(Bf16::from_f32(f32::NAN).classify(), FpClass::Nan);
+        assert_eq!(Tf32::from_f32(f32::NAN).classify(), FpClass::Nan);
+    }
+
+    #[test]
+    fn magnitude_has_implicit_bit_for_normals_only() {
+        assert_eq!(Fp16::ONE.magnitude(), 1 << 10);
+        assert_eq!(Fp16(0x0001).magnitude(), 1);
+        assert_eq!(Fp16(0x3c01).magnitude(), (1 << 10) | 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Signed-magnitude operand representation (paper §2.2, "Converting
+//! numbers").
+//!
+//! Before an FP16 operand enters the IPU it is decoded into a pair
+//! *(signed magnitude, unbiased exponent)*: the magnitude is `1.mantissa`
+//! (normal) or `0.mantissa` (subnormal) with the sign applied, held as a
+//! 12-bit two's-complement integer `M[11:0]`, and the exponent is the
+//! unbiased exponent the exponent-handling unit (EHU) consumes.
+
+use crate::format::{FpClass, FpFormat};
+
+/// A decoded FP operand: 12-bit two's-complement signed magnitude plus
+/// unbiased exponent.
+///
+/// The represented real value is `m * 2^(exp - 10)` — the magnitude is an
+/// integer in units of 2^-10 relative to its own exponent (10 = FP16
+/// mantissa bits). INT-mode operands reuse this struct with `exp = 0`
+/// (paper §2.1: "In INT mode, we assume exp = max exponent = 0").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignedMagnitude {
+    /// Two's-complement signed magnitude, in `[-2047, 2047]` for FP16
+    /// operands (11 magnitude bits + sign fits 12 bits).
+    pub m: i32,
+    /// Unbiased exponent (`[-14, 15]` for FP16; subnormals use −14).
+    pub exp: i32,
+}
+
+impl SignedMagnitude {
+    /// Number of fraction bits the magnitude carries relative to its
+    /// exponent (FP16 mantissa width).
+    pub const FRAC_BITS: u32 = 10;
+
+    /// Decode an FP16 value. Infinities and NaNs are not representable in
+    /// the datapath; the paper's FP-IP pseudocode assumes "neither INF nor
+    /// NaN in the inputs" (Appendix A.2), so those return `None`.
+    pub fn from_fp16(x: crate::Fp16) -> Option<Self> {
+        match x.classify() {
+            FpClass::Infinity | FpClass::Nan => None,
+            _ => {
+                let mag = x.magnitude() as i32;
+                Some(SignedMagnitude {
+                    m: if x.sign() { -mag } else { mag },
+                    exp: x.unbiased_exp(),
+                })
+            }
+        }
+    }
+
+    /// Decode an `f32` by first rounding it to FP16 (the storage format of
+    /// the FP mode), then decoding. Panics on non-finite input.
+    pub fn from_f32_via_fp16(x: f32) -> Self {
+        Self::from_fp16(crate::Fp16::from_f32(x))
+            .expect("non-finite value cannot enter the IPU datapath")
+    }
+
+    /// An INT-mode operand: plain integer with `exp = 0`.
+    ///
+    /// `v` must fit the datapath's nibble decomposition for the chosen
+    /// width (callers validate ranges; see `mpipu-datapath`).
+    pub fn from_int(v: i32) -> Self {
+        SignedMagnitude { m: v, exp: 0 }
+    }
+
+    /// Exact real value: `m * 2^(exp - FRAC_BITS)`.
+    pub fn to_f64(self) -> f64 {
+        self.m as f64 * ((self.exp - Self::FRAC_BITS as i32) as f64).exp2()
+    }
+
+    /// Exponent of the *product* of two operands (EHU stage 1:
+    /// element-wise sum of unbiased exponents).
+    pub fn product_exp(self, rhs: Self) -> i32 {
+        self.exp + rhs.exp
+    }
+
+    /// `true` if the operand encodes zero (magnitude 0).
+    pub fn is_zero(self) -> bool {
+        self.m == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fp16;
+
+    #[test]
+    fn decode_one() {
+        let sm = SignedMagnitude::from_fp16(Fp16::ONE).unwrap();
+        assert_eq!(sm.m, 1 << 10);
+        assert_eq!(sm.exp, 0);
+        assert_eq!(sm.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn decode_negative() {
+        let sm = SignedMagnitude::from_f32_via_fp16(-1.5);
+        assert_eq!(sm.m, -(3 << 9));
+        assert_eq!(sm.exp, 0);
+        assert_eq!(sm.to_f64(), -1.5);
+    }
+
+    #[test]
+    fn decode_subnormal() {
+        let sm = SignedMagnitude::from_fp16(Fp16(0x0001)).unwrap();
+        assert_eq!(sm.m, 1);
+        assert_eq!(sm.exp, -14);
+        assert_eq!(sm.to_f64(), 2f64.powi(-24));
+    }
+
+    #[test]
+    fn decode_max() {
+        let sm = SignedMagnitude::from_fp16(Fp16::MAX).unwrap();
+        assert_eq!(sm.m, 2047);
+        assert_eq!(sm.exp, 15);
+        assert_eq!(sm.to_f64(), 65504.0);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(SignedMagnitude::from_fp16(Fp16::INFINITY).is_none());
+        assert!(SignedMagnitude::from_fp16(Fp16(0x7c01)).is_none());
+    }
+
+    #[test]
+    fn roundtrip_all_finite_fp16() {
+        for bits in 0u16..=u16::MAX {
+            let x = Fp16(bits);
+            if x.is_non_finite() {
+                continue;
+            }
+            let sm = SignedMagnitude::from_fp16(x).unwrap();
+            assert_eq!(sm.to_f64(), x.to_f64(), "bits {bits:#06x}");
+            assert!(sm.m.abs() <= 2047);
+            assert!((-14..=15).contains(&sm.exp));
+        }
+    }
+
+    #[test]
+    fn product_exponent_range_is_minus28_to_30() {
+        // Paper §2.2: FP16 product exponents span [-28, 30].
+        let lo = SignedMagnitude::from_fp16(Fp16(0x0001)).unwrap();
+        let hi = SignedMagnitude::from_fp16(Fp16::MAX).unwrap();
+        assert_eq!(lo.product_exp(lo), -28);
+        assert_eq!(hi.product_exp(hi), 30);
+        assert_eq!(crate::FP16_MAX_ALIGNMENT, 58);
+    }
+}

@@ -1,0 +1,241 @@
+//! Fixed-point → floating-point write-back rounding.
+//!
+//! The IPU accumulator is a non-normalized fixed-point register paired with
+//! an exponent (paper §2.2, "The accumulator operations"). "Before writing
+//! back the result to memory, the result is rounded to its standard format
+//! (i.e., FP16 or FP32)". This module implements that renormalization with
+//! round-to-nearest-even, exactly, for arbitrary `i128` magnitudes — no
+//! intermediate double rounding.
+
+use crate::format::Fp16;
+
+/// An exact fixed-point value `mag * 2^lsb_pow2`.
+///
+/// `mag` is the two's-complement accumulator contents; `lsb_pow2` is the
+/// power-of-two weight of its least significant bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPoint {
+    /// Signed magnitude of the fixed-point value.
+    pub mag: i128,
+    /// Power-of-two weight of bit 0 of `mag`.
+    pub lsb_pow2: i32,
+}
+
+impl FixedPoint {
+    /// Zero.
+    pub const ZERO: FixedPoint = FixedPoint { mag: 0, lsb_pow2: 0 };
+
+    /// Exact value as `f64` **if** the magnitude fits 53 bits (always true
+    /// for the paper's accumulator widths); otherwise correctly rounded.
+    pub fn to_f64(self) -> f64 {
+        self.mag as f64 * (self.lsb_pow2 as f64).exp2()
+    }
+
+    /// Round to `f32` with round-to-nearest-even (exact integer path).
+    pub fn to_f32_rne(self) -> f32 {
+        round_to_f32_rne(self.mag, self.lsb_pow2)
+    }
+
+    /// Round to FP16 with round-to-nearest-even (exact integer path).
+    pub fn to_fp16_rne(self) -> Fp16 {
+        round_to_fp16_rne(self.mag, self.lsb_pow2)
+    }
+}
+
+/// Round `mag * 2^lsb_pow2` to the nearest `f32` (ties to even).
+/// Overflows saturate to ±Inf, matching IEEE semantics.
+pub fn round_to_f32_rne(mag: i128, lsb_pow2: i32) -> f32 {
+    match round_parts(mag, lsb_pow2, 24, -149, 127) {
+        Rounded::Zero => 0.0,
+        Rounded::Overflow(neg) => {
+            if neg {
+                f32::NEG_INFINITY
+            } else {
+                f32::INFINITY
+            }
+        }
+        Rounded::Finite { neg, m, lsb } => {
+            // m ≤ 2^24 fits f64 exactly; ldexp via exp2 is exact here.
+            let v = (m as f64) * (lsb as f64).exp2();
+            let v = if neg { -v } else { v };
+            v as f32 // exact: already on the f32 grid
+        }
+    }
+}
+
+/// Round `mag * 2^lsb_pow2` to the nearest FP16 (ties to even).
+/// Overflows saturate to ±Inf.
+pub fn round_to_fp16_rne(mag: i128, lsb_pow2: i32) -> Fp16 {
+    match round_parts(mag, lsb_pow2, 11, -24, 15) {
+        Rounded::Zero => Fp16::ZERO,
+        Rounded::Overflow(neg) => Fp16(if neg { 0xfc00 } else { 0x7c00 }),
+        Rounded::Finite { neg, m, lsb } => {
+            // Reassemble the FP16 bit pattern from (m, lsb).
+            // Normal: m has its leading bit at position 10 and
+            // lsb = e - 10; subnormal: lsb = -24.
+            let sign = if neg { 0x8000u16 } else { 0 };
+            debug_assert!(m <= 1 << 11);
+            let (e_field, m_field) = if m >= (1 << 10) {
+                let extra = (127 - m.leading_zeros()) - 10; // carry-out shift
+                let m = m >> extra;
+                let e = lsb + 10 + extra as i32; // unbiased exponent
+                if e > 15 {
+                    return Fp16(sign | 0x7c00);
+                }
+                ((e + 15) as u16, (m as u16) & 0x3ff)
+            } else {
+                debug_assert_eq!(lsb, -24);
+                (0u16, m as u16)
+            };
+            Fp16(sign | (e_field << 10) | m_field)
+        }
+    }
+}
+
+enum Rounded {
+    Zero,
+    Overflow(bool),
+    /// `m * 2^lsb`, sign split out; `m` has at most `sig_bits + 1` bits
+    /// (the +1 accommodates a rounding carry, resolved by the caller).
+    Finite {
+        neg: bool,
+        m: u128,
+        lsb: i32,
+    },
+}
+
+/// Shared integer rounding core: reduce `|mag| * 2^lsb_pow2` to a
+/// significand of at most `sig_bits` bits whose LSB is on the target
+/// format's grid (`min_lsb` floor for subnormals), tie-to-even.
+fn round_parts(mag: i128, lsb_pow2: i32, sig_bits: u32, min_lsb: i32, max_exp: i32) -> Rounded {
+    if mag == 0 {
+        return Rounded::Zero;
+    }
+    let neg = mag < 0;
+    let a = mag.unsigned_abs();
+    let nbits = 128 - a.leading_zeros(); // leading-one position + 1
+    let msb_exp = nbits as i32 - 1 + lsb_pow2; // unbiased exp of leading bit
+
+    // Target LSB weight: normal grid is msb_exp - (sig_bits-1); clamp at
+    // the subnormal floor.
+    let target_lsb = (msb_exp - (sig_bits as i32 - 1)).max(min_lsb);
+    let shift = target_lsb - lsb_pow2;
+    let (mut m, mut lsb) = if shift <= 0 {
+        ((a) << (-shift) as u32, target_lsb)
+    } else {
+        let sh = shift as u32;
+        if sh >= 128 {
+            return Rounded::Zero;
+        }
+        let kept = a >> sh;
+        let rem = a & ((1u128 << sh) - 1);
+        let half = 1u128 << (sh - 1);
+        let mut k = kept;
+        if rem > half || (rem == half && (kept & 1) == 1) {
+            k += 1;
+        }
+        (k, target_lsb)
+    };
+    if m == 0 {
+        return Rounded::Zero;
+    }
+    // A carry may push m to sig_bits+1 bits; renormalize one step.
+    if 128 - m.leading_zeros() > sig_bits {
+        // Always a power of two after carry-out; halving is exact.
+        m >>= 1;
+        lsb += 1;
+    }
+    let msb_exp = (128 - m.leading_zeros()) as i32 - 1 + lsb;
+    if msb_exp > max_exp {
+        return Rounded::Overflow(neg);
+    }
+    Rounded::Finite { neg, m, lsb }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FpFormat;
+
+    #[test]
+    fn zero_and_signs() {
+        assert_eq!(round_to_f32_rne(0, 0), 0.0);
+        assert_eq!(round_to_f32_rne(-5, 0), -5.0);
+        assert_eq!(round_to_fp16_rne(-5, 0).to_f32(), -5.0);
+    }
+
+    #[test]
+    fn exact_small_integers() {
+        for v in -2048i128..=2048 {
+            assert_eq!(round_to_f32_rne(v, 0), v as f32);
+            assert_eq!(round_to_fp16_rne(v, 0).to_f64(), v as f64);
+        }
+    }
+
+    #[test]
+    fn f32_matches_native_rounding_on_wide_magnitudes() {
+        // 2^24 + 1 is the first integer that rounds in f32.
+        assert_eq!(round_to_f32_rne((1 << 24) + 1, 0), 16777216.0);
+        assert_eq!(round_to_f32_rne((1 << 24) + 3, 0), 16777220.0);
+        // Tie: 2^24 + 2 is representable; 2^25 + 2 rounds to even.
+        assert_eq!(round_to_f32_rne((1 << 25) + 2, 0), 33554432.0);
+        assert_eq!(round_to_f32_rne((1 << 25) + 6, 0), 33554440.0);
+    }
+
+    #[test]
+    fn f32_subnormal_grid() {
+        // 2^-150 is exactly half the smallest subnormal: ties to even = 0.
+        assert_eq!(round_to_f32_rne(1, -150), 0.0);
+        assert_eq!(round_to_f32_rne(3, -151), f32::from_bits(1)); // rounds up
+        assert_eq!(round_to_f32_rne(1, -149), f32::from_bits(1));
+    }
+
+    #[test]
+    fn f32_overflow() {
+        assert_eq!(round_to_f32_rne(1, 128), f32::INFINITY);
+        assert_eq!(round_to_f32_rne(-1, 128), f32::NEG_INFINITY);
+        // f32::MAX is (2^24 - 1) * 2^104.
+        assert_eq!(round_to_f32_rne((1 << 24) - 1, 104), f32::MAX);
+    }
+
+    #[test]
+    fn fp16_overflow_threshold() {
+        // 65504 = max FP16; 65520 is the RNE threshold to Inf.
+        assert_eq!(round_to_fp16_rne(65504, 0).to_f32(), 65504.0);
+        assert_eq!(round_to_fp16_rne(65519, 0).to_f32(), 65504.0);
+        assert_eq!(round_to_fp16_rne(65520, 0), Fp16(0x7c00));
+    }
+
+    #[test]
+    fn fp16_subnormals() {
+        assert_eq!(round_to_fp16_rne(1, -24), Fp16(0x0001));
+        assert_eq!(round_to_fp16_rne(1, -25), Fp16::ZERO); // tie → even(0)
+        assert_eq!(round_to_fp16_rne(3, -25), Fp16(0x0002));
+        // Subnormal rounding up into normal range.
+        assert_eq!(round_to_fp16_rne((1 << 10) * 2 - 1, -25).classify(),
+            crate::FpClass::Normal);
+    }
+
+    #[test]
+    fn agrees_with_from_f64_when_exact_in_f64() {
+        // For magnitudes ≤ 53 bits the fixed-point value is exact in f64,
+        // so the integer path must agree with the f64 conversion path.
+        let cases: &[(i128, i32)] = &[
+            (123_456_789, -10),
+            (-987_654_321, -20),
+            ((1 << 40) + 12345, -33),
+            (-(1 << 46) - 777, -30),
+            (1, -24),
+            (2047, 5),
+        ];
+        for &(m, l) in cases {
+            let exact = m as f64 * (l as f64).exp2();
+            assert_eq!(round_to_f32_rne(m, l), exact as f32, "({m},{l})");
+            assert_eq!(
+                round_to_fp16_rne(m, l).0,
+                Fp16::from_f64(exact).0,
+                "({m},{l})"
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based invariants for the floating-point substrate.
+
+use mpipu_fp::{
+    round_to_f32_rne, round_to_fp16_rne, Bf16, Fp16, FpClass, FpFormat, Nibbles, SignedMagnitude,
+    Tf32,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every finite FP16 bit pattern survives decode → f64 → encode.
+    #[test]
+    fn fp16_roundtrip(bits in 0u16..=u16::MAX) {
+        let x = Fp16(bits);
+        prop_assume!(!x.is_non_finite());
+        prop_assert_eq!(Fp16::from_f64(x.to_f64()).0, bits);
+    }
+
+    /// FP16 encode matches a double-rounding-free reference: rounding an
+    /// arbitrary f32 through our encoder equals rounding via explicit
+    /// nearest-candidate search on the FP16 grid.
+    #[test]
+    fn fp16_from_f32_is_nearest(v in prop::num::f32::NORMAL | prop::num::f32::SUBNORMAL | prop::num::f32::ZERO) {
+        let enc = Fp16::from_f32(v);
+        if enc.is_non_finite() {
+            // Overflowed: |v| must be at least the RNE threshold 65520.
+            prop_assert!(v.abs() >= 65520.0);
+        } else {
+            let got = enc.to_f64();
+            // No other FP16 value may be strictly closer.
+            let err = (got - v as f64).abs();
+            for delta in [-2i32, -1, 1, 2] {
+                let nb = (enc.0 as i32 + delta).clamp(0, 0x7bff) as u16;
+                let cand = Fp16((nb & 0x7fff) | (enc.0 & 0x8000));
+                if cand.is_non_finite() { continue; }
+                let cerr = (cand.to_f64() - v as f64).abs();
+                prop_assert!(cerr >= err,
+                    "candidate {:?} closer to {v} than {:?}", cand, enc);
+            }
+        }
+    }
+
+    /// Signed-magnitude decode is exact for all finite FP16.
+    #[test]
+    fn signed_magnitude_exact(bits in 0u16..=u16::MAX) {
+        let x = Fp16(bits);
+        prop_assume!(!x.is_non_finite());
+        let sm = SignedMagnitude::from_fp16(x).unwrap();
+        prop_assert_eq!(sm.to_f64().to_bits(), x.to_f64().to_bits());
+    }
+
+    /// Nibble decomposition identity M = N2·2^7 + N1·2^3 + N0·2^-1 holds
+    /// for every 12-bit signed magnitude.
+    #[test]
+    fn nibble_identity(m in -2047i32..=2047) {
+        let nb = Nibbles::from_fp16_magnitude(SignedMagnitude { m, exp: 0 });
+        prop_assert_eq!(nb.reconstruct(), m as i64);
+    }
+
+    /// INT nibble decomposition roundtrips for every width/signedness.
+    #[test]
+    fn int_nibble_roundtrip(v in -32768i32..=32767, k in 4usize..=8) {
+        let nb = Nibbles::from_int(v, k, true);
+        prop_assert_eq!(nb.reconstruct(), v as i64);
+        if v >= 0 {
+            let nb = Nibbles::from_int(v, k, false);
+            prop_assert_eq!(nb.reconstruct(), v as i64);
+        }
+    }
+
+    /// Fixed-point rounding to f32 agrees with native f64→f32 rounding
+    /// whenever the fixed-point value is exact in f64 (≤ 53 significant
+    /// bits) — which covers all realizable accumulator states.
+    #[test]
+    fn fixed_round_f32_matches_native(mag in -(1i128 << 52)..(1i128 << 52), lsb in -60i32..10) {
+        let exact = mag as f64 * (lsb as f64).exp2();
+        prop_assert_eq!(round_to_f32_rne(mag, lsb).to_bits(), (exact as f32).to_bits());
+    }
+
+    /// Same for FP16 write-back.
+    #[test]
+    fn fixed_round_fp16_matches_native(mag in -(1i128 << 52)..(1i128 << 52), lsb in -60i32..6) {
+        let exact = mag as f64 * (lsb as f64).exp2();
+        prop_assert_eq!(round_to_fp16_rne(mag, lsb).0, Fp16::from_f64(exact).0);
+    }
+
+    /// BF16 roundtrip for finite patterns.
+    #[test]
+    fn bf16_roundtrip(bits in 0u16..=u16::MAX) {
+        let x = Bf16(bits);
+        prop_assume!(!x.is_non_finite());
+        prop_assert_eq!(Bf16::from_f64(x.to_f64()).0, bits);
+    }
+
+    /// TF32 roundtrip for finite patterns (19-bit storage).
+    #[test]
+    fn tf32_roundtrip(bits in 0u32..(1u32 << 19)) {
+        let x = Tf32(bits);
+        prop_assume!(!x.is_non_finite());
+        prop_assert_eq!(Tf32::from_f64(x.to_f64()).0, bits);
+    }
+
+    /// Monotonicity: larger f64 inputs never encode to smaller FP16 values.
+    #[test]
+    fn fp16_encode_monotone(a in -70000.0f64..70000.0, b in -70000.0f64..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (el, eh) = (Fp16::from_f64(lo), Fp16::from_f64(hi));
+        prop_assert!(el.to_f64() <= eh.to_f64());
+    }
+}
+
+#[test]
+fn classify_covers_all_five_classes() {
+    let seen = [
+        Fp16(0x0000).classify(),
+        Fp16(0x0001).classify(),
+        Fp16(0x3c00).classify(),
+        Fp16(0x7c00).classify(),
+        Fp16(0x7e00).classify(),
+    ];
+    assert_eq!(
+        seen,
+        [
+            FpClass::Zero,
+            FpClass::Subnormal,
+            FpClass::Normal,
+            FpClass::Infinity,
+            FpClass::Nan
+        ]
+    );
+}

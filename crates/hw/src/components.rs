@@ -1,0 +1,124 @@
+//! Gate-count scaling laws for datapath components, in NAND2-equivalent
+//! gates, plus the two calibrated global constants.
+//!
+//! The absolute constants of a 7nm PDK are proprietary; the *scaling* of
+//! each component with its bit widths is standard digital-design material
+//! (array/Booth multipliers grow with the product of operand widths,
+//! ripple/prefix adders with width, barrel shifters with width × stage
+//! count, register files with capacity). The two global constants map
+//! gates to µm² and gate-activity to power and are fixed once against the
+//! paper's INT4 design anchor (see crate docs).
+
+/// Area per NAND2-equivalent gate, µm² (7nm-class standard-cell density,
+/// calibrated against the 30.6 TOPS/mm² INT4 anchor).
+pub const AREA_PER_GATE_UM2: f64 = 0.0671;
+
+/// Power per active gate at 1 GHz, µW (calibrated against the
+/// 5.6 TOPS/W INT4 anchor).
+pub const POWER_PER_GATE_UW: f64 = 0.5588;
+
+/// Static (leakage + clock-tree) fraction of peak power a component burns
+/// even when architecturally idle.
+pub const IDLE_ACTIVITY: f64 = 0.05;
+
+/// Signed array/Booth multiplier of `a × b` bits.
+pub fn multiplier_gates(a: u32, b: u32) -> f64 {
+    9.0 * a as f64 * b as f64
+}
+
+/// Single adder of the given width (carry-save/prefix mix).
+pub fn adder_gates(width: u32) -> f64 {
+    9.0 * width as f64
+}
+
+/// Balanced adder tree over `n` inputs of `w` bits; level `k` (1-based)
+/// has `n / 2^k` adders of width `w + k`.
+pub fn adder_tree_gates(n: usize, w: u32) -> f64 {
+    let mut gates = 0.0;
+    let mut inputs = n;
+    let mut level = 1u32;
+    while inputs > 1 {
+        let adders = inputs / 2;
+        gates += adders as f64 * adder_gates(w + level);
+        inputs -= adders;
+        level += 1;
+    }
+    gates
+}
+
+/// Logarithmic barrel shifter: `width` bits, shift range `0..=max_shift`.
+pub fn barrel_shifter_gates(width: u32, max_shift: u32) -> f64 {
+    if max_shift == 0 {
+        return 0.0;
+    }
+    let stages = 32 - max_shift.leading_zeros(); // ceil(log2(max_shift+1))
+    1.2 * width as f64 * stages as f64
+}
+
+/// Flip-flop storage.
+pub fn ff_gates(bits: u32) -> f64 {
+    16.0 * bits as f64
+}
+
+/// Register-file / small-SRAM storage (denser than flip-flops).
+pub fn sram_gates(bits: u32) -> f64 {
+    4.0 * bits as f64
+}
+
+/// One exponent-handling unit for `n` lanes with `e`-bit exponents:
+/// stage 1 adders, stage 2 max tree, stage 3 subtractors, stage 4/5
+/// comparators and service bits (paper Fig 5).
+pub fn ehu_gates(n: usize, e: u32) -> f64 {
+    let stage1 = n as f64 * adder_gates(e);
+    let max_tree = (n.saturating_sub(1)) as f64 * (5.0 * e as f64); // comparator+mux
+    let stage3 = n as f64 * adder_gates(e);
+    let stage45 = n as f64 * (4.0 * e as f64 + 12.0);
+    1.8 * (stage1 + max_tree + stage3 + stage45)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_scales_with_operand_product() {
+        assert_eq!(multiplier_gates(8, 8) / multiplier_gates(4, 4), 4.0);
+        assert_eq!(multiplier_gates(12, 1), 9.0 * 12.0);
+    }
+
+    #[test]
+    fn adder_tree_counts_all_inputs() {
+        // n=8, w=10: levels 4×11, 2×12, 1×13 adders.
+        let g = adder_tree_gates(8, 10);
+        assert_eq!(g, 9.0 * (4.0 * 11.0 + 2.0 * 12.0 + 13.0));
+        // Tree over 1 input needs no adders.
+        assert_eq!(adder_tree_gates(1, 10), 0.0);
+    }
+
+    #[test]
+    fn adder_tree_handles_non_power_of_two() {
+        let g = adder_tree_gates(6, 8);
+        assert!(g > 0.0);
+        assert!(g < adder_tree_gates(8, 8));
+    }
+
+    #[test]
+    fn barrel_shifter_grows_logarithmically() {
+        let s16 = barrel_shifter_gates(16, 15); // 4 stages
+        let s256 = barrel_shifter_gates(16, 255); // 8 stages
+        assert_eq!(s256 / s16, 2.0);
+        assert_eq!(barrel_shifter_gates(16, 0), 0.0);
+    }
+
+    #[test]
+    fn sram_is_denser_than_ff() {
+        assert!(sram_gates(64) < ff_gates(64));
+    }
+
+    #[test]
+    fn ehu_scales_with_lanes() {
+        let e8 = ehu_gates(8, 6);
+        let e16 = ehu_gates(16, 6);
+        assert!(e16 > 1.8 * e8 && e16 < 2.2 * e8);
+    }
+}

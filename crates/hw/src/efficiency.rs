@@ -1,0 +1,155 @@
+//! Design-space efficiency metrics (the Fig 10 experiment).
+//!
+//! A design point `(p, c)` is a tile family with `p`-bit MC-IPU adder
+//! trees and `c` MC-IPUs per cluster. INT efficiency follows directly from
+//! the hardware model (INT throughput is unaffected by alignment); FP
+//! efficiency additionally multiplies the *effective* FP throughput — the
+//! baseline-normalized slowdown factor from the cycle simulator — exactly
+//! as the paper does ("we consider the average effective throughput, using
+//! our simulation results, for FP throughput values").
+
+use crate::tile_model::{TileBreakdown, TileHwConfig};
+
+/// One Fig 10 design point.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignPoint {
+    /// Adder-tree precision `p`.
+    pub w: u32,
+    /// Cluster size `c` (affects FP slowdown only; the small per-cluster
+    /// buffer overhead is charged to the accumulator/buffers).
+    pub cluster_size: usize,
+    /// `true` for the 16-input (big-tile) family.
+    pub big: bool,
+}
+
+/// Efficiency metrics of a design point.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignMetrics {
+    /// Peak INT4 throughput density, TOPS/mm² (1 OP = one 4×4 MAC, 1 GHz).
+    pub int_tops_per_mm2: f64,
+    /// Peak INT4 power efficiency, TOPS/W.
+    pub int_tops_per_w: f64,
+    /// Effective FP16 throughput density, TFLOPS/mm².
+    pub fp_tflops_per_mm2: f64,
+    /// Effective FP16 power efficiency, TFLOPS/W.
+    pub fp_tflops_per_w: f64,
+}
+
+impl DesignPoint {
+    /// Tile hardware configuration of this design point.
+    pub fn tile_hw(&self) -> TileHwConfig {
+        if self.big {
+            TileHwConfig::big(self.w)
+        } else {
+            TileHwConfig::small(self.w)
+        }
+    }
+
+    /// Compute the metrics.
+    ///
+    /// `fp_slowdown` is the workload-average normalized execution time from
+    /// `mpipu-sim` (≥ 1.0; the baseline design has 1.0).
+    pub fn metrics(&self, fp_slowdown: f64) -> DesignMetrics {
+        assert!(fp_slowdown >= 1.0, "slowdown must be ≥ 1, got {fp_slowdown}");
+        let hw = self.tile_hw();
+        let b = TileBreakdown::model(hw);
+        // Small clusters add duplicated input/output buffering: charge
+        // 0.1% of tile area/power per extra cluster beyond one (clusters
+        // partition the tile's IPUs; cluster size 1 on a big tile means
+        // 64 clusters).
+        let ipus = if self.big { 64 } else { 32 };
+        let clusters = (ipus / self.cluster_size).max(1) as f64;
+        let overhead = 1.0 + 0.001 * (clusters - 1.0);
+        let area = b.area_mm2() * overhead;
+        let p_int = b.power_mw(false) * overhead / 1e3; // W
+        let p_fp = b.power_mw(true) * overhead / 1e3;
+
+        // Peak INT4: one MAC per multiplier per cycle at 1 GHz.
+        let int_gops = hw.multipliers() as f64; // GOPS
+        // FP16: nine nibble iterations per MAC, degraded by the simulated
+        // slowdown.
+        let fp_gflops = int_gops / 9.0 / fp_slowdown;
+
+        DesignMetrics {
+            int_tops_per_mm2: int_gops / 1e3 / area,
+            int_tops_per_w: int_gops / 1e3 / p_int,
+            fp_tflops_per_mm2: fp_gflops / 1e3 / area,
+            fp_tflops_per_w: fp_gflops / 1e3 / p_fp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_opt() -> DesignMetrics {
+        // NO-OPT = Baseline2: 38-bit tree, no clustering, slowdown 1.
+        DesignPoint {
+            w: 38,
+            cluster_size: 16,
+            big: true,
+        }
+        .metrics(1.0)
+    }
+
+    #[test]
+    fn narrow_trees_win_int_efficiency() {
+        // Paper: up to 46% TOPS/mm² and up to 63% TOPS/W over NO-OPT.
+        let base = no_opt();
+        let p12 = DesignPoint {
+            w: 12,
+            cluster_size: 1,
+            big: true,
+        }
+        .metrics(1.8); // slowdown representative of w=12
+        let area_gain = p12.int_tops_per_mm2 / base.int_tops_per_mm2 - 1.0;
+        let power_gain = p12.int_tops_per_w / base.int_tops_per_w - 1.0;
+        assert!(
+            (0.25..0.80).contains(&area_gain),
+            "INT area-efficiency gain {area_gain:.3}"
+        );
+        assert!(
+            (0.25..0.95).contains(&power_gain),
+            "INT power-efficiency gain {power_gain:.3}"
+        );
+    }
+
+    #[test]
+    fn fp_efficiency_trades_against_slowdown() {
+        // At equal slowdown, narrower is better; at high slowdown the
+        // narrow tree loses its FP advantage.
+        let base = no_opt();
+        let p16_fast = DesignPoint { w: 16, cluster_size: 1, big: true }.metrics(1.1);
+        let p16_slow = DesignPoint { w: 16, cluster_size: 16, big: true }.metrics(2.2);
+        assert!(p16_fast.fp_tflops_per_mm2 > p16_slow.fp_tflops_per_mm2);
+        assert!(p16_fast.fp_tflops_per_mm2 > base.fp_tflops_per_mm2);
+        assert!(p16_fast.fp_tflops_per_w > base.fp_tflops_per_w);
+    }
+
+    #[test]
+    fn paper_headline_fp_gains_are_reachable() {
+        // Paper abstract: up to 25% TFLOPS/mm² and up to 40% TFLOPS/W for
+        // the 16-input family at (16, 1) with modest slowdown.
+        let base = no_opt();
+        let p = DesignPoint { w: 16, cluster_size: 1, big: true }.metrics(1.15);
+        let area_gain = p.fp_tflops_per_mm2 / base.fp_tflops_per_mm2 - 1.0;
+        let power_gain = p.fp_tflops_per_w / base.fp_tflops_per_w - 1.0;
+        assert!((0.05..0.55).contains(&area_gain), "FP area gain {area_gain:.3}");
+        assert!((0.05..0.80).contains(&power_gain), "FP power gain {power_gain:.3}");
+    }
+
+    #[test]
+    fn clustering_overhead_is_small() {
+        let c16 = DesignPoint { w: 16, cluster_size: 16, big: true }.metrics(1.0);
+        let c1 = DesignPoint { w: 16, cluster_size: 1, big: true }.metrics(1.0);
+        let ratio = c16.int_tops_per_mm2 / c1.int_tops_per_mm2;
+        assert!((1.0..1.35).contains(&ratio), "cluster overhead ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown must be")]
+    fn rejects_speedup_factors() {
+        DesignPoint { w: 16, cluster_size: 1, big: true }.metrics(0.5);
+    }
+}

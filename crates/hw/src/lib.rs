@@ -1,0 +1,29 @@
+//! # `mpipu-hw` — analytical area/power model for IPU-based tiles
+//!
+//! The paper implements its designs in SystemVerilog and synthesizes them
+//! with Synopsys DC on 7nm libraries (§4.2). Synthesis is not reproducible
+//! offline, so this crate models every tile component with gate-count
+//! scaling laws (multiplier ∝ `a·b`, adder ∝ width, barrel shifter ∝
+//! `width · log(range)`, flip-flops and SRAM per bit) and calibrates two
+//! global constants (area per gate, energy per gate-cycle) against the
+//! paper's published INT4 anchor point (30.6 TOPS/mm², 5.6 TOPS/W —
+//! Table 1 last column). Every *relative* claim the paper makes is then a
+//! genuine model output, not an input:
+//!
+//! * Fig 7 — per-tile area/power breakdowns across adder-tree precisions
+//!   ([`tile_model`]);
+//! * Fig 10 — INT/FP area & power efficiency across design points
+//!   ([`efficiency`]);
+//! * Table 1 — multiplier-precision sensitivity ([`table1`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod efficiency;
+pub mod table1;
+pub mod tile_model;
+
+pub use efficiency::{DesignMetrics, DesignPoint};
+pub use table1::{table1_designs, Table1Design, Table1Row};
+pub use tile_model::{Component, FpSupport, TileBreakdown, TileHwConfig};

@@ -1,0 +1,317 @@
+//! Table 1: TOPS/mm² and TOPS/W across multiplier-precision baselines
+//! (§4.5 sensitivity analysis).
+//!
+//! Designs (columns): `MC-SER` (12×1 serial, FP16 via the proposed
+//! optimizations), `MC-IPU4` (the paper's 4×4-chunk design), `MC-IPU84`
+//! (8×4), `MC-IPU8` (8×8), `NVDLA` (8×8, 36-bit tree, FP16 by spatial
+//! fusion of two INT8 units), a native `FP16` FMA design, and INT-only
+//! `INT8` / `INT4` designs. Rows: operand precisions A×W ∈ {4×4, 8×4,
+//! 8×8, FP16×FP16}.
+
+use crate::tile_model::{FpSupport, TileBreakdown, TileHwConfig};
+
+/// How a design supports FP16.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FpMode {
+    /// No FP16 support (cell is `–` in the paper).
+    None,
+    /// Temporal decomposition over mantissa chunks with the MC-IPU
+    /// machinery; `stall` is the average alignment multi-cycling factor.
+    Temporal {
+        /// Average effective slowdown from multi-cycle alignment.
+        stall: f64,
+    },
+    /// NVDLA-style spatial fusion: two INT units per FP16 MAC.
+    SpatialHalf,
+    /// Native FP16 FMA datapath.
+    Native,
+}
+
+/// One Table 1 column.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Design {
+    /// Column label.
+    pub name: &'static str,
+    /// Native activation chunk width (bits).
+    pub ca: u32,
+    /// Native weight chunk width (bits).
+    pub cb: u32,
+    /// Physical multiplier operand widths (may carry a sign-extension bit
+    /// over the chunk width).
+    pub mult_a: u32,
+    /// Second physical multiplier operand width.
+    pub mult_b: u32,
+    /// Adder-tree precision.
+    pub adt_w: u32,
+    /// FP16 support mode.
+    pub fp: FpMode,
+}
+
+/// The paper's eight designs, in Table 1 column order.
+pub fn table1_designs() -> Vec<Table1Design> {
+    vec![
+        Table1Design {
+            name: "MC-SER",
+            ca: 12,
+            cb: 1,
+            mult_a: 12,
+            mult_b: 1,
+            adt_w: 16,
+            // Weight-serial execution exposes every alignment event; the
+            // paper's MC-SER FP16 throughput is ~half the naive 12-cycle
+            // rate.
+            fp: FpMode::Temporal { stall: 2.0 },
+        },
+        Table1Design {
+            name: "MC-IPU4",
+            ca: 4,
+            cb: 4,
+            mult_a: 5,
+            mult_b: 5,
+            adt_w: 16,
+            fp: FpMode::Temporal { stall: 1.3 },
+        },
+        Table1Design {
+            name: "MC-IPU84",
+            ca: 8,
+            cb: 4,
+            mult_a: 9,
+            mult_b: 5,
+            adt_w: 20,
+            fp: FpMode::Temporal { stall: 1.3 },
+        },
+        Table1Design {
+            name: "MC-IPU8",
+            ca: 8,
+            cb: 8,
+            mult_a: 9,
+            mult_b: 9,
+            adt_w: 23,
+            fp: FpMode::Temporal { stall: 1.05 },
+        },
+        Table1Design {
+            name: "NVDLA",
+            ca: 8,
+            cb: 8,
+            mult_a: 8,
+            mult_b: 8,
+            adt_w: 36,
+            fp: FpMode::SpatialHalf,
+        },
+        Table1Design {
+            name: "FP16",
+            ca: 12,
+            cb: 12,
+            mult_a: 12,
+            mult_b: 12,
+            adt_w: 36,
+            fp: FpMode::Native,
+        },
+        Table1Design {
+            name: "INT8",
+            ca: 8,
+            cb: 8,
+            mult_a: 8,
+            mult_b: 8,
+            adt_w: 16,
+            fp: FpMode::None,
+        },
+        Table1Design {
+            name: "INT4",
+            ca: 4,
+            cb: 4,
+            mult_a: 4,
+            mult_b: 4,
+            adt_w: 9,
+            fp: FpMode::None,
+        },
+    ]
+}
+
+/// One Table 1 row: a design evaluated at one operand precision.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Design label.
+    pub design: &'static str,
+    /// Operation label (`4x4`, `8x4`, `8x8`, `fp16`).
+    pub op: &'static str,
+    /// TOPS/mm² (or TFLOPS/mm² for the fp16 row); `None` = unsupported.
+    pub tops_per_mm2: Option<f64>,
+    /// TOPS/W (or TFLOPS/W); `None` = unsupported.
+    pub tops_per_w: Option<f64>,
+}
+
+impl Table1Design {
+    fn tile_hw(&self) -> TileHwConfig {
+        TileHwConfig {
+            n: 16,
+            ipus: 64,
+            w: self.adt_w,
+            mult_a: self.mult_a,
+            mult_b: self.mult_b,
+            fp: if matches!(self.fp, FpMode::None) {
+                FpSupport::None
+            } else {
+                FpSupport::Full
+            },
+            weight_depth: 9,
+            headroom_l: 10,
+        }
+    }
+
+    /// Cycles per INT MAC of `a`-bit activations by `w`-bit weights
+    /// (temporal chunking); `None` if the operands exceed what temporal
+    /// decomposition supports (not the case for any Table 1 entry).
+    pub fn int_cycles(&self, a: u32, w: u32) -> u32 {
+        a.div_ceil(self.ca) * w.div_ceil(self.cb)
+    }
+
+    /// Cycles per FP16 MAC (mantissa magnitudes are 12 bits), including
+    /// the alignment stall factor; `None` when FP16 is unsupported.
+    pub fn fp16_cycles(&self) -> Option<f64> {
+        match self.fp {
+            FpMode::None => None,
+            FpMode::Native => Some(1.0),
+            FpMode::SpatialHalf => Some(2.0),
+            FpMode::Temporal { stall } => {
+                Some(f64::from(self.int_cycles(12, 12)) * stall)
+            }
+        }
+    }
+
+    /// Evaluate all four Table 1 rows for this design.
+    pub fn rows(&self) -> Vec<Table1Row> {
+        let hw = self.tile_hw();
+        let b = TileBreakdown::model(hw);
+        let area = b.area_mm2();
+        let mults = hw.multipliers() as f64;
+        let mut rows = Vec::with_capacity(4);
+        for (op, a, w) in [("4x4", 4u32, 4u32), ("8x4", 8, 4), ("8x8", 8, 8)] {
+            let cycles = f64::from(self.int_cycles(a, w));
+            let gops = mults / cycles;
+            let power_w = b.power_mw(false) / 1e3;
+            rows.push(Table1Row {
+                design: self.name,
+                op,
+                tops_per_mm2: Some(gops / 1e3 / area),
+                tops_per_w: Some(gops / 1e3 / power_w),
+            });
+        }
+        let fp = self.fp16_cycles().map(|cycles| {
+            let gflops = mults / cycles;
+            let power_w = b.power_mw(true) / 1e3;
+            (gflops / 1e3 / area, gflops / 1e3 / power_w)
+        });
+        rows.push(Table1Row {
+            design: self.name,
+            op: "fp16",
+            tops_per_mm2: fp.map(|x| x.0),
+            tops_per_w: fp.map(|x| x.1),
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(name: &str) -> Table1Design {
+        table1_designs()
+            .into_iter()
+            .find(|d| d.name == name)
+            .unwrap()
+    }
+
+    fn cell(name: &str, op: &str) -> (f64, f64) {
+        let r = design(name)
+            .rows()
+            .into_iter()
+            .find(|r| r.op == op)
+            .unwrap();
+        (r.tops_per_mm2.unwrap(), r.tops_per_w.unwrap())
+    }
+
+    #[test]
+    fn int4_anchor_is_near_calibration_target() {
+        // Paper Table 1: INT4 design at 4×4 is 30.6 TOPS/mm², 5.6 TOPS/W.
+        let (mm2, w) = cell("INT4", "4x4");
+        assert!((20.0..45.0).contains(&mm2), "INT4 density {mm2:.1}");
+        assert!((3.5..8.5).contains(&w), "INT4 efficiency {w:.1}");
+    }
+
+    #[test]
+    fn iteration_counts_match_paper() {
+        assert_eq!(design("MC-IPU4").int_cycles(4, 4), 1);
+        assert_eq!(design("MC-IPU4").int_cycles(8, 4), 2);
+        assert_eq!(design("MC-IPU4").int_cycles(8, 8), 4);
+        assert_eq!(design("MC-IPU4").int_cycles(12, 12), 9);
+        assert_eq!(design("MC-IPU84").int_cycles(8, 4), 1);
+        assert_eq!(design("MC-SER").int_cycles(4, 4), 4); // weight-serial
+        assert_eq!(design("MC-SER").int_cycles(8, 8), 8);
+        assert_eq!(design("MC-IPU8").int_cycles(8, 8), 1);
+    }
+
+    #[test]
+    fn fp16_unsupported_on_int_only_designs() {
+        for name in ["INT8", "INT4"] {
+            let r = design(name).rows();
+            let fp = r.iter().find(|r| r.op == "fp16").unwrap();
+            assert!(fp.tops_per_mm2.is_none());
+        }
+    }
+
+    #[test]
+    fn mc_ipu4_beats_nvdla_and_fp16_on_int4_ops() {
+        // The headline comparison: low-precision-native designs dominate
+        // 4×4 throughput density.
+        let (mc4, _) = cell("MC-IPU4", "4x4");
+        let (nvdla, _) = cell("NVDLA", "4x4");
+        let (fp16, _) = cell("FP16", "4x4");
+        assert!(mc4 > nvdla, "MC-IPU4 {mc4:.1} vs NVDLA {nvdla:.1}");
+        assert!(nvdla > fp16, "NVDLA {nvdla:.1} vs FP16 {fp16:.1}");
+    }
+
+    #[test]
+    fn int4_only_beats_everything_on_4x4_density() {
+        let (int4, _) = cell("INT4", "4x4");
+        for d in table1_designs() {
+            if d.name == "INT4" {
+                continue;
+            }
+            let (v, _) = cell(d.name, "4x4");
+            assert!(int4 > v, "INT4 {int4:.1} vs {} {v:.1}", d.name);
+        }
+    }
+
+    #[test]
+    fn high_precision_multipliers_keep_int8_throughput() {
+        // For 8×8 ops the 8×8-native designs do not pay chunking cycles.
+        let (mc8, _) = cell("MC-IPU8", "8x8");
+        let (mc4, _) = cell("MC-IPU4", "8x8");
+        assert!(mc8 > mc4);
+    }
+
+    #[test]
+    fn optimization_benefit_shrinks_with_multiplier_precision() {
+        // §4.5: "the optimization benefit decreases as we increase the
+        // baseline multiplier precision" — the MC-IPU8's FP16 density gap
+        // over NVDLA is proportionally smaller than MC-IPU4's gap over its
+        // own 4×4 baseline... verify the simpler ordering: FP16-native
+        // beats all MC designs at FP16 density, and MC-IPU8 beats MC-IPU4.
+        let (fp_native, _) = cell("FP16", "fp16");
+        let (mc8, _) = cell("MC-IPU8", "fp16");
+        let (mc84, _) = cell("MC-IPU84", "fp16");
+        let (mc4, _) = cell("MC-IPU4", "fp16");
+        assert!(fp_native > mc8);
+        assert!(mc8 > mc84);
+        assert!(mc84 > mc4);
+    }
+
+    #[test]
+    fn every_design_yields_four_rows() {
+        for d in table1_designs() {
+            assert_eq!(d.rows().len(), 4, "{}", d.name);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Tile-level composition: the Fig 7 area/power breakdown.
+//!
+//! A tile is `k_unroll · h_unroll · w_unroll` IPUs of `n = c_unroll`
+//! multipliers. The component taxonomy follows Fig 7 exactly:
+//!
+//! | label  | contents |
+//! |--------|----------|
+//! | `MULT` | 5b×5b (or generic `a×b`) signed multipliers |
+//! | `AT`   | adder trees (`w`-bit inputs, widening levels) |
+//! | `Shft` | per-lane local right shifters (FP alignment) |
+//! | `ShCNT`| exponent handling units (shared, time-multiplexed) |
+//! | `FAcc` | accumulators: register + adder + shift/swap unit |
+//! | `WBuf` | weight buffers (9-deep per multiplier, register-file cells) |
+
+use crate::components as c;
+
+/// FP16 support level of a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpSupport {
+    /// INT-only tile: no local shifters, no EHU, product-width adder tree.
+    None,
+    /// Full FP16 support via the MC-IPU machinery.
+    Full,
+}
+
+/// Hardware parameters of one tile.
+#[derive(Debug, Clone, Copy)]
+pub struct TileHwConfig {
+    /// IPU lane count (`c_unroll`).
+    pub n: usize,
+    /// IPUs in the tile (`k_unroll · h_unroll · w_unroll`).
+    pub ipus: usize,
+    /// Adder-tree precision `w` (ignored for INT-only tiles, which use the
+    /// 10-bit product width).
+    pub w: u32,
+    /// Multiplier operand widths (5×5 for the nibble designs).
+    pub mult_a: u32,
+    /// Second multiplier operand width.
+    pub mult_b: u32,
+    /// FP support level.
+    pub fp: FpSupport,
+    /// Weight-buffer depth per multiplier (9 in the paper's designs).
+    pub weight_depth: u32,
+    /// Accumulator headroom `l`.
+    pub headroom_l: u32,
+}
+
+impl TileHwConfig {
+    /// The paper's big tile `(16,16,2,2)` with a `w`-bit adder tree.
+    pub fn big(w: u32) -> Self {
+        TileHwConfig {
+            n: 16,
+            ipus: 16 * 2 * 2,
+            w,
+            mult_a: 5,
+            mult_b: 5,
+            fp: FpSupport::Full,
+            weight_depth: 9,
+            headroom_l: 10,
+        }
+    }
+
+    /// The paper's small tile `(8,8,2,2)` with a `w`-bit adder tree.
+    pub fn small(w: u32) -> Self {
+        TileHwConfig {
+            n: 8,
+            ipus: 8 * 2 * 2,
+            w,
+            mult_a: 5,
+            mult_b: 5,
+            fp: FpSupport::Full,
+            weight_depth: 9,
+            headroom_l: 10,
+        }
+    }
+
+    /// INT-only variant of this tile (the Fig 7 "INT" design point).
+    pub fn int_only(mut self) -> Self {
+        self.fp = FpSupport::None;
+        self
+    }
+
+    /// Product bit width of the multipliers.
+    pub fn product_bits(&self) -> u32 {
+        self.mult_a + self.mult_b
+    }
+
+    /// Effective adder-tree input width.
+    pub fn tree_width(&self) -> u32 {
+        match self.fp {
+            FpSupport::None => self.product_bits(),
+            FpSupport::Full => self.w,
+        }
+    }
+
+    /// Accumulator register width (`max(33, w) + t + l`, as in the
+    /// datapath crate).
+    pub fn register_bits(&self) -> u32 {
+        let t = usize::BITS - (self.n - 1).leading_zeros();
+        match self.fp {
+            FpSupport::None => 24 + t + self.headroom_l,
+            FpSupport::Full => self.w.max(33) + t + self.headroom_l,
+        }
+    }
+
+    /// Total multipliers in the tile.
+    pub fn multipliers(&self) -> usize {
+        self.n * self.ipus
+    }
+}
+
+/// Fig 7 component taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Multiplier array.
+    Mult,
+    /// Adder trees.
+    AdderTree,
+    /// Local alignment shifters.
+    Shifter,
+    /// Exponent handling units (`ShCNT` in Fig 7).
+    Ehu,
+    /// Accumulators (`FAcc`).
+    Accumulator,
+    /// Weight buffers (`WBuf`).
+    WeightBuffer,
+}
+
+impl Component {
+    /// All components in Fig 7 order.
+    pub const ALL: [Component; 6] = [
+        Component::Accumulator,
+        Component::WeightBuffer,
+        Component::Ehu,
+        Component::Mult,
+        Component::Shifter,
+        Component::AdderTree,
+    ];
+
+    /// The label Fig 7 uses.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::Mult => "MULT",
+            Component::AdderTree => "AT",
+            Component::Shifter => "Shft",
+            Component::Ehu => "ShCNT",
+            Component::Accumulator => "FAcc",
+            Component::WeightBuffer => "WBuf",
+        }
+    }
+}
+
+/// Area (µm²) and power (µW) per component for one tile.
+#[derive(Debug, Clone)]
+pub struct TileBreakdown {
+    /// The configuration this breakdown describes.
+    pub cfg: TileHwConfig,
+    /// `(component, gates)` pairs in [`Component::ALL`] order.
+    pub gates: Vec<(Component, f64)>,
+}
+
+impl TileBreakdown {
+    /// Compute the gate breakdown for a tile.
+    pub fn model(cfg: TileHwConfig) -> Self {
+        let mults = cfg.multipliers() as f64;
+        let ipus = cfg.ipus as f64;
+        let tree_w = cfg.tree_width();
+        let reg = cfg.register_bits();
+
+        let mult = mults * c::multiplier_gates(cfg.mult_a, cfg.mult_b);
+        let at = ipus * c::adder_tree_gates(cfg.n, tree_w);
+        let (shft, ehu) = match cfg.fp {
+            FpSupport::None => (0.0, 0.0),
+            FpSupport::Full => {
+                // Local shifter per lane: w-bit window, shift range w.
+                let s = mults * c::barrel_shifter_gates(tree_w, tree_w);
+                // One EHU serves 9 IPUs (9 nibble iterations per plan).
+                let units = (cfg.ipus as f64 / 9.0).ceil();
+                (s, units * c::ehu_gates(cfg.n, 6))
+            }
+        };
+        let acc_shift_range = match cfg.fp {
+            FpSupport::None => 24, // 4k shifts, k ≤ 6
+            FpSupport::Full => reg,
+        };
+        let facc = ipus
+            * (c::ff_gates(reg)
+                + c::adder_gates(reg)
+                + c::barrel_shifter_gates(reg, acc_shift_range)
+                + 3.0 * reg as f64); // swap muxes
+        let wbuf = mults * c::sram_gates(5 * cfg.weight_depth);
+
+        TileBreakdown {
+            cfg,
+            gates: vec![
+                (Component::Accumulator, facc),
+                (Component::WeightBuffer, wbuf),
+                (Component::Ehu, ehu),
+                (Component::Mult, mult),
+                (Component::Shifter, shft),
+                (Component::AdderTree, at),
+            ],
+        }
+    }
+
+    /// Total gates.
+    pub fn total_gates(&self) -> f64 {
+        self.gates.iter().map(|(_, g)| g).sum()
+    }
+
+    /// Total area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.total_gates() * c::AREA_PER_GATE_UM2
+    }
+
+    /// Total area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area_um2() / 1e6
+    }
+
+    /// Gates of one component.
+    pub fn component_gates(&self, comp: Component) -> f64 {
+        self.gates
+            .iter()
+            .find(|(cc, _)| *cc == comp)
+            .map(|(_, g)| *g)
+            .unwrap_or(0.0)
+    }
+
+    /// Activity factor of a component in INT or FP mode (drives the Fig 7
+    /// power split: FP-only logic idles in INT mode).
+    fn activity(comp: Component, fp_mode: bool) -> f64 {
+        match (comp, fp_mode) {
+            (Component::Mult, _) => 1.0,
+            (Component::AdderTree, _) => 1.0,
+            (Component::Shifter, false) => 0.35, // pass-through still toggles
+            (Component::Shifter, true) => 0.9,
+            (Component::Ehu, false) => c::IDLE_ACTIVITY,
+            (Component::Ehu, true) => 0.5, // one plan per 9 iterations
+            (Component::Accumulator, false) => 0.6,
+            (Component::Accumulator, true) => 0.9,
+            (Component::WeightBuffer, _) => 0.25,
+        }
+    }
+
+    /// Power in µW of one component for the given mode.
+    pub fn component_power_uw(&self, comp: Component, fp_mode: bool) -> f64 {
+        self.component_gates(comp) * Self::activity(comp, fp_mode) * c::POWER_PER_GATE_UW
+    }
+
+    /// Total tile power in mW for the given mode.
+    pub fn power_mw(&self, fp_mode: bool) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&comp| self.component_power_uw(comp, fp_mode))
+            .sum::<f64>()
+            / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropping_38_to_28_saves_notable_area() {
+        // Paper §4.2 point (1): 38 → 28 bits reduces tile area by ~17%
+        // (16-input) / ~15% (8-input).
+        for (mk, lo, hi) in [
+            (TileHwConfig::big as fn(u32) -> TileHwConfig, 0.08, 0.30),
+            (TileHwConfig::small as fn(u32) -> TileHwConfig, 0.07, 0.30),
+        ] {
+            let a38 = TileBreakdown::model(mk(38)).area_um2();
+            let a28 = TileBreakdown::model(mk(28)).area_um2();
+            let saving = 1.0 - a28 / a38;
+            assert!(
+                (lo..hi).contains(&saving),
+                "38→28 saving {saving:.3} outside [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn dropping_to_12_saves_more() {
+        // Paper §4.2 point (2): down to 12 bits saves up to ~39%.
+        let a38 = TileBreakdown::model(TileHwConfig::big(38)).area_um2();
+        let a12 = TileBreakdown::model(TileHwConfig::big(12)).area_um2();
+        let saving = 1.0 - a12 / a38;
+        assert!((0.25..0.50).contains(&saving), "38→12 saving {saving:.3}");
+    }
+
+    #[test]
+    fn fp_support_costs_roughly_43_percent_over_int() {
+        // Paper §4.2 point (3): "In comparison with INT only IPU,
+        // MC-IPU(12) can support FP16 with a 43% increase in area." The
+        // comparison is at the IPU level, so exclude the weight buffers
+        // (identical in both and not part of the IPU datapath).
+        let ipu_area = |b: &TileBreakdown| {
+            b.total_gates() - b.component_gates(Component::WeightBuffer)
+        };
+        let int_only = TileBreakdown::model(TileHwConfig::big(12).int_only());
+        let fp12 = TileBreakdown::model(TileHwConfig::big(12));
+        let overhead = ipu_area(&fp12) / ipu_area(&int_only) - 1.0;
+        assert!(
+            (0.25..0.60).contains(&overhead),
+            "FP16-at-12b overhead {overhead:.3}"
+        );
+    }
+
+    #[test]
+    fn area_decreases_monotonically_with_tree_width() {
+        let mut prev = f64::INFINITY;
+        for w in [38u32, 28, 24, 20, 16, 12] {
+            let a = TileBreakdown::model(TileHwConfig::small(w)).area_um2();
+            assert!(a < prev, "w={w}: {a} not < {prev}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn int_mode_power_is_lower_than_fp_mode() {
+        let b = TileBreakdown::model(TileHwConfig::big(28));
+        assert!(b.power_mw(false) < b.power_mw(true));
+    }
+
+    #[test]
+    fn fp_only_components_idle_in_int_mode() {
+        let b = TileBreakdown::model(TileHwConfig::big(28));
+        let shft_int = b.component_power_uw(Component::Shifter, false);
+        let shft_fp = b.component_power_uw(Component::Shifter, true);
+        assert!(shft_int < 0.5 * shft_fp);
+        let ehu_int = b.component_power_uw(Component::Ehu, false);
+        let ehu_fp = b.component_power_uw(Component::Ehu, true);
+        assert!(ehu_int < 0.15 * ehu_fp);
+    }
+
+    #[test]
+    fn int_only_tile_has_no_fp_logic() {
+        let b = TileBreakdown::model(TileHwConfig::small(28).int_only());
+        assert_eq!(b.component_gates(Component::Shifter), 0.0);
+        assert_eq!(b.component_gates(Component::Ehu), 0.0);
+    }
+
+    #[test]
+    fn big_tile_is_roughly_4x_small_tile() {
+        let big = TileBreakdown::model(TileHwConfig::big(28)).area_um2();
+        let small = TileBreakdown::model(TileHwConfig::small(28)).area_um2();
+        let ratio = big / small;
+        assert!((3.0..5.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let b = TileBreakdown::model(TileHwConfig::big(16));
+        let sum: f64 = Component::ALL
+            .iter()
+            .map(|&comp| b.component_gates(comp))
+            .sum();
+        assert!((sum - b.total_gates()).abs() < 1e-6);
+    }
+}

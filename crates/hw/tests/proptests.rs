@@ -1,0 +1,94 @@
+//! Property-based invariants of the hardware model.
+
+use mpipu_hw::components;
+use mpipu_hw::tile_model::{Component, TileBreakdown, TileHwConfig};
+use mpipu_hw::DesignPoint;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tile area grows monotonically in adder-tree width, lane count and
+    /// IPU count.
+    #[test]
+    fn area_monotone(w in 10u32..40, n_idx in 0usize..2, extra in 0usize..32) {
+        let n = [8usize, 16][n_idx];
+        let base = TileHwConfig {
+            n,
+            ipus: 32 + extra,
+            ..TileHwConfig::big(w)
+        };
+        let a = TileBreakdown::model(base).area_um2();
+        let wider = TileHwConfig { w: w + 1, ..base };
+        prop_assert!(TileBreakdown::model(wider).area_um2() >= a);
+        let more_ipus = TileHwConfig { ipus: base.ipus + 1, ..base };
+        prop_assert!(TileBreakdown::model(more_ipus).area_um2() > a);
+    }
+
+    /// INT-only variants are always smaller and never contain FP logic.
+    #[test]
+    fn int_only_is_smaller(w in 10u32..40) {
+        let fp = TileBreakdown::model(TileHwConfig::big(w));
+        let int = TileBreakdown::model(TileHwConfig::big(w).int_only());
+        prop_assert!(int.area_um2() < fp.area_um2());
+        prop_assert_eq!(int.component_gates(Component::Shifter), 0.0);
+        prop_assert_eq!(int.component_gates(Component::Ehu), 0.0);
+    }
+
+    /// FP-mode power strictly dominates INT-mode power (same tile).
+    #[test]
+    fn fp_power_dominates(w in 10u32..40) {
+        let b = TileBreakdown::model(TileHwConfig::small(w));
+        prop_assert!(b.power_mw(true) > b.power_mw(false));
+    }
+
+    /// Component gates are non-negative and sum to the total.
+    #[test]
+    fn breakdown_sums(w in 10u32..40) {
+        let b = TileBreakdown::model(TileHwConfig::big(w));
+        let mut sum = 0.0;
+        for comp in Component::ALL {
+            let g = b.component_gates(comp);
+            prop_assert!(g >= 0.0);
+            sum += g;
+        }
+        prop_assert!((sum - b.total_gates()).abs() < 1e-6);
+    }
+
+    /// Design-point metrics: FP efficiency decreases with slowdown, INT
+    /// efficiency is independent of it.
+    #[test]
+    fn metrics_respond_to_slowdown(
+        w in 12u32..38,
+        c_idx in 0usize..3,
+        slow in 1.0f64..4.0,
+    ) {
+        let cluster_size = [1usize, 4, 16][c_idx];
+        let p = DesignPoint { w, cluster_size, big: true };
+        let fast = p.metrics(1.0);
+        let slowed = p.metrics(slow);
+        prop_assert_eq!(fast.int_tops_per_mm2, slowed.int_tops_per_mm2);
+        prop_assert_eq!(fast.int_tops_per_w, slowed.int_tops_per_w);
+        prop_assert!(slowed.fp_tflops_per_mm2 <= fast.fp_tflops_per_mm2);
+        let ratio = fast.fp_tflops_per_mm2 / slowed.fp_tflops_per_mm2;
+        prop_assert!((ratio - slow).abs() < 1e-9);
+    }
+
+    /// Component scaling laws: multiplier bilinear, adder linear,
+    /// flip-flops linear.
+    #[test]
+    fn scaling_laws(a in 1u32..16, b in 1u32..16, k in 1u32..8) {
+        prop_assert_eq!(
+            components::multiplier_gates(a * k, b),
+            components::multiplier_gates(a, b) * k as f64
+        );
+        prop_assert_eq!(
+            components::adder_gates(a * k),
+            components::adder_gates(a) * k as f64
+        );
+        prop_assert_eq!(
+            components::ff_gates(a * k),
+            components::ff_gates(a) * k as f64
+        );
+    }
+}

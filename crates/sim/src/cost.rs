@@ -1,0 +1,225 @@
+//! Monte-Carlo step-cost sampling.
+//!
+//! For each broadcast step the tile sees one activation vector per spatial
+//! position and one weight vector per filter (k index). The cost of the
+//! step for IPU `(k, pixel)` is `9 ×` the number of non-empty alignment
+//! partitions of its product-exponent plan — computed with the *same* EHU
+//! logic as the bit-accurate datapath (`mpipu_datapath::Ehu`).
+//!
+//! Activation/weight values are drawn from the workload's distribution
+//! family (forward: ReLU-truncated activations × Laplace weights;
+//! backward: wide-dynamic-range gradients — see `mpipu-analysis::dist`).
+
+use mpipu_analysis::dist::{Distribution, Sampler};
+use mpipu_datapath::Ehu;
+use mpipu_fp::SignedMagnitude;
+use mpipu_dnn::zoo::Pass;
+
+use crate::tile::TileConfig;
+
+/// Per-step costs, grouped by cluster: `costs[cluster][step]` is the cycle
+/// count the cluster spends on that step (max over its IPUs).
+#[derive(Debug, Clone)]
+pub struct StepCosts {
+    /// `costs[cluster]` is that cluster's per-step cycle stream.
+    pub per_cluster: Vec<Vec<u32>>,
+    /// Cycles a baseline (wide-tree, single-cycle-per-iteration) IPU
+    /// spends per step.
+    pub baseline_per_step: u32,
+}
+
+/// Samples step costs for a tile design.
+#[derive(Debug)]
+pub struct CostModel {
+    act: Sampler,
+    wgt: Sampler,
+    ehu: Ehu,
+    sp: u32,
+    tile: TileConfig,
+}
+
+impl CostModel {
+    /// Build a cost model.
+    ///
+    /// * `w` — MC-IPU adder-tree precision (safe precision is `w − 9`);
+    /// * `software_precision` — EHU stage-4 masking threshold (16 for FP16
+    ///   accumulation, 28 for FP32);
+    /// * `pass` — selects the distribution family.
+    pub fn new(tile: TileConfig, w: u32, software_precision: u32, pass: Pass, seed: u64) -> Self {
+        let (act_dist, wgt_dist) = match pass {
+            Pass::Forward => (Distribution::Resnet18Like, Distribution::WeightLike),
+            Pass::Backward => (Distribution::BackwardLike, Distribution::WeightLike),
+        };
+        CostModel {
+            act: Sampler::new(act_dist, seed),
+            wgt: Sampler::new(wgt_dist, seed ^ 0x9e37_79b9),
+            ehu: Ehu::new(software_precision),
+            // w ≥ software precision ⇒ the plain approximate IPU covers the
+            // requirement in one cycle (sp = software precision disables
+            // partitioning); otherwise partition by the safe precision.
+            sp: if w >= software_precision {
+                software_precision + 1 // covers s = swp inclusive: 1 cycle
+            } else {
+                w.saturating_sub(9).max(1)
+            },
+            tile,
+        }
+    }
+
+    /// Sample the cycle cost of one step for every cluster.
+    ///
+    /// Returns `cost[cluster]` = max FP-IP cycles over the cluster's IPUs.
+    pub fn sample_step(&mut self) -> Vec<u32> {
+        let n = self.tile.c_unroll;
+        let pixels = self.tile.pixels();
+        // Activation exponents per spatial position (shared by all k).
+        let act_exps: Vec<Vec<Option<i32>>> = (0..pixels)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        let v = self.act.sample_fp16();
+                        SignedMagnitude::from_fp16(v)
+                            .filter(|sm| !sm.is_zero())
+                            .map(|sm| sm.exp)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut cluster_costs = vec![0u32; self.tile.clusters()];
+        for k in 0..self.tile.k_unroll {
+            // Weight exponents for filter k (shared across pixels).
+            let wgt_exps: Vec<Option<i32>> = (0..n)
+                .map(|_| {
+                    let v = self.wgt.sample_fp16();
+                    SignedMagnitude::from_fp16(v)
+                        .filter(|sm| !sm.is_zero())
+                        .map(|sm| sm.exp)
+                })
+                .collect();
+            for (pixel, pixel_exps) in act_exps.iter().enumerate() {
+                // Clusters partition individual MC-IPUs, k-major.
+                let ipu_index = k * pixels + pixel;
+                let cluster = ipu_index / self.tile.cluster_size;
+                let prod: Vec<Option<i32>> = pixel_exps
+                    .iter()
+                    .zip(&wgt_exps)
+                    .map(|(&a, &w)| match (a, w) {
+                        (Some(a), Some(w)) => Some(a + w),
+                        _ => None,
+                    })
+                    .collect();
+                let plan = self.ehu.plan(&prod);
+                let cycles = 9 * plan.cycles(self.sp);
+                cluster_costs[cluster] = cluster_costs[cluster].max(cycles);
+            }
+        }
+        cluster_costs
+    }
+
+    /// Sample `steps` steps of costs, grouped by cluster.
+    pub fn sample_steps(&mut self, steps: usize) -> StepCosts {
+        let clusters = self.tile.clusters();
+        let mut per_cluster = vec![Vec::with_capacity(steps); clusters];
+        for _ in 0..steps {
+            let c = self.sample_step();
+            for (stream, cost) in per_cluster.iter_mut().zip(c) {
+                stream.push(cost);
+            }
+        }
+        StepCosts {
+            per_cluster,
+            baseline_per_step: 9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_costs_stay_low_at_w20() {
+        // Fig 9(a): forward alignments cluster near zero (sp(20) = 11
+        // covers nearly all of them), so even the per-cluster max over
+        // 32 IPUs is mostly a single partition.
+        let mut m = CostModel::new(TileConfig::small(), 20, 28, Pass::Forward, 1);
+        let costs = m.sample_steps(300);
+        let flat: Vec<u32> = costs.per_cluster.concat();
+        let single = flat.iter().filter(|&&c| c == 9).count();
+        assert!(
+            single * 2 > flat.len(),
+            "expected mostly 9-cycle steps, got {single}/{}",
+            flat.len()
+        );
+        // At w = 16 (sp = 7) the average cluster cost remains under three
+        // partitions for forward tensors.
+        let mut m = CostModel::new(TileConfig::small(), 16, 28, Pass::Forward, 1);
+        let flat: Vec<u32> = m.sample_steps(300).per_cluster.concat();
+        let mean = flat.iter().map(|&c| c as f64).sum::<f64>() / flat.len() as f64;
+        assert!(mean < 27.0, "mean forward cluster cost {mean}");
+    }
+
+    #[test]
+    fn backward_costs_exceed_forward() {
+        let fwd: u64 = CostModel::new(TileConfig::small(), 12, 28, Pass::Forward, 1)
+            .sample_steps(300)
+            .per_cluster
+            .concat()
+            .iter()
+            .map(|&c| c as u64)
+            .sum();
+        let bwd: u64 = CostModel::new(TileConfig::small(), 12, 28, Pass::Backward, 1)
+            .sample_steps(300)
+            .per_cluster
+            .concat()
+            .iter()
+            .map(|&c| c as u64)
+            .sum();
+        assert!(bwd > fwd, "bwd {bwd} fwd {fwd}");
+    }
+
+    #[test]
+    fn wider_tree_never_costs_more() {
+        let total = |w: u32| -> u64 {
+            CostModel::new(TileConfig::small(), w, 28, Pass::Backward, 7)
+                .sample_steps(200)
+                .per_cluster
+                .concat()
+                .iter()
+                .map(|&c| c as u64)
+                .sum()
+        };
+        let (c12, c16, c28) = (total(12), total(16), total(28));
+        assert!(c12 >= c16, "{c12} vs {c16}");
+        assert!(c16 >= c28, "{c16} vs {c28}");
+    }
+
+    #[test]
+    fn w28_rarely_multicycles() {
+        let costs = CostModel::new(TileConfig::small(), 28, 28, Pass::Forward, 7)
+            .sample_steps(200)
+            .per_cluster
+            .concat();
+        let multi = costs.iter().filter(|&&c| c > 9).count();
+        assert!(multi * 10 < costs.len(), "{multi} multi-cycle steps");
+    }
+
+    #[test]
+    fn smaller_clusters_have_no_larger_max_costs() {
+        // The per-cluster max over fewer IPUs is stochastically smaller.
+        let avg = |cluster: usize| -> f64 {
+            let tile = TileConfig::big().with_cluster_size(cluster);
+            let costs = CostModel::new(tile, 12, 28, Pass::Backward, 3).sample_steps(200);
+            let flat: Vec<u32> = costs.per_cluster.concat();
+            flat.iter().map(|&c| c as f64).sum::<f64>() / flat.len() as f64
+        };
+        assert!(avg(1) <= avg(16) + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = CostModel::new(TileConfig::small(), 12, 28, Pass::Forward, 5).sample_steps(50);
+        let b = CostModel::new(TileConfig::small(), 12, 28, Pass::Forward, 5).sample_steps(50);
+        assert_eq!(a.per_cluster, b.per_cluster);
+    }
+}

@@ -1,0 +1,45 @@
+//! # `mpipu-sim` — cycle-accurate convolution tile simulator
+//!
+//! Models the paper's convolution tile (§4.1, Fig 6): a weight-stationary
+//! array of MC-IPUs unrolled over `(C, K, H, Wo)`, grouped into clusters
+//! with private input/output buffers (§3.3). The simulator reproduces the
+//! paper's performance experiments:
+//!
+//! * **Fig 8(a)** — normalized execution time versus MC-IPU adder-tree
+//!   precision for ResNet-18/50 and InceptionV3 forward passes and the
+//!   ResNet-18 backward pass;
+//! * **Fig 8(b)** — the effect of cluster size at fixed precision.
+//!
+//! ## Model
+//!
+//! Work is expressed in broadcast *steps*: each step delivers one
+//! activation vector group to every IPU of the tile (one inner product per
+//! IPU). An FP16 step costs `9 × (non-empty alignment partitions)` cycles
+//! on an MC-IPU (§3.2); a `Ka×Kb`-nibble INT step costs `Ka·Kb` cycles.
+//! All IPUs within a cluster advance in lock step (the slowest IPU stalls
+//! its cluster); clusters decouple through input FIFOs of configurable
+//! depth, and the tile-level broadcast stalls when any FIFO is full —
+//! exactly the stall semantics of §3.3.
+//!
+//! Per-step alignment plans are sampled Monte-Carlo-style from the
+//! workload's value distributions (the paper samples real tensors; see
+//! `DESIGN.md` for the substitution), using the *same* EHU logic as the
+//! bit-accurate datapath. The simulator assumes an ideal memory hierarchy,
+//! as the paper does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod mixed;
+pub mod result;
+pub mod run;
+pub mod tile;
+
+pub use cost::{CostModel, StepCosts};
+pub use engine::simulate_clusters;
+pub use mixed::{first_last_fp16, run_mixed, LayerPrecision, MixedResult};
+pub use result::{LayerResult, WorkloadResult};
+pub use run::{run_workload, SimDesign, SimOptions};
+pub use tile::TileConfig;

@@ -1,0 +1,249 @@
+//! Mixed-precision network scheduling: per-layer INT/FP execution.
+//!
+//! The paper's motivation (§1, Appendix B) is networks where most layers
+//! are INT-quantized and a few remain FP16 ("hybrid approaches where a few
+//! layers are kept in FP and the rest are quantized to integer"), and §3.3
+//! notes that the first consideration when sizing the MC-IPU is "the INT
+//! and FP operations percentage split". This module executes a workload
+//! where each layer carries its own precision assignment and reports the
+//! split and the blended execution time.
+
+use crate::cost::CostModel;
+use crate::engine::simulate_clusters;
+use crate::result::{LayerResult, WorkloadResult};
+use crate::run::{SimDesign, SimOptions};
+use mpipu_dnn::zoo::Workload;
+
+/// Per-layer numeric assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerPrecision {
+    /// INT with `ka`/`kb`-nibble operands: `ka·kb` cycles per step,
+    /// alignment-free.
+    Int {
+        /// Activation nibbles (INT4 = 1, INT8 = 2, …).
+        ka: u32,
+        /// Weight nibbles.
+        kb: u32,
+    },
+    /// FP16 with the design's software precision.
+    Fp16,
+}
+
+impl LayerPrecision {
+    /// Label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            LayerPrecision::Int { ka, kb } => format!("int{}x{}", 4 * ka, 4 * kb),
+            LayerPrecision::Fp16 => "fp16".to_string(),
+        }
+    }
+}
+
+/// Outcome of a mixed-precision run.
+#[derive(Debug, Clone)]
+pub struct MixedResult {
+    /// Per-layer results (cycles include INT layers).
+    pub result: WorkloadResult,
+    /// Fraction of MAC work executed in FP16 (by baseline cycles).
+    pub fp_fraction: f64,
+}
+
+/// Simulate a workload with a per-layer precision assignment.
+///
+/// `assignment[i]` applies to `workload.layers[i]`; INT layers run at
+/// their deterministic `ka·kb` cycles per step (no alignment stalls), FP16
+/// layers run through the Monte-Carlo MC-IPU cost model.
+///
+/// # Panics
+/// Panics if the assignment length does not match the layer count.
+pub fn run_mixed(
+    design: &SimDesign,
+    workload: &Workload,
+    assignment: &[LayerPrecision],
+    opts: &SimOptions,
+) -> MixedResult {
+    assert_eq!(
+        assignment.len(),
+        workload.layers.len(),
+        "one precision per layer required"
+    );
+    let tile = design.tile;
+    let mut layers = Vec::with_capacity(workload.layers.len());
+    let mut fp_base = 0u64;
+    let mut all_base = 0u64;
+    for (li, (&(shape, multiplicity), &prec)) in
+        workload.layers.iter().zip(assignment).enumerate()
+    {
+        let steps = shape.tile_steps(
+            tile.c_unroll,
+            tile.k_unroll * design.n_tiles,
+            tile.h_unroll,
+            tile.w_unroll,
+        );
+        let (cycles, baseline_cycles) = match prec {
+            LayerPrecision::Int { ka, kb } => {
+                // Deterministic: ka·kb cycles per step on every IPU; the
+                // broadcast keeps up (ka·kb ≥ 1 per cycle).
+                let per_step = u64::from(ka * kb);
+                (steps * per_step, steps * per_step)
+            }
+            LayerPrecision::Fp16 => {
+                let sampled = (steps as usize).min(opts.sample_steps).max(1);
+                let mut model = CostModel::new(
+                    tile,
+                    design.w,
+                    design.software_precision,
+                    workload.pass,
+                    opts.seed ^ (li as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                let costs = model.sample_steps(sampled);
+                let window = simulate_clusters(&costs.per_cluster, tile.buffer_depth);
+                let cycles =
+                    (window as f64 * steps as f64 / sampled as f64).round() as u64;
+                (cycles, steps * u64::from(costs.baseline_per_step))
+            }
+        };
+        if matches!(prec, LayerPrecision::Fp16) {
+            fp_base += baseline_cycles * multiplicity as u64;
+        }
+        all_base += baseline_cycles * multiplicity as u64;
+        layers.push(LayerResult {
+            shape,
+            multiplicity,
+            steps,
+            cycles,
+            baseline_cycles,
+        });
+    }
+    MixedResult {
+        result: WorkloadResult {
+            label: format!("{}-mixed", workload.label()),
+            layers,
+        },
+        fp_fraction: fp_base as f64 / all_base.max(1) as f64,
+    }
+}
+
+/// A common hybrid assignment: first and last layers FP16 (the
+/// quantization-sensitive ones), everything else INT4 — the split the
+/// paper's intro motivates.
+pub fn first_last_fp16(workload: &Workload) -> Vec<LayerPrecision> {
+    let n = workload.layers.len();
+    (0..n)
+        .map(|i| {
+            if i == 0 || i + 1 == n {
+                LayerPrecision::Fp16
+            } else {
+                LayerPrecision::Int { ka: 1, kb: 1 }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::TileConfig;
+    use mpipu_dnn::zoo::{resnet18, Pass};
+
+    fn design(w: u32) -> SimDesign {
+        SimDesign {
+            tile: TileConfig::small(),
+            w,
+            software_precision: 28,
+            n_tiles: 4,
+        }
+    }
+
+    fn opts() -> SimOptions {
+        SimOptions {
+            sample_steps: 64,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn all_int4_runs_at_one_cycle_per_step() {
+        let wl = resnet18(Pass::Forward);
+        let assignment = vec![LayerPrecision::Int { ka: 1, kb: 1 }; wl.layers.len()];
+        let r = run_mixed(&design(12), &wl, &assignment, &opts());
+        assert_eq!(r.fp_fraction, 0.0);
+        assert!((r.result.normalized() - 1.0).abs() < 1e-12);
+        let total_steps: u64 = r
+            .result
+            .layers
+            .iter()
+            .map(|l| l.steps * l.multiplicity as u64)
+            .sum();
+        assert_eq!(
+            r.result.total_cycles(),
+            total_steps,
+            "INT4 is one cycle per step"
+        );
+    }
+
+    #[test]
+    fn int8_costs_four_int4_cycles() {
+        let wl = resnet18(Pass::Forward);
+        let a4 = vec![LayerPrecision::Int { ka: 1, kb: 1 }; wl.layers.len()];
+        let a8 = vec![LayerPrecision::Int { ka: 2, kb: 2 }; wl.layers.len()];
+        let r4 = run_mixed(&design(12), &wl, &a4, &opts());
+        let r8 = run_mixed(&design(12), &wl, &a8, &opts());
+        assert_eq!(r8.result.total_cycles(), 4 * r4.result.total_cycles());
+    }
+
+    #[test]
+    fn hybrid_fp_fraction_is_small_but_positive() {
+        let wl = resnet18(Pass::Forward);
+        let assignment = first_last_fp16(&wl);
+        let r = run_mixed(&design(12), &wl, &assignment, &opts());
+        // conv1 + fc are a small share of MACs but a larger share of
+        // cycles (FP16 steps cost 9 baseline cycles vs 1 for INT4).
+        assert!(r.fp_fraction > 0.0 && r.fp_fraction < 0.8,
+            "fp fraction {}", r.fp_fraction);
+        // Hybrid total sits between all-INT4 and all-FP16.
+        let all_int = run_mixed(
+            &design(12),
+            &wl,
+            &vec![LayerPrecision::Int { ka: 1, kb: 1 }; wl.layers.len()],
+            &opts(),
+        );
+        let all_fp = run_mixed(
+            &design(12),
+            &wl,
+            &vec![LayerPrecision::Fp16; wl.layers.len()],
+            &opts(),
+        );
+        assert!(r.result.total_cycles() > all_int.result.total_cycles());
+        assert!(r.result.total_cycles() < all_fp.result.total_cycles());
+    }
+
+    #[test]
+    fn narrow_tree_only_hurts_the_fp_layers() {
+        let wl = resnet18(Pass::Forward);
+        let assignment = first_last_fp16(&wl);
+        let r12 = run_mixed(&design(12), &wl, &assignment, &opts());
+        let r28 = run_mixed(&design(28), &wl, &assignment, &opts());
+        // INT layers are identical; only the FP16 share grows.
+        let delta = r12.result.total_cycles() as f64 / r28.result.total_cycles() as f64;
+        assert!(delta >= 1.0);
+        assert!(
+            delta < 1.0 + 4.0 * r12.fp_fraction,
+            "slowdown {delta} exceeds the FP share bound"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one precision per layer")]
+    fn wrong_assignment_length_panics() {
+        let wl = resnet18(Pass::Forward);
+        run_mixed(&design(12), &wl, &[LayerPrecision::Fp16], &opts());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LayerPrecision::Int { ka: 1, kb: 1 }.label(), "int4x4");
+        assert_eq!(LayerPrecision::Int { ka: 2, kb: 3 }.label(), "int8x12");
+        assert_eq!(LayerPrecision::Fp16.label(), "fp16");
+    }
+}

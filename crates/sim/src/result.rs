@@ -1,0 +1,98 @@
+//! Simulation result types.
+
+use mpipu_dnn::shape::ConvShape;
+
+/// Result of simulating one conv layer on one design.
+#[derive(Debug, Clone)]
+pub struct LayerResult {
+    /// Layer geometry.
+    pub shape: ConvShape,
+    /// Layer multiplicity in the network.
+    pub multiplicity: usize,
+    /// Broadcast steps the tile performs (per instance).
+    pub steps: u64,
+    /// Simulated execution cycles (per instance, scaled from the sampled
+    /// window).
+    pub cycles: u64,
+    /// Cycles the wide-tree baseline needs (9 per step, no stalls beyond
+    /// broadcast bandwidth).
+    pub baseline_cycles: u64,
+}
+
+impl LayerResult {
+    /// Execution time normalized to the baseline (≥ ~1.0).
+    pub fn normalized(&self) -> f64 {
+        self.cycles as f64 / self.baseline_cycles.max(1) as f64
+    }
+}
+
+/// Aggregated result over a whole workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload label (e.g. `resnet18-fwd`).
+    pub label: String,
+    /// Per-layer results.
+    pub layers: Vec<LayerResult>,
+}
+
+impl WorkloadResult {
+    /// Total cycles (×multiplicity).
+    pub fn total_cycles(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.cycles * l.multiplicity as u64)
+            .sum()
+    }
+
+    /// Total baseline cycles (×multiplicity).
+    pub fn total_baseline_cycles(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.baseline_cycles * l.multiplicity as u64)
+            .sum()
+    }
+
+    /// Workload-level normalized execution time (the Fig 8 y-axis).
+    pub fn normalized(&self) -> f64 {
+        self.total_cycles() as f64 / self.total_baseline_cycles().max(1) as f64
+    }
+
+    /// Effective FP throughput relative to the baseline (1/normalized) —
+    /// the factor used for the Fig 10 efficiency points.
+    pub fn effective_throughput(&self) -> f64 {
+        1.0 / self.normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(cycles: u64, baseline: u64, m: usize) -> LayerResult {
+        LayerResult {
+            shape: ConvShape::square(16, 16, 3, 8, 1),
+            multiplicity: m,
+            steps: baseline / 9,
+            cycles,
+            baseline_cycles: baseline,
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        let l = layer(1800, 900, 1);
+        assert_eq!(l.normalized(), 2.0);
+    }
+
+    #[test]
+    fn workload_weights_by_multiplicity() {
+        let w = WorkloadResult {
+            label: "test".into(),
+            layers: vec![layer(900, 900, 1), layer(1800, 900, 3)],
+        };
+        assert_eq!(w.total_cycles(), 900 + 3 * 1800);
+        assert_eq!(w.total_baseline_cycles(), 4 * 900);
+        assert!((w.normalized() - 6300.0 / 3600.0).abs() < 1e-12);
+        assert!((w.effective_throughput() - 3600.0 / 6300.0).abs() < 1e-12);
+    }
+}

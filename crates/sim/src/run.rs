@@ -1,0 +1,228 @@
+//! Top-level workload simulation: layers → sampled step costs → timing.
+
+use crate::cost::CostModel;
+use crate::engine::simulate_clusters;
+use crate::result::{LayerResult, WorkloadResult};
+use crate::tile::TileConfig;
+use mpipu_dnn::zoo::Workload;
+
+/// A complete accelerator design point for the performance experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct SimDesign {
+    /// Tile geometry and clustering.
+    pub tile: TileConfig,
+    /// MC-IPU adder-tree precision `w`.
+    pub w: u32,
+    /// Software precision (16 = FP16 accumulation, 28 = FP32).
+    pub software_precision: u32,
+    /// Number of tiles sharing the K dimension (the paper uses 4).
+    pub n_tiles: usize,
+}
+
+impl SimDesign {
+    /// The paper's Baseline1: four small tiles with 38-bit adder trees.
+    pub fn baseline1() -> Self {
+        SimDesign {
+            tile: TileConfig::small(),
+            w: 38,
+            software_precision: 28,
+            n_tiles: 4,
+        }
+    }
+
+    /// The paper's Baseline2: four big tiles with 38-bit adder trees.
+    pub fn baseline2() -> Self {
+        SimDesign {
+            tile: TileConfig::big(),
+            w: 38,
+            software_precision: 28,
+            n_tiles: 4,
+        }
+    }
+}
+
+/// Monte-Carlo options.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Steps sampled per layer (results scale to the true step count).
+    pub sample_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            sample_steps: 512,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Simulate a workload on a design; returns per-layer and aggregate
+/// normalized execution times (the Fig 8 quantities).
+pub fn run_workload(design: &SimDesign, workload: &Workload, opts: &SimOptions) -> WorkloadResult {
+    let tile = design.tile;
+    let mut layers = Vec::with_capacity(workload.layers.len());
+    for (li, &(shape, multiplicity)) in workload.layers.iter().enumerate() {
+        let steps = shape.tile_steps(
+            tile.c_unroll,
+            tile.k_unroll * design.n_tiles,
+            tile.h_unroll,
+            tile.w_unroll,
+        );
+        let sampled = (steps as usize).min(opts.sample_steps).max(1);
+        let mut model = CostModel::new(
+            tile,
+            design.w,
+            design.software_precision,
+            workload.pass,
+            opts.seed ^ (li as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let costs = model.sample_steps(sampled);
+        let window_cycles = simulate_clusters(&costs.per_cluster, tile.buffer_depth);
+        // Scale the sampled window to the layer's true step count.
+        let cycles = (window_cycles as f64 * steps as f64 / sampled as f64).round() as u64;
+        let baseline_cycles = steps * u64::from(costs.baseline_per_step);
+        layers.push(LayerResult {
+            shape,
+            multiplicity,
+            steps,
+            cycles,
+            baseline_cycles,
+        });
+    }
+    WorkloadResult {
+        label: workload.label(),
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpipu_dnn::zoo::{resnet18, Pass};
+
+    fn quick_opts() -> SimOptions {
+        SimOptions {
+            sample_steps: 96,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn baseline_designs_are_near_unity() {
+        // A 38-bit tree (sp = 29 ≥ software precision 28) never
+        // multi-cycles, so the normalized time is exactly 1.
+        let r = run_workload(
+            &SimDesign::baseline2(),
+            &resnet18(Pass::Forward),
+            &quick_opts(),
+        );
+        assert!(
+            (r.normalized() - 1.0).abs() < 1e-9,
+            "baseline normalized {}",
+            r.normalized()
+        );
+    }
+
+    #[test]
+    fn narrow_trees_slow_down_and_order_correctly() {
+        let wl = resnet18(Pass::Forward);
+        let norm = |w: u32| {
+            let d = SimDesign {
+                tile: TileConfig::small(),
+                w,
+                software_precision: 28,
+                n_tiles: 4,
+            };
+            run_workload(&d, &wl, &quick_opts()).normalized()
+        };
+        let (n12, n16, n28) = (norm(12), norm(16), norm(28));
+        assert!(n12 >= n16 && n16 >= n28, "{n12} {n16} {n28}");
+        assert!(n12 > 1.05, "12-bit tree should pay a penalty, got {n12}");
+        assert!(n28 < 1.6, "28-bit tree should be near baseline, got {n28}");
+    }
+
+    #[test]
+    fn backward_pays_more_than_forward() {
+        let d = SimDesign {
+            tile: TileConfig::small(),
+            w: 16,
+            software_precision: 28,
+            n_tiles: 4,
+        };
+        let f = run_workload(&d, &resnet18(Pass::Forward), &quick_opts()).normalized();
+        let b = run_workload(&d, &resnet18(Pass::Backward), &quick_opts()).normalized();
+        assert!(b > f, "bwd {b} fwd {f}");
+    }
+
+    #[test]
+    fn clustering_reduces_slowdown() {
+        let wl = resnet18(Pass::Backward);
+        let norm = |cluster: usize| {
+            let d = SimDesign {
+                tile: TileConfig::big().with_cluster_size(cluster),
+                w: 16,
+                software_precision: 28,
+                n_tiles: 4,
+            };
+            run_workload(&d, &wl, &quick_opts()).normalized()
+        };
+        let full = norm(16);
+        let fine = norm(1);
+        assert!(fine <= full, "cluster=1 {fine} vs cluster=16 {full}");
+    }
+
+    #[test]
+    fn sixteen_input_ipus_stall_more_than_eight() {
+        // Paper §4.3: "since 8-input MC-IPUs have fewer products, it is
+        // less likely that they need multiple cycles."
+        let wl = resnet18(Pass::Backward);
+        let d8 = SimDesign {
+            tile: TileConfig::small(),
+            w: 12,
+            software_precision: 28,
+            n_tiles: 4,
+        };
+        let d16 = SimDesign {
+            tile: TileConfig::big(),
+            w: 12,
+            software_precision: 28,
+            n_tiles: 4,
+        };
+        let n8 = run_workload(&d8, &wl, &quick_opts()).normalized();
+        let n16 = run_workload(&d16, &wl, &quick_opts()).normalized();
+        assert!(n16 >= n8, "16-input {n16} vs 8-input {n8}");
+    }
+
+    #[test]
+    fn fp16_software_precision_never_multicycles_at_w16() {
+        // §4.3: "IPUs with a 16b or larger adder tree take exactly one
+        // cycle per nibble iteration" under FP16 accumulation… with
+        // sp(16) = 7 and software precision 16, alignments in [7, 16]
+        // still partition. The paper's statement refers to designs whose
+        // precision ≥ software precision: use w = 25 (sp = 16).
+        let d = SimDesign {
+            tile: TileConfig::small(),
+            w: 25,
+            software_precision: 16,
+            n_tiles: 4,
+        };
+        let r = run_workload(&d, &resnet18(Pass::Forward), &quick_opts());
+        assert!((r.normalized() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_steps_scale_with_geometry() {
+        let r = run_workload(
+            &SimDesign::baseline1(),
+            &resnet18(Pass::Forward),
+            &quick_opts(),
+        );
+        // conv1 (C=3 → 1 chunk ×49 taps) vs fc (512→1000).
+        assert!(r.layers[0].steps > 0);
+        let total: u64 = r.layers.iter().map(|l| l.steps).sum();
+        assert!(total > 100_000);
+    }
+}

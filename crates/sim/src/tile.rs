@@ -1,0 +1,147 @@
+//! Tile geometry: unrolling factors, cluster partitioning, buffers.
+
+/// Static configuration of one convolution tile.
+///
+/// The tile is unrolled `(c_unroll, k_unroll, h_unroll, w_unroll)` in the
+/// `(C, K, H, Wo)` dimensions: it holds `k_unroll · h_unroll · w_unroll`
+/// IPUs of `c_unroll` lanes each. The paper's two designs are
+/// [`TileConfig::big`] `(16,16,2,2)` and [`TileConfig::small`] `(8,8,2,2)`,
+/// both weight-stationary with 9-entry weight buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Input-channel unrolling = IPU lane count `n`.
+    pub c_unroll: usize,
+    /// Output-channel unrolling = filter groups (one IPU set per filter).
+    pub k_unroll: usize,
+    /// Output-height unrolling.
+    pub h_unroll: usize,
+    /// Output-width unrolling.
+    pub w_unroll: usize,
+    /// MC-IPUs per cluster (§3.3). Must divide the tile's IPU count; the
+    /// no-clustering configuration is `cluster_size = ipus()` (the whole
+    /// tile stalls together).
+    pub cluster_size: usize,
+    /// Depth of each cluster's input FIFO, in steps.
+    pub buffer_depth: usize,
+    /// Weight-buffer depth per multiplier (9 B in the paper's designs).
+    pub weight_buffer_depth: usize,
+}
+
+impl TileConfig {
+    /// The paper's big tile: `(16, 16, 2, 2)`.
+    pub fn big() -> Self {
+        TileConfig {
+            c_unroll: 16,
+            k_unroll: 16,
+            h_unroll: 2,
+            w_unroll: 2,
+            cluster_size: 64, // no clustering: whole tile in lock step
+            buffer_depth: 4,
+            weight_buffer_depth: 9,
+        }
+    }
+
+    /// The paper's small tile: `(8, 8, 2, 2)`.
+    pub fn small() -> Self {
+        TileConfig {
+            c_unroll: 8,
+            k_unroll: 8,
+            h_unroll: 2,
+            w_unroll: 2,
+            cluster_size: 32, // no clustering
+            buffer_depth: 4,
+            weight_buffer_depth: 9,
+        }
+    }
+
+    /// Builder: set the cluster size.
+    ///
+    /// # Panics
+    /// Panics unless `size` divides the tile's IPU count.
+    pub fn with_cluster_size(mut self, size: usize) -> Self {
+        assert!(
+            size >= 1 && self.ipus().is_multiple_of(size),
+            "cluster size {size} must divide the IPU count {}",
+            self.ipus()
+        );
+        self.cluster_size = size;
+        self
+    }
+
+    /// Builder: set the input FIFO depth.
+    pub fn with_buffer_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "buffer depth must be at least 1");
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// IPUs in the whole tile.
+    pub fn ipus(&self) -> usize {
+        self.k_unroll * self.h_unroll * self.w_unroll
+    }
+
+    /// Multipliers (MACs issued per cycle) in the whole tile.
+    pub fn multipliers(&self) -> usize {
+        self.ipus() * self.c_unroll
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.ipus() / self.cluster_size
+    }
+
+    /// Spatial positions computed in parallel.
+    pub fn pixels(&self) -> usize {
+        self.h_unroll * self.w_unroll
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_tile_has_1024_multipliers() {
+        let t = TileConfig::big();
+        assert_eq!(t.ipus(), 64);
+        assert_eq!(t.multipliers(), 1024);
+        assert_eq!(t.clusters(), 1);
+    }
+
+    #[test]
+    fn small_tile_has_256_multipliers() {
+        let t = TileConfig::small();
+        assert_eq!(t.multipliers(), 256);
+    }
+
+    #[test]
+    fn clustering_partitions_ipus() {
+        let t = TileConfig::big().with_cluster_size(4);
+        assert_eq!(t.clusters(), 16);
+        let t = TileConfig::big().with_cluster_size(1);
+        assert_eq!(t.clusters(), 64);
+        assert_eq!(TileConfig::big().clusters(), 1); // default: no clustering
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn cluster_size_must_divide() {
+        TileConfig::big().with_cluster_size(5);
+    }
+
+    #[test]
+    fn throughput_sanity_vs_paper() {
+        // Paper: 4 big tiles = 4 TOPS (1 OP = one 4×4 MAC at 1 GHz) and
+        // 455 GFLOPS (9 nibble iterations per FP16 op).
+        let t = TileConfig::big();
+        let tops = (4 * t.multipliers()) as f64; // GOPS at 1 GHz
+        assert_eq!(tops, 4096.0);
+        let gflops = tops / 9.0;
+        assert!((gflops - 455.0).abs() < 1.0);
+        // Small: 1 TOPS / 113 GFLOPS.
+        let t = TileConfig::small();
+        let tops = (4 * t.multipliers()) as f64;
+        assert_eq!(tops, 1024.0);
+        assert!((tops / 9.0 - 113.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based invariants of the timing engine and cost model.
+
+use mpipu_dnn::zoo::Pass;
+use mpipu_sim::{simulate_clusters, CostModel, TileConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Total time is at least the slowest cluster's serial work and at
+    /// most lock-step execution (sum of per-step maxima) plus the pipeline
+    /// fill.
+    #[test]
+    fn engine_bounds(
+        streams in prop::collection::vec(
+            prop::collection::vec(1u32..60, 1..80), 1..5),
+        depth in 1usize..16,
+    ) {
+        let steps = streams.iter().map(Vec::len).min().unwrap();
+        let trimmed: Vec<Vec<u32>> =
+            streams.iter().map(|s| s[..steps].to_vec()).collect();
+        let t = simulate_clusters(&trimmed, depth);
+        let slowest: u64 = trimmed
+            .iter()
+            .map(|s| s.iter().map(|&c| u64::from(c)).sum())
+            .max()
+            .unwrap();
+        let lockstep: u64 = (0..steps)
+            .map(|i| trimmed.iter().map(|s| u64::from(s[i])).max().unwrap())
+            .sum();
+        prop_assert!(t >= slowest, "t {t} < slowest {slowest}");
+        prop_assert!(
+            t <= lockstep + steps as u64,
+            "t {t} > lockstep {lockstep} + fill"
+        );
+    }
+
+    /// Deeper buffers never slow execution down.
+    #[test]
+    fn engine_monotone_in_depth(
+        a in prop::collection::vec(1u32..40, 4..64),
+        b in prop::collection::vec(1u32..40, 4..64),
+    ) {
+        let n = a.len().min(b.len());
+        let streams = [a[..n].to_vec(), b[..n].to_vec()];
+        let mut prev = u64::MAX;
+        for depth in [1usize, 2, 4, 8, 32] {
+            let t = simulate_clusters(&streams, depth);
+            prop_assert!(t <= prev, "depth {depth}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    /// Uniform streams are insensitive to buffering and exactly serial.
+    #[test]
+    fn engine_uniform_streams_are_serial(
+        cost in 1u32..64,
+        steps in 1usize..128,
+        clusters in 1usize..6,
+        depth in 1usize..8,
+    ) {
+        let streams = vec![vec![cost; steps]; clusters];
+        let t = simulate_clusters(&streams, depth);
+        // Issue bandwidth (1 step/cycle) binds only when cost = 1.
+        let expect = (cost as u64 * steps as u64).max(steps as u64);
+        prop_assert_eq!(t, expect);
+    }
+
+    /// Cost-model outputs are valid multiples of 9 and bounded by the
+    /// worst-case partition count.
+    #[test]
+    fn cost_model_outputs_are_valid(w in 10u32..30, seed in 0u64..500) {
+        let tile = TileConfig::small();
+        let mut m = CostModel::new(tile, w, 28, Pass::Backward, seed);
+        let costs = m.sample_steps(16);
+        let sp = if w >= 28 { 29 } else { (w - 9).max(1) };
+        let max_partitions = 28 / sp + 1;
+        for stream in &costs.per_cluster {
+            for &c in stream {
+                prop_assert_eq!(c % 9, 0, "cost {} not a 9-multiple", c);
+                prop_assert!(c / 9 >= 1 && c / 9 <= max_partitions,
+                    "cost {} exceeds {} partitions", c, max_partitions);
+            }
+        }
+    }
+}

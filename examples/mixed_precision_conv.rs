@@ -1,0 +1,58 @@
+//! Run a convolution layer through the emulated accelerator at several
+//! IPU precisions and compare against the f32 reference — the layer-level
+//! view of the paper's §3.1 accuracy study.
+//!
+//! ```sh
+//! cargo run --release --example mixed_precision_conv
+//! ```
+
+use mpipu::datapath::IpuConfig;
+use mpipu::dnn::layers::{conv2d_emulated, conv2d_f32};
+use mpipu::dnn::synthetic::fill_normal;
+use mpipu::dnn::tensor::Tensor;
+
+fn main() {
+    // A ResNet-style 3×3 conv: 16 → 8 channels on a 12×12 feature map.
+    let mut input = Tensor::zeros(&[16, 12, 12]);
+    fill_normal(input.data_mut(), 0.7, 1);
+    // ReLU-ify the activations like a real network would.
+    input.relu_inplace();
+    let mut weight = Tensor::zeros(&[8, 16, 3, 3]);
+    fill_normal(weight.data_mut(), 0.08, 2);
+
+    let reference = conv2d_f32(&input, &weight, 1, 1);
+    println!("conv2d 16->8, 3x3, pad 1 on 12x12 input; {} output values\n", reference.len());
+    println!("precision\tmax_abs_err\tmean_abs_err\trel_to_output_std");
+
+    let std = {
+        let m = reference.data().iter().sum::<f32>() / reference.len() as f32;
+        (reference
+            .data()
+            .iter()
+            .map(|v| (v - m).powi(2))
+            .sum::<f32>()
+            / reference.len() as f32)
+            .sqrt()
+    };
+
+    for p in [8u32, 12, 16, 20, 28] {
+        let cfg = IpuConfig::big(p).with_software_precision(p);
+        let out = conv2d_emulated(&input, &weight, 1, 1, cfg);
+        let (mut max_err, mut sum_err) = (0.0f32, 0.0f32);
+        for (r, e) in reference.data().iter().zip(out.data()) {
+            let err = (r - e).abs();
+            max_err = max_err.max(err);
+            sum_err += err;
+        }
+        let mean = sum_err / reference.len() as f32;
+        println!(
+            "{p}\t{max_err:.6}\t{mean:.6}\t{:.2e}",
+            mean / std
+        );
+    }
+
+    println!("\nExpected shape: errors shrink rapidly with precision and are");
+    println!("negligible relative to the activation scale from ~12 bits on,");
+    println!("matching the paper's finding that IPU precision 12 preserves");
+    println!("model accuracy.");
+}

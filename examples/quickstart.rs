@@ -1,0 +1,56 @@
+//! Quickstart: run FP16 and INT4 inner products on the emulated
+//! mixed-precision IPU and compare against exact references.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mpipu::datapath::{exact_dot_fp16, IntSignedness, Ipu, IpuConfig, McIpu};
+use mpipu::fp::{Fp16, FpFormat};
+
+fn main() {
+    // --- FP16 mode ------------------------------------------------------
+    // A 16-lane IPU with a 28-bit adder tree (the precision the paper
+    // shows preserves FP32-CPU accuracy for FP32 accumulation).
+    let cfg = IpuConfig::big(28);
+    let mut ipu = Ipu::new(cfg);
+
+    let a: Vec<Fp16> = [1.5f32, -2.25, 0.125, 1024.0, 3.75, -0.5, 2.0, 0.25]
+        .iter()
+        .map(|&x| Fp16::from_f32(x))
+        .collect();
+    let b: Vec<Fp16> = [0.5f32, 1.5, -8.0, 0.001, 2.5, 4.0, -1.25, 16.0]
+        .iter()
+        .map(|&x| Fp16::from_f32(x))
+        .collect();
+
+    let result = ipu.fp_ip(&a, &b);
+    let exact = exact_dot_fp16(&a, &b).to_f64();
+    println!("FP16 inner product on IPU(28):");
+    println!("  approximate (datapath) = {}", result.f32);
+    println!("  exact                  = {exact}");
+    println!("  cycles                 = {} (9 nibble iterations)", result.cycles);
+
+    // --- The same dot product on a narrow multi-cycle unit --------------
+    // MC-IPU(12) keeps a 12-bit adder tree but serves 28-bit alignments
+    // over multiple cycles, trading FP throughput for area.
+    let mc_cfg = IpuConfig::big(12); // software precision stays 28
+    let mut mc = McIpu::new(mc_cfg);
+    let mc_result = mc.fp_ip(&a, &b);
+    println!("\nSame operands on MC-IPU(12):");
+    println!("  result = {} ({} cycles)", mc_result.f32, mc_result.cycles);
+
+    // --- INT4 mode -------------------------------------------------------
+    let xs = [1, -2, 3, -4, 5, -6, 7, -8];
+    let ws = [7, 6, 5, 4, 3, 2, 1, 0];
+    let mut int_ipu = Ipu::new(IpuConfig::small(16));
+    let dot = int_ipu.int_ip(&xs, &ws, 1, 1, IntSignedness::Signed, IntSignedness::Signed);
+    let expect: i128 = xs.iter().zip(&ws).map(|(&x, &w)| (x * w) as i128).sum();
+    println!("\nINT4 inner product: {dot} (expected {expect}), 1 cycle");
+
+    // --- INT8 × INT12 via nibble iterations -------------------------------
+    let xs = [100, -128, 127, 55];
+    let ws = [2000, -2048, 2047, -999];
+    let dot = int_ipu.int_ip(&xs, &ws, 2, 3, IntSignedness::Signed, IntSignedness::Signed);
+    println!("INT8 x INT12 inner product: {dot}, {} cycles (2 x 3 nibbles)", int_ipu.cycles());
+}

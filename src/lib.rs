@@ -1,0 +1,19 @@
+//! # `mpipu` — mixed-precision inner-product unit: emulation, simulation,
+//! and design-space evaluation
+//!
+//! Facade crate re-exporting the full workspace. See the individual crates:
+//!
+//! * [`fp`] — bit-level FP16/BF16/TF32 formats, signed magnitudes, nibble
+//!   decomposition, write-back rounding.
+//! * [`datapath`] — the paper's IPU/MC-IPU microarchitecture, bit-accurate.
+//! * [`analysis`] — precision/error studies (paper Fig 3, Fig 9, Thm 1).
+//! * [`sim`] — cycle-accurate convolution-tile simulator (Fig 8).
+//! * [`hw`] — analytical 7nm area/power model (Fig 7, Fig 10, Table 1).
+//! * [`dnn`] — DNN substrate: tensors, conv layers, model zoo, training.
+
+pub use mpipu_analysis as analysis;
+pub use mpipu_datapath as datapath;
+pub use mpipu_dnn as dnn;
+pub use mpipu_fp as fp;
+pub use mpipu_hw as hw;
+pub use mpipu_sim as sim;
