@@ -1,57 +1,7 @@
-//! §3.1 accuracy study — Top-1 accuracy vs IPU precision.
-//!
-//! The paper evaluates ResNet-18/50 on ImageNet and finds: IPU precision
-//! ≥ 12 matches the FP32 model on every batch; precision 8 matches on
-//! average but fluctuates up to ±17% on individual batches. ImageNet and
-//! pretrained weights are unavailable offline, so this binary trains a
-//! small MLP on a synthetic task (see `mpipu_dnn::synthetic`) and replays
-//! its inference through the bit-accurate IPU emulation.
-
-use mpipu_bench::scaled;
-use mpipu_datapath::{AccFormat, IpuConfig};
-use mpipu_dnn::synthetic::{gaussian_prototypes, Dataset};
-use mpipu_dnn::train::{accuracy_emulated, accuracy_f32, batch_accuracies_emulated, train, Mlp};
+//! Thin wrapper: run the `accuracy` registry experiment, print the report,
+//! write `results/accuracy.json`. Flags: `--smoke | --quick | --full`,
+//! `--out <dir>`.
 
 fn main() {
-    let n_train = scaled(2_000, 400);
-    let n_test = scaled(1_000, 200);
-    let all = gaussian_prototypes(n_train + n_test, 64, 20, 1.1, 2024);
-    let split = n_train * all.d;
-    let train_set = Dataset {
-        x: all.x[..split].to_vec(),
-        y: all.y[..n_train].to_vec(),
-        d: all.d,
-        classes: all.classes,
-    };
-    let test_set = Dataset {
-        x: all.x[split..].to_vec(),
-        y: all.y[n_train..].to_vec(),
-        d: all.d,
-        classes: all.classes,
-    };
-    let mut model = Mlp::new(&[64, 96, 48, 20], 7);
-    let loss = train(&mut model, &train_set, 6, 0.015);
-    let base = accuracy_f32(&model, &test_set);
-    println!("# Accuracy vs IPU precision (synthetic substitute for ResNet/ImageNet)");
-    println!("# model: MLP 64-96-48-20, final train loss {loss:.4}");
-    println!("# FP32 reference Top-1: {:.3}\n", base);
-    println!("precision\ttop1\tdelta_vs_fp32\tbatch_min\tbatch_max");
-    for p in [4u32, 6, 8, 12, 16, 20, 28] {
-        let cfg = IpuConfig::big(p)
-            .with_acc(AccFormat::Fp32)
-            .with_software_precision(p);
-        let acc = accuracy_emulated(&model, &test_set, cfg);
-        let batches = batch_accuracies_emulated(&model, &test_set, cfg, 100);
-        let bmin = batches.iter().cloned().fold(f64::INFINITY, f64::min);
-        let bmax = batches.iter().cloned().fold(0.0f64, f64::max);
-        println!(
-            "{p}\t{acc:.3}\t{:+.3}\t{bmin:.3}\t{bmax:.3}",
-            acc - base
-        );
-    }
-    println!();
-    println!("# Paper claims to check:");
-    println!("#  - precision >= 12: Top-1 identical to the FP32 reference on every batch");
-    println!("#  - precision 8: average holds but individual batches fluctuate");
-    println!("#  - very low precision degrades accuracy outright");
+    mpipu_bench::suite::cli_single("accuracy");
 }

@@ -1,74 +1,7 @@
-//! Fig 10 — area- and power-efficiency design space: tiles with `p`-bit
-//! MC-IPU adder trees and `c` MC-IPUs per cluster, INT mode vs effective
-//! FP mode (simulation-derived slowdowns).
-
-use mpipu_bench::scaled;
-use mpipu_dnn::zoo::Workload;
-use mpipu_hw::DesignPoint;
-use mpipu_sim::{run_workload, SimDesign, SimOptions, TileConfig};
-
-fn fp_slowdown(big: bool, w: u32, cluster: usize, opts: &SimOptions) -> f64 {
-    // Workload-average normalized execution time over the paper's four
-    // study cases (weighted by baseline cycles).
-    let tile = if big {
-        TileConfig::big().with_cluster_size(cluster)
-    } else {
-        TileConfig::small().with_cluster_size(cluster)
-    };
-    let d = SimDesign {
-        tile,
-        w,
-        software_precision: 28,
-        n_tiles: 4,
-    };
-    let mut cycles = 0u64;
-    let mut base = 0u64;
-    for wl in Workload::paper_study_cases() {
-        let r = run_workload(&d, &wl, opts);
-        cycles += r.total_cycles();
-        base += r.total_baseline_cycles();
-    }
-    (cycles as f64 / base as f64).max(1.0)
-}
+//! Thin wrapper: run the `fig10` registry experiment, print the report,
+//! write `results/fig10.json`. Flags: `--smoke | --quick | --full`,
+//! `--out <dir>`.
 
 fn main() {
-    let opts = SimOptions {
-        sample_steps: scaled(256, 48),
-        seed: 0xC0FFEE,
-    };
-    println!("# Fig 10 — design-space trade-offs (each point: (precision, cluster))");
-    println!("# NO-OPT = 38-bit tree, no clustering\n");
-    for big in [false, true] {
-        let family = if big { "16-input" } else { "8-input" };
-        let k = if big { 16 } else { 8 };
-        println!("## {family} family");
-        println!(
-            "design\tTOPS/mm2\tTOPS/W\tTFLOPS/mm2\tTFLOPS/W\tfp_slowdown"
-        );
-        let mut points: Vec<(String, u32, usize)> =
-            vec![("NO-OPT".to_string(), 38, k)];
-        for &w in &[12u32, 16, 20, 24, 28] {
-            for &c in &[1usize, 4, k] {
-                points.push((format!("({w},{c})"), w, c));
-            }
-        }
-        for (label, w, c) in points {
-            let sd = fp_slowdown(big, w, c, &opts);
-            let m = DesignPoint {
-                w,
-                cluster_size: c,
-                big,
-            }
-            .metrics(sd);
-            println!(
-                "{label}\t{:.1}\t{:.2}\t{:.2}\t{:.3}\t{:.2}",
-                m.int_tops_per_mm2, m.int_tops_per_w, m.fp_tflops_per_mm2, m.fp_tflops_per_w, sd
-            );
-        }
-        println!();
-    }
-    println!("# Paper claims to check:");
-    println!("#  - (12,1) and (16,1) sit on the power-efficiency Pareto frontier");
-    println!("#  - up to ~25% TFLOPS/mm2 and ~46% TOPS/mm2 over NO-OPT (16-input)");
-    println!("#  - up to ~40% TFLOPS/W and ~63% TOPS/W (16-input)");
+    mpipu_bench::suite::cli_single("fig10");
 }

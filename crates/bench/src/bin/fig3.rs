@@ -1,62 +1,7 @@
-//! Fig 3 — error of the approximate FP-IP vs IPU precision.
-//!
-//! Prints six panels (three metrics × two accumulators) as TSV series,
-//! one column per distribution, matching the paper's plot layout.
-
-use mpipu_analysis::dist::Distribution;
-use mpipu_analysis::sweep::{precision_sweep, SweepConfig};
-use mpipu_bench::scaled;
-use mpipu_datapath::AccFormat;
+//! Thin wrapper: run the `fig3` registry experiment, print the report,
+//! write `results/fig3.json`. Flags: `--smoke | --quick | --full`,
+//! `--out <dir>`.
 
 fn main() {
-    let samples = scaled(20_000, 500);
-    let dists = [
-        Distribution::Laplace { b: 1.0 },
-        Distribution::Normal { std: 1.0 },
-        Distribution::Uniform { scale: 1.0 },
-        Distribution::Resnet18Like,
-        Distribution::Resnet50Like,
-    ];
-    println!("# Fig 3 — approximate FP-IP error vs IPU precision");
-    println!("# n = 16 lanes, {samples} sampled inner products per point\n");
-    for acc in [AccFormat::Fp16, AccFormat::Fp32] {
-        let label = match acc {
-            AccFormat::Fp16 => "FP16 accumulator (top row)",
-            AccFormat::Fp32 => "FP32 accumulator (bottom row)",
-        };
-        let sweeps: Vec<_> = dists
-            .iter()
-            .map(|&d| (d.name(), precision_sweep(&SweepConfig::paper(d, acc, samples))))
-            .collect();
-        for (metric, pick) in [
-            ("median absolute error", 0usize),
-            ("median absolute relative error (%)", 1),
-            ("median contaminated bits", 2),
-        ] {
-            println!("## {label} — {metric}");
-            print!("precision");
-            for (name, _) in &sweeps {
-                print!("\t{name}");
-            }
-            println!();
-            let precisions: Vec<u32> = sweeps[0].1.iter().map(|r| r.precision).collect();
-            for (i, p) in precisions.iter().enumerate() {
-                print!("{p}");
-                for (_, rows) in &sweeps {
-                    let r = &rows[i];
-                    let v = match pick {
-                        0 => r.median_abs_err,
-                        1 => r.median_rel_err_pct,
-                        _ => r.median_contaminated,
-                    };
-                    print!("\t{v:.3e}");
-                }
-                println!();
-            }
-            println!();
-        }
-    }
-    println!("# Paper claims to check:");
-    println!("#  - FP16 accumulator: errors < 1e-6 and median contaminated = 0 from precision 16");
-    println!("#  - FP32 accumulator: errors < 1e-5 from precision 26; contaminated floor from 27");
+    mpipu_bench::suite::cli_single("fig3");
 }

@@ -1,53 +1,7 @@
-//! Fig 7 — area and power breakdown of MC-IPU tiles by component.
-
-use mpipu_hw::tile_model::{Component, TileBreakdown, TileHwConfig};
-
-fn print_tile_family(name: &str, mk: fn(u32) -> TileHwConfig) {
-    println!("## {name}");
-    print!("design\ttotal_area_um2");
-    for comp in Component::ALL {
-        print!("\t{}", comp.label());
-    }
-    println!("\tP_int_mW\tP_fp_mW");
-    let int_only = TileBreakdown::model(mk(12).int_only());
-    let mut rows: Vec<(String, TileBreakdown)> =
-        vec![("INT".to_string(), int_only)];
-    for w in [12u32, 16, 20, 24, 28, 38] {
-        let label = if w == 38 {
-            "38 (baseline/NVDLA-like)".to_string()
-        } else {
-            format!("MC-IPU({w})")
-        };
-        rows.push((label, TileBreakdown::model(mk(w))));
-    }
-    for (label, b) in &rows {
-        print!("{label}\t{:.0}", b.area_um2());
-        for comp in Component::ALL {
-            print!(
-                "\t{:.1}%",
-                100.0 * b.component_gates(comp) / b.total_gates()
-            );
-        }
-        println!("\t{:.1}\t{:.1}", b.power_mw(false), b.power_mw(true));
-    }
-    let a38 = rows.last().unwrap().1.area_um2();
-    let a28 = rows[4].1.area_um2();
-    let a12 = rows[1].1.area_um2();
-    println!("# 38→28 area saving: {:.1}% (paper: ~17%/15%)", 100.0 * (1.0 - a28 / a38));
-    println!("# 38→12 area saving: {:.1}% (paper: up to 39%)", 100.0 * (1.0 - a12 / a38));
-    println!(
-        "# FP16-at-12b IPU overhead over INT-only (excl. WBuf): {:.1}% (paper: 43%)\n",
-        100.0
-            * ((rows[1].1.total_gates()
-                - rows[1].1.component_gates(Component::WeightBuffer))
-                / (rows[0].1.total_gates()
-                    - rows[0].1.component_gates(Component::WeightBuffer))
-                - 1.0)
-    );
-}
+//! Thin wrapper: run the `fig7` registry experiment, print the report,
+//! write `results/fig7.json`. Flags: `--smoke | --quick | --full`,
+//! `--out <dir>`.
 
 fn main() {
-    println!("# Fig 7 — tile area/power breakdown (analytical 7nm-class model)\n");
-    print_tile_family("(a) big tile: 16-input MC-IPUs, (16,16,2,2)", TileHwConfig::big);
-    print_tile_family("(b) small tile: 8-input MC-IPUs, (8,8,2,2)", TileHwConfig::small);
+    mpipu_bench::suite::cli_single("fig7");
 }

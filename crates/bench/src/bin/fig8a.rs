@@ -1,46 +1,7 @@
-//! Fig 8(a) — normalized execution time vs MC-IPU adder-tree precision,
-//! for 8-input tiles (vs Baseline1) and 16-input tiles (vs Baseline2),
-//! FP32 accumulation (28-bit software precision).
-
-use mpipu_bench::scaled;
-use mpipu_dnn::zoo::Workload;
-use mpipu_sim::{run_workload, SimDesign, SimOptions, TileConfig};
+//! Thin wrapper: run the `fig8a` registry experiment, print the report,
+//! write `results/fig8a.json`. Flags: `--smoke | --quick | --full`,
+//! `--out <dir>`.
 
 fn main() {
-    let opts = SimOptions {
-        sample_steps: scaled(512, 64),
-        seed: 0xC0FFEE,
-    };
-    let precisions = [12u32, 16, 20, 24, 28];
-    let workloads = Workload::paper_study_cases();
-    println!("# Fig 8(a) — normalized execution time vs MC-IPU precision");
-    println!("# software precision 28 (FP32 accumulation); no intra-tile clustering\n");
-    for (family, tile) in [("8-input (vs Baseline1)", TileConfig::small()),
-                           ("16-input (vs Baseline2)", TileConfig::big())] {
-        println!("## {family}");
-        print!("precision");
-        for w in &workloads {
-            print!("\t{}", w.label());
-        }
-        println!();
-        for &p in &precisions {
-            print!("{p}");
-            for wl in &workloads {
-                let d = SimDesign {
-                    tile,
-                    w: p,
-                    software_precision: 28,
-                    n_tiles: 4,
-                };
-                let r = run_workload(&d, wl, &opts);
-                print!("\t{:.3}", r.normalized());
-            }
-            println!();
-        }
-        println!();
-    }
-    println!("# Paper claims to check:");
-    println!("#  - exec time rises sharply for small adder trees; >4x for 12b on backward");
-    println!("#  - 8-input tiles degrade less than 16-input tiles");
-    println!("#  - backward > forward at every precision");
+    mpipu_bench::suite::cli_single("fig8a");
 }

@@ -1,54 +1,7 @@
-//! Fig 8(b) — normalized execution time vs cluster size for MC-IPU(16),
-//! FP32 accumulation.
-
-use mpipu_bench::scaled;
-use mpipu_dnn::zoo::Workload;
-use mpipu_sim::{run_workload, SimDesign, SimOptions, TileConfig};
+//! Thin wrapper: run the `fig8b` registry experiment, print the report,
+//! write `results/fig8b.json`. Flags: `--smoke | --quick | --full`,
+//! `--out <dir>`.
 
 fn main() {
-    let opts = SimOptions {
-        sample_steps: scaled(512, 64),
-        seed: 0xC0FFEE,
-    };
-    let workloads = Workload::paper_study_cases();
-    println!("# Fig 8(b) — normalized execution time vs cluster size, MC-IPU(16)");
-    println!("# software precision 28 (FP32 accumulation)\n");
-    for (family, mk, sizes) in [
-        (
-            "8-input (vs Baseline1)",
-            TileConfig::small as fn() -> TileConfig,
-            vec![1usize, 2, 4, 8],
-        ),
-        (
-            "16-input (vs Baseline2)",
-            TileConfig::big as fn() -> TileConfig,
-            vec![1usize, 2, 4, 8, 16],
-        ),
-    ] {
-        println!("## {family}");
-        print!("cluster_size");
-        for w in &workloads {
-            print!("\t{}", w.label());
-        }
-        println!();
-        for &c in &sizes {
-            print!("{c}");
-            for wl in &workloads {
-                let d = SimDesign {
-                    tile: mk().with_cluster_size(c),
-                    w: 16,
-                    software_precision: 28,
-                    n_tiles: 4,
-                };
-                let r = run_workload(&d, wl, &opts);
-                print!("\t{:.3}", r.normalized());
-            }
-            println!();
-        }
-        println!();
-    }
-    println!("# Paper claims to check:");
-    println!("#  - smaller clusters reduce degradation, strongly for 8-input forward");
-    println!("#  - 16-input keeps >=12% loss even at cluster size 1");
-    println!("#  - backward keeps >=60% loss even at cluster size 1");
+    mpipu_bench::suite::cli_single("fig8b");
 }

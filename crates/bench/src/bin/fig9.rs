@@ -1,24 +1,7 @@
-//! Fig 9 — histogram of product exponent differences (alignment sizes)
-//! for ResNet-18 forward and backward computations, 8-input inner
-//! products.
-
-use mpipu_analysis::dist::Distribution;
-use mpipu_analysis::hist::exponent_histogram;
-use mpipu_bench::scaled;
+//! Thin wrapper: run the `fig9` registry experiment, print the report,
+//! write `results/fig9.json`. Flags: `--smoke | --quick | --full`,
+//! `--out <dir>`.
 
 fn main() {
-    let ops = scaled(40_000, 2_000);
-    println!("# Fig 9 — alignment (max_exp − exp) distribution, 8-input IP ops\n");
-    let fwd = exponent_histogram(Distribution::Resnet18Like, 8, ops, 9);
-    let bwd = exponent_histogram(Distribution::BackwardLike, 8, ops, 9);
-    println!("alignment\tforward_frac\tbackward_frac");
-    for d in 0..=32 {
-        println!("{d}\t{:.5}\t{:.5}", fwd.fraction(d), bwd.fraction(d));
-    }
-    println!();
-    println!("# forward:  mean {:.2} bits, P(>8) = {:.2}%", fwd.mean(), 100.0 * fwd.tail_fraction(8));
-    println!("# backward: mean {:.2} bits, P(>8) = {:.2}%", bwd.mean(), 100.0 * bwd.tail_fraction(8));
-    println!("# Paper claims to check:");
-    println!("#  - forward differences cluster near zero; only ~1% larger than eight");
-    println!("#  - backward distribution is much wider");
+    mpipu_bench::suite::cli_single("fig9");
 }

@@ -1,0 +1,67 @@
+//! Run the full experiment registry (or a subset) across a worker pool,
+//! writing one JSON result per experiment.
+//!
+//! ```text
+//! suite --list                 name every registered experiment
+//! suite [--smoke|--quick|--full]
+//!       [--threads N]          worker threads (default: one per CPU)
+//!       [--only a,b,c]         run a comma-separated subset
+//!       [--out DIR]            results directory (default: results/)
+//!       [--text]               also print each report to stdout
+//! ```
+
+use mpipu_bench::runner::{run_parallel, RunOptions};
+use mpipu_bench::suite::{flag_value, registry, report_outcomes, scale_from};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from(&args);
+    let mut experiments = registry(scale);
+
+    if args.iter().any(|a| a == "--list") {
+        println!("{} experiments registered:", experiments.len());
+        for e in &experiments {
+            println!("  {:<9} {}", e.name, e.title);
+        }
+        return;
+    }
+
+    if let Some(only) = flag_value(&args, "only") {
+        let wanted: Vec<&str> = only.split(',').map(str::trim).collect();
+        for w in &wanted {
+            if !experiments.iter().any(|e| e.name == *w) {
+                eprintln!("error: unknown experiment {w:?}; try --list");
+                std::process::exit(2);
+            }
+        }
+        experiments.retain(|e| wanted.contains(&e.name));
+    }
+
+    let threads = match flag_value(&args, "threads").map(str::parse::<usize>) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: --threads takes a number");
+            std::process::exit(2);
+        }
+    };
+    let out_dir = PathBuf::from(flag_value(&args, "out").unwrap_or("results"));
+    let opts = RunOptions { threads, out_dir: Some(out_dir) };
+
+    let t0 = Instant::now();
+    let outcomes = run_parallel(&experiments, &opts);
+    let failures = outcomes.iter().filter(|o| o.result.is_err()).count();
+
+    report_outcomes(&outcomes, args.iter().any(|a| a == "--text"));
+    eprintln!(
+        "[suite] {}/{} experiments ok in {:.2?} (scale {scale})",
+        outcomes.len() - failures,
+        outcomes.len(),
+        t0.elapsed()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

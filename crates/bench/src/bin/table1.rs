@@ -1,41 +1,7 @@
-//! Table 1 — TOPS/mm² and TOPS/W for different multiplier and adder-tree
-//! precisions (§4.5 sensitivity analysis).
-
-use mpipu_bench::cell;
-use mpipu_hw::table1_designs;
+//! Thin wrapper: run the `table1` registry experiment, print the report,
+//! write `results/table1.json`. Flags: `--smoke | --quick | --full`,
+//! `--out <dir>`.
 
 fn main() {
-    let designs = table1_designs();
-    println!("# Table 1 — multiplier-precision sensitivity\n");
-    print!("A x W");
-    for d in &designs {
-        print!("\t{}", d.name);
-    }
-    println!();
-
-    println!("## TOPS/mm2 (TFLOPS/mm2 for the fp16 row)");
-    for op in ["4x4", "8x4", "8x8", "fp16"] {
-        print!("{op}");
-        for d in &designs {
-            let row = d.rows().into_iter().find(|r| r.op == op).unwrap();
-            print!("\t{}", cell(row.tops_per_mm2));
-        }
-        println!();
-    }
-    println!();
-    println!("## TOPS/W (TFLOPS/W for the fp16 row)");
-    for op in ["4x4", "8x4", "8x8", "fp16"] {
-        print!("{op}");
-        for d in &designs {
-            let row = d.rows().into_iter().find(|r| r.op == op).unwrap();
-            print!("\t{}", cell(row.tops_per_w));
-        }
-        println!();
-    }
-    println!();
-    println!("# Paper reference (TOPS/mm2): MC-SER 5.5/5.5/2.8/0.9, MC-IPU4 18.8/9.4/4.7/1.6,");
-    println!("#   MC-IPU84 14.3/14.3/7.2/1.8, MC-IPU8 11.4/11.4/11.4/5.4, NVDLA 9.7/9.7/9.7/4.9,");
-    println!("#   FP16 6.9/6.9/6.9/6.9, INT8 18.5/18.5/18.5/-, INT4 30.6/15.3/7.7/-");
-    println!("# Shape claims: INT4-native densest at 4x4; MC designs keep FP16 support at a");
-    println!("#   fraction of the FP16-native design's cost; benefit shrinks as multiplier grows.");
+    mpipu_bench::suite::cli_single("table1");
 }

@@ -1,0 +1,252 @@
+//! Ablation studies for the design choices the paper motivates but does
+//! not plot:
+//!
+//! 1. **N0 pre-shift** — §2.2: the implicit left shift of `N0` preserves
+//!    one extra bit through right-shift alignment. How much accuracy?
+//! 2. **Accumulator grid truncation** — how much of the end-to-end error
+//!    comes from the register grid vs the lane-window truncation?
+//! 3. **EHU stage-4 masking** — masked-lane fraction vs error across the
+//!    software precision, showing why 16/28 bits are the knees.
+
+use super::scaled_by;
+use crate::report::{Report, Table};
+use mpipu_analysis::dist::{Distribution, Sampler};
+use mpipu_datapath::accum::Accumulator;
+use mpipu_datapath::{exact_dot_fp16, lane, metrics, Ehu, Ipu, IpuConfig};
+use mpipu_fp::{Fp16, Nibbles, SignedMagnitude};
+
+/// Parameters of the ablation suite.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Sampled 16-lane inner products per point.
+    pub samples: usize,
+    /// Base sampler seed (the three studies use `seed`, `seed + 2`,
+    /// `seed + 6`).
+    pub seed: u64,
+    /// Effective sample scale (recorded in the report).
+    pub scale: f64,
+}
+
+impl Config {
+    /// The paper-faithful configuration at the given sample scale.
+    pub fn paper(scale: f64) -> Config {
+        let samples = scaled_by(3_000, 300, scale);
+        Config { samples, seed: 11, scale: samples as f64 / 3_000.0 }
+    }
+}
+
+/// Run one FP-IP with a *configurable* nibble decomposition: when
+/// `preshift` is false, N0 keeps its raw position (`{0, 0, M2..M0}`) and
+/// its weight moves from −1 to 0 — i.e. the paper's decomposition without
+/// the implicit left shift. Uses the same public lane/EHU/accumulator
+/// pieces as the production path.
+fn fp_ip_with_preshift(cfg: IpuConfig, a: &[Fp16], b: &[Fp16], preshift: bool) -> f64 {
+    let decomp = |x: Fp16| -> (Vec<i8>, Option<i32>, bool) {
+        let sm = SignedMagnitude::from_fp16(x).expect("finite");
+        let nb = Nibbles::from_fp16_magnitude(sm);
+        let n = if preshift {
+            nb.n.clone()
+        } else {
+            // Undo the pre-shift: N0 loses its trailing zero.
+            vec![nb.n[0] >> 1, nb.n[1], nb.n[2]]
+        };
+        ((n), (!sm.is_zero()).then_some(sm.exp), sm.is_zero())
+    };
+    let mut na = Vec::new();
+    let mut nb_v = Vec::new();
+    let mut exps = Vec::new();
+    for (&x, &y) in a.iter().zip(b) {
+        let (nx, ex, zx) = decomp(x);
+        let (ny, ey, zy) = decomp(y);
+        exps.push(match (ex, ey, zx || zy) {
+            (Some(ex), Some(ey), false) => Some(ex + ey),
+            _ => None,
+        });
+        na.push(nx);
+        nb_v.push(ny);
+    }
+    // Slice weights: the pre-shift is what puts N0 on the uniform 4-bit
+    // grid (−1, 3, 7); without it the grid is (0, 3, 7) and the
+    // accumulator shift must come from the actual pair weights.
+    let weights: [i32; 3] = if preshift { [-1, 3, 7] } else { [0, 3, 7] };
+    let plan = Ehu::new(cfg.software_precision.min(cfg.w)).plan(&exps);
+    let mut acc = Accumulator::new(cfg);
+    for i in (0..3usize).rev() {
+        for j in (0..3usize).rev() {
+            if plan.live_lanes() == 0 {
+                continue;
+            }
+            let mut sum = 0i64;
+            for (k, (x, y)) in na.iter().zip(&nb_v).enumerate() {
+                let Some(s) = plan.shifts[k] else { continue };
+                sum += lane::shift_truncate(lane::mul5x5(x[i], y[j]), s, cfg.w);
+            }
+            let nibble_shift = (14 - (weights[i] + weights[j])) as u32;
+            acc.add_fp(sum, plan.max_exp, nibble_shift, 0);
+        }
+    }
+    acc.fixed().to_f64()
+}
+
+/// Same lane/EHU behaviour, but accumulate window outputs in exact f64 —
+/// isolates the lane-window truncation from the register-grid truncation.
+fn ideal_accumulate(cfg: IpuConfig, a: &[Fp16], b: &[Fp16]) -> f64 {
+    let mut na = Vec::new();
+    let mut nb = Vec::new();
+    let mut exps = Vec::new();
+    for (&x, &y) in a.iter().zip(b) {
+        let sx = SignedMagnitude::from_fp16(x).unwrap();
+        let sy = SignedMagnitude::from_fp16(y).unwrap();
+        exps.push((!sx.is_zero() && !sy.is_zero()).then(|| sx.exp + sy.exp));
+        na.push(Nibbles::from_fp16_magnitude(sx));
+        nb.push(Nibbles::from_fp16_magnitude(sy));
+    }
+    let plan = Ehu::new(cfg.software_precision.min(cfg.w)).plan(&exps);
+    let mut acc = 0.0f64;
+    for i in 0..3usize {
+        for j in 0..3usize {
+            let mut sum = 0i64;
+            for (k, (x, y)) in na.iter().zip(&nb).enumerate() {
+                let Some(s) = plan.shifts[k] else { continue };
+                sum += lane::shift_truncate(lane::mul5x5(x.n[i], y.n[j]), s, cfg.w);
+            }
+            // Window units scale: 2^(max_e − w + 4 − 4Δ) (see accum docs).
+            let delta = ((2 - i) + (2 - j)) as i32;
+            let e = plan.max_exp - cfg.w as i32 + 4 - 4 * delta;
+            acc += sum as f64 * (e as f64).exp2();
+        }
+    }
+    acc
+}
+
+fn ablation_preshift(samples: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "n0_preshift",
+        &["precision", "mean_rel_err_with", "mean_rel_err_without", "ratio"],
+    );
+    for p in [10u32, 12, 14, 16, 20] {
+        let cfg = IpuConfig::big(p).with_software_precision(p);
+        let mut s = Sampler::new(Distribution::Normal { std: 1.0 }, seed);
+        let mut with = Vec::new();
+        let mut without = Vec::new();
+        for _ in 0..samples {
+            let a = s.sample_vec(16);
+            let b = s.sample_vec(16);
+            let exact = exact_dot_fp16(&a, &b).to_f64();
+            if exact == 0.0 {
+                continue;
+            }
+            with.push(metrics::rel_error(fp_ip_with_preshift(cfg, &a, &b, true), exact));
+            without.push(metrics::rel_error(
+                fp_ip_with_preshift(cfg, &a, &b, false),
+                exact,
+            ));
+        }
+        let (mw, mo) = (metrics::mean(&with), metrics::mean(&without));
+        table.push_row(vec![
+            p.into(),
+            mw.into(),
+            mo.into(),
+            (mo / mw.max(1e-300)).into(),
+        ]);
+    }
+    table
+}
+
+fn ablation_accumulator(samples: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "accumulator_grid",
+        &["precision", "total_rel_err", "window_only_rel_err", "accumulator_share_pct"],
+    );
+    for p in [12u32, 16, 20, 28] {
+        let cfg = IpuConfig::big(p).with_software_precision(p);
+        let mut s = Sampler::new(Distribution::Laplace { b: 1.0 }, seed);
+        let mut total = Vec::new();
+        let mut window_only = Vec::new();
+        for _ in 0..samples {
+            let a = s.sample_vec(16);
+            let b = s.sample_vec(16);
+            let exact = exact_dot_fp16(&a, &b).to_f64();
+            if exact == 0.0 {
+                continue;
+            }
+            let mut ipu = Ipu::new(cfg);
+            let r = ipu.fp_ip(&a, &b);
+            total.push(metrics::rel_error(r.fixed.to_f64(), exact));
+            window_only.push(metrics::rel_error(ideal_accumulate(cfg, &a, &b), exact));
+        }
+        let (t, w) = (metrics::median(&total), metrics::median(&window_only));
+        let share = if t > 0.0 { 1.0 - w / t } else { 0.0 };
+        table.push_row(vec![
+            p.into(),
+            t.into(),
+            w.into(),
+            (100.0 * share.max(0.0)).into(),
+        ]);
+    }
+    table
+}
+
+fn ablation_masking(samples: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "ehu_masking",
+        &["software_precision", "masked_lane_frac", "median_rel_err"],
+    );
+    let w = 38; // wide tree: isolate masking from window truncation
+    for swp in [8u32, 12, 16, 20, 24, 28, 38, 58] {
+        let cfg = IpuConfig::big(w).with_software_precision(swp);
+        let mut s = Sampler::new(Distribution::BackwardLike, seed);
+        let mut errs = Vec::new();
+        let mut masked = 0u64;
+        let mut lanes = 0u64;
+        for _ in 0..samples {
+            let a = s.sample_vec(16);
+            let b = s.sample_vec(16);
+            let exact = exact_dot_fp16(&a, &b).to_f64();
+            if exact == 0.0 {
+                continue;
+            }
+            // Count masked lanes through the EHU plan.
+            let exps: Vec<Option<i32>> = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| {
+                    let sx = SignedMagnitude::from_fp16(x).unwrap();
+                    let sy = SignedMagnitude::from_fp16(y).unwrap();
+                    (!sx.is_zero() && !sy.is_zero()).then(|| sx.exp + sy.exp)
+                })
+                .collect();
+            let live_products = exps.iter().flatten().count() as u64;
+            let plan = Ehu::new(swp.min(w)).plan(&exps);
+            masked += live_products - plan.live_lanes() as u64;
+            lanes += live_products;
+            let mut ipu = Ipu::new(cfg);
+            let r = ipu.fp_ip(&a, &b);
+            errs.push(metrics::rel_error(r.fixed.to_f64(), exact));
+        }
+        table.push_row(vec![
+            swp.into(),
+            (masked as f64 / lanes.max(1) as f64).into(),
+            metrics::median(&errs).into(),
+        ]);
+    }
+    table
+}
+
+/// Run all three ablations.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "ablation",
+        "design-choice ablations (pre-shift, accumulator grid, EHU masking)",
+        cfg.seed,
+        cfg.scale,
+    );
+    report.tables.push(ablation_preshift(cfg.samples, cfg.seed));
+    report.tables.push(ablation_accumulator(cfg.samples, cfg.seed + 2));
+    report.tables.push(ablation_masking(cfg.samples, cfg.seed + 6));
+    report.note(format!("{} sampled 16-lane inner products per point", cfg.samples));
+    report.note("reading 1: the pre-shift preserves one extra LSB per product; a small but free win");
+    report.note("reading 2: the register grid contributes almost nothing — window truncation dominates");
+    report.note("reading 3: masking beyond the software precision is free at 16/28 — the knees");
+    report
+}

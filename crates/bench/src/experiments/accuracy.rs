@@ -1,0 +1,115 @@
+//! §3.1 accuracy study — Top-1 accuracy vs IPU precision.
+//!
+//! The paper evaluates ResNet-18/50 on ImageNet; ImageNet and pretrained
+//! weights are unavailable offline, so this experiment trains a small MLP
+//! on a synthetic Gaussian-prototype task (see `mpipu_dnn::synthetic`)
+//! and replays its inference through the bit-accurate IPU emulation.
+
+use super::scaled_by;
+use crate::report::{Cell, Report, Table};
+use mpipu_datapath::{AccFormat, IpuConfig};
+use mpipu_dnn::synthetic::{gaussian_prototypes, Dataset};
+use mpipu_dnn::train::{
+    accuracy_emulated, accuracy_f32, batch_accuracies_emulated, train, Mlp,
+};
+
+/// Parameters of the accuracy-vs-precision study.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Training-set size.
+    pub n_train: usize,
+    /// Test-set size.
+    pub n_test: usize,
+    /// IPU precisions to evaluate.
+    pub precisions: Vec<u32>,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Weight-initialization seed.
+    pub model_seed: u64,
+    /// SGD epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Batch size for the per-batch fluctuation statistic.
+    pub batch: usize,
+    /// Effective sample scale (recorded in the report).
+    pub scale: f64,
+}
+
+impl Config {
+    /// The paper-faithful configuration at the given sample scale.
+    pub fn paper(scale: f64) -> Config {
+        let n_train = scaled_by(2_000, 400, scale);
+        Config {
+            n_train,
+            n_test: scaled_by(1_000, 200, scale),
+            precisions: vec![4, 6, 8, 12, 16, 20, 28],
+            seed: 2024,
+            model_seed: 7,
+            epochs: 6,
+            lr: 0.015,
+            batch: 100,
+            scale: n_train as f64 / 2_000.0,
+        }
+    }
+}
+
+/// Train the substitute model and replay inference at every precision.
+pub fn run(cfg: &Config) -> Report {
+    let all = gaussian_prototypes(cfg.n_train + cfg.n_test, 64, 20, 1.1, cfg.seed);
+    let split = cfg.n_train * all.d;
+    let train_set = Dataset {
+        x: all.x[..split].to_vec(),
+        y: all.y[..cfg.n_train].to_vec(),
+        d: all.d,
+        classes: all.classes,
+    };
+    let test_set = Dataset {
+        x: all.x[split..].to_vec(),
+        y: all.y[cfg.n_train..].to_vec(),
+        d: all.d,
+        classes: all.classes,
+    };
+    let mut model = Mlp::new(&[64, 96, 48, 20], cfg.model_seed);
+    let loss = train(&mut model, &train_set, cfg.epochs, cfg.lr);
+    let base = accuracy_f32(&model, &test_set);
+
+    let mut report = Report::new(
+        "accuracy",
+        "Top-1 accuracy vs IPU precision (synthetic substitute for ResNet/ImageNet)",
+        cfg.seed,
+        cfg.scale,
+    );
+    let mut table = Table::new(
+        "top1_vs_precision",
+        &["precision", "top1", "delta_vs_fp32", "batch_min", "batch_max"],
+    );
+    for &p in &cfg.precisions {
+        let ipu_cfg = IpuConfig::big(p)
+            .with_acc(AccFormat::Fp32)
+            .with_software_precision(p);
+        let acc = accuracy_emulated(&model, &test_set, ipu_cfg);
+        let batches = batch_accuracies_emulated(&model, &test_set, ipu_cfg, cfg.batch);
+        let bmin = batches.iter().cloned().fold(f64::INFINITY, f64::min);
+        let bmax = batches.iter().cloned().fold(0.0f64, f64::max);
+        table.push_row(vec![
+            p.into(),
+            acc.into(),
+            (acc - base).into(),
+            bmin.into(),
+            bmax.into(),
+        ]);
+    }
+    report.tables.push(table);
+
+    let mut reference = Table::new("fp32_reference", &["metric", "value"]);
+    reference.push_row(vec![Cell::from("final_train_loss"), f64::from(loss).into()]);
+    reference.push_row(vec![Cell::from("top1_f32"), base.into()]);
+    report.tables.push(reference);
+
+    report.note("model: MLP 64-96-48-20 on the Gaussian-prototype task");
+    report.note("claim: precision >= 12 — Top-1 identical to the FP32 reference on every batch");
+    report.note("claim: precision 8 — average holds but individual batches fluctuate");
+    report.note("claim: very low precision degrades accuracy outright");
+    report
+}

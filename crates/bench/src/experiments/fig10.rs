@@ -1,0 +1,104 @@
+//! Fig 10 — area- and power-efficiency design space: tiles with `p`-bit
+//! MC-IPU adder trees and `c` MC-IPUs per cluster, INT mode vs effective
+//! FP mode (simulation-derived slowdowns).
+
+use super::scaled_by;
+use crate::report::{Cell, Report, Table};
+use mpipu_dnn::zoo::Workload;
+use mpipu_hw::DesignPoint;
+use mpipu_sim::{run_workload, SimDesign, SimOptions, TileConfig};
+
+/// Parameters of the design-space study.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Monte-Carlo steps sampled per layer.
+    pub sample_steps: usize,
+    /// Adder-tree precisions forming the design grid.
+    pub precisions: Vec<u32>,
+    /// Alignment-plan sampler seed.
+    pub seed: u64,
+    /// Effective sample scale (recorded in the report).
+    pub scale: f64,
+}
+
+impl Config {
+    /// The paper-faithful configuration at the given sample scale.
+    pub fn paper(scale: f64) -> Config {
+        let sample_steps = scaled_by(256, 48, scale);
+        Config {
+            sample_steps,
+            precisions: vec![12, 16, 20, 24, 28],
+            seed: 0xC0FFEE,
+            scale: sample_steps as f64 / 256.0,
+        }
+    }
+}
+
+/// Workload-average FP slowdown (normalized execution time weighted by
+/// baseline cycles) for one design point.
+fn fp_slowdown(big: bool, w: u32, cluster: usize, opts: &SimOptions) -> f64 {
+    let tile = if big {
+        TileConfig::big().with_cluster_size(cluster)
+    } else {
+        TileConfig::small().with_cluster_size(cluster)
+    };
+    let d = SimDesign { tile, w, software_precision: 28, n_tiles: 4 };
+    let mut cycles = 0u64;
+    let mut base = 0u64;
+    for wl in Workload::paper_study_cases() {
+        let r = run_workload(&d, &wl, opts);
+        cycles += r.total_cycles();
+        base += r.total_baseline_cycles();
+    }
+    (cycles as f64 / base as f64).max(1.0)
+}
+
+/// Evaluate every `(precision, cluster)` design point of both families.
+pub fn run(cfg: &Config) -> Report {
+    let opts = SimOptions { sample_steps: cfg.sample_steps, seed: cfg.seed };
+    let mut report = Report::new(
+        "fig10",
+        "design-space trade-offs (each point: (precision, cluster))",
+        cfg.seed,
+        cfg.scale,
+    );
+    for big in [false, true] {
+        let family = if big { "16-input" } else { "8-input" };
+        let k = if big { 16 } else { 8 };
+        let mut table = Table::new(
+            format!("{family}_family"),
+            &[
+                "design",
+                "tops_per_mm2",
+                "tops_per_w",
+                "tflops_per_mm2",
+                "tflops_per_w",
+                "fp_slowdown",
+            ],
+        );
+        let mut points: Vec<(String, u32, usize)> = vec![("NO-OPT".to_string(), 38, k)];
+        for &w in &cfg.precisions {
+            for &c in &[1usize, 4, k] {
+                points.push((format!("({w},{c})"), w, c));
+            }
+        }
+        for (label, w, c) in points {
+            let sd = fp_slowdown(big, w, c, &opts);
+            let m = DesignPoint { w, cluster_size: c, big }.metrics(sd);
+            table.push_row(vec![
+                Cell::Text(label),
+                m.int_tops_per_mm2.into(),
+                m.int_tops_per_w.into(),
+                m.fp_tflops_per_mm2.into(),
+                m.fp_tflops_per_w.into(),
+                sd.into(),
+            ]);
+        }
+        report.tables.push(table);
+    }
+    report.note("NO-OPT = 38-bit tree, no clustering");
+    report.note("claim: (12,1) and (16,1) sit on the power-efficiency Pareto frontier");
+    report.note("claim: up to ~25% TFLOPS/mm2 and ~46% TOPS/mm2 over NO-OPT (16-input)");
+    report.note("claim: up to ~40% TFLOPS/W and ~63% TOPS/W (16-input)");
+    report
+}

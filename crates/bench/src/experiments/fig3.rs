@@ -1,0 +1,117 @@
+//! Fig 3 — error of the approximate FP-IP vs IPU precision: median
+//! absolute error, median absolute relative error, and median
+//! contaminated bits, for FP16 and FP32 accumulators, across the paper's
+//! five input distributions.
+
+use super::scaled_by;
+use crate::report::{Cell, Report, Table};
+use mpipu_analysis::dist::Distribution;
+use mpipu_analysis::sweep::{precision_sweep, SweepConfig};
+use mpipu_datapath::AccFormat;
+
+/// Parameters of the Fig 3 sweep.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Sampled inner products per (distribution, precision) point.
+    pub samples: usize,
+    /// Inner-product length.
+    pub n: usize,
+    /// IPU precisions to sweep.
+    pub precisions: Vec<u32>,
+    /// Sampler seed.
+    pub seed: u64,
+    /// Effective sample scale (recorded in the report).
+    pub scale: f64,
+}
+
+impl Config {
+    /// The paper-faithful configuration at the given sample scale.
+    pub fn paper(scale: f64) -> Config {
+        let samples = scaled_by(20_000, 500, scale);
+        Config {
+            samples,
+            n: 16,
+            precisions: (8..=30).collect(),
+            seed: 0x5eed,
+            scale: samples as f64 / 20_000.0,
+        }
+    }
+}
+
+const DISTS: [Distribution; 5] = [
+    Distribution::Laplace { b: 1.0 },
+    Distribution::Normal { std: 1.0 },
+    Distribution::Uniform { scale: 1.0 },
+    Distribution::Resnet18Like,
+    Distribution::Resnet50Like,
+];
+
+/// Run the sweep and lay the results out as six tables (two accumulators
+/// × three metrics), one column per distribution.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "fig3",
+        "approximate FP-IP error vs IPU precision",
+        cfg.seed,
+        cfg.scale,
+    );
+    for acc in [AccFormat::Fp16, AccFormat::Fp32] {
+        let acc_label = match acc {
+            AccFormat::Fp16 => "fp16_accumulator",
+            AccFormat::Fp32 => "fp32_accumulator",
+        };
+        let sweeps: Vec<(&str, Vec<mpipu_analysis::sweep::PrecisionRow>)> = DISTS
+            .iter()
+            .map(|&d| {
+                let sweep_cfg = SweepConfig {
+                    dist: d,
+                    acc,
+                    n: cfg.n,
+                    samples: cfg.samples,
+                    precisions: cfg.precisions.clone(),
+                    seed: cfg.seed,
+                };
+                (d.name(), precision_sweep(&sweep_cfg))
+            })
+            .collect();
+        for (metric, pick) in [
+            ("median_abs_error", 0usize),
+            ("median_rel_error_pct", 1),
+            ("median_contaminated_bits", 2),
+        ] {
+            let mut columns = vec!["precision"];
+            columns.extend(sweeps.iter().map(|(name, _)| *name));
+            let mut table =
+                Table::new(format!("{acc_label}/{metric}"), &columns);
+            for (i, &p) in cfg.precisions.iter().enumerate() {
+                let mut row: Vec<Cell> = vec![p.into()];
+                for (_, rows) in &sweeps {
+                    let r = &rows[i];
+                    row.push(
+                        match pick {
+                            0 => r.median_abs_err,
+                            1 => r.median_rel_err_pct,
+                            _ => r.median_contaminated,
+                        }
+                        .into(),
+                    );
+                }
+                table.push_row(row);
+            }
+            report.tables.push(table);
+        }
+    }
+    report.note(format!(
+        "n = {} lanes, {} sampled inner products per point",
+        cfg.n, cfg.samples
+    ));
+    report.note(
+        "claim: FP16 accumulator — errors < 1e-6 and median contaminated = 0 \
+         from precision 16",
+    );
+    report.note(
+        "claim: FP32 accumulator — errors < 1e-5 from precision 26; \
+         contaminated floor from 27",
+    );
+    report
+}

@@ -1,0 +1,82 @@
+//! Fig 9 — histogram of product exponent differences (alignment sizes)
+//! for ResNet-18-like forward and backward tensors.
+
+use super::scaled_by;
+use crate::report::{Cell, Report, Table};
+use mpipu_analysis::dist::Distribution;
+use mpipu_analysis::hist::exponent_histogram;
+
+/// Parameters of the alignment-histogram experiment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Inner-product operations sampled per distribution.
+    pub ops: usize,
+    /// Inner-product length.
+    pub lanes: usize,
+    /// Largest alignment bucket reported individually.
+    pub max_alignment: usize,
+    /// Sampler seed.
+    pub seed: u64,
+    /// Effective sample scale (recorded in the report).
+    pub scale: f64,
+}
+
+impl Config {
+    /// The paper-faithful configuration at the given sample scale.
+    pub fn paper(scale: f64) -> Config {
+        let ops = scaled_by(40_000, 2_000, scale);
+        Config {
+            ops,
+            lanes: 8,
+            max_alignment: 32,
+            seed: 9,
+            scale: ops as f64 / 40_000.0,
+        }
+    }
+}
+
+/// Run the histogram study for forward- and backward-like tensors.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "fig9",
+        "alignment (max_exp − exp) distribution",
+        cfg.seed,
+        cfg.scale,
+    );
+    let fwd = exponent_histogram(Distribution::Resnet18Like, cfg.lanes, cfg.ops, cfg.seed);
+    let bwd = exponent_histogram(Distribution::BackwardLike, cfg.lanes, cfg.ops, cfg.seed);
+
+    let mut table = Table::new(
+        format!("alignment_fractions/{}-input", cfg.lanes),
+        &["alignment", "forward_frac", "backward_frac"],
+    );
+    for d in 0..=cfg.max_alignment {
+        table.push_row(vec![
+            d.into(),
+            fwd.fraction(d).into(),
+            bwd.fraction(d).into(),
+        ]);
+    }
+    report.tables.push(table);
+
+    let mut summary = Table::new(
+        "summary",
+        &["pass", "mean_bits", "tail_gt8_frac"],
+    );
+    summary.push_row(vec![
+        Cell::from("forward"),
+        fwd.mean().into(),
+        fwd.tail_fraction(8).into(),
+    ]);
+    summary.push_row(vec![
+        Cell::from("backward"),
+        bwd.mean().into(),
+        bwd.tail_fraction(8).into(),
+    ]);
+    report.tables.push(summary);
+
+    report.note(format!("{} sampled {}-input IP ops", cfg.ops, cfg.lanes));
+    report.note("claim: forward differences cluster near zero; only ~1% larger than eight");
+    report.note("claim: backward distribution is much wider");
+    report
+}

@@ -1,0 +1,20 @@
+//! One module per paper artifact. Each module exposes a typed `Config`
+//! (with a `paper(scale)` constructor producing the paper-faithful
+//! parameter set at a given sample-count scale) and a
+//! `run(&Config) -> Report` entry point. The registry in
+//! [`crate::suite`] wires these into named [`crate::runner::Experiment`]s.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod fig10;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8a;
+pub mod fig8b;
+pub mod fig9;
+pub mod table1;
+
+/// Scale `base` samples by `scale`, keeping at least `min`.
+pub(crate) fn scaled_by(base: usize, min: usize, scale: f64) -> usize {
+    ((base as f64 * scale) as usize).max(min)
+}

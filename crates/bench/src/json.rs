@@ -1,0 +1,221 @@
+//! Minimal JSON document model and serializer.
+//!
+//! The experiment runner emits machine-readable results; with no registry
+//! access there is no `serde_json`, so this module provides the small
+//! subset the runner needs: a value enum with **insertion-ordered**
+//! objects (so serialized output is deterministic and golden-file
+//! testable) and a pretty printer producing RFC 8259-conformant text.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number. Non-finite floats serialize as `null` (JSON has
+    /// no NaN/Infinity).
+    Num(f64),
+    /// An unsigned integer, serialized exactly (no f64 round-trip —
+    /// seeds above 2⁵³ must survive).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::UInt(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // Integral values print without a fraction, like serde_json.
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        // Shortest roundtrip representation rustc offers.
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::UInt(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::UInt(x as u64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(x: u32) -> Json {
+        Json::UInt(u64::from(x))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Json;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.to_string_pretty(), "null\n");
+        assert_eq!(Json::Bool(true).to_string_pretty(), "true\n");
+        assert_eq!(Json::Num(3.0).to_string_pretty(), "3\n");
+        assert_eq!(Json::Num(0.5).to_string_pretty(), "0.5\n");
+        assert_eq!(Json::Num(f64::NAN).to_string_pretty(), "null\n");
+    }
+
+    #[test]
+    fn u64_is_exact_beyond_f64_precision() {
+        let seed = 0x9E37_79B9_7F4A_7C15u64; // not representable in f64
+        assert_eq!(
+            Json::from(seed).to_string_pretty(),
+            format!("{seed}\n")
+        );
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").to_string_pretty(),
+            "\"a\\\"b\\\\c\\nd\\u0001\"\n"
+        );
+    }
+
+    #[test]
+    fn nested_structure_is_stable() {
+        let v = Json::obj([
+            ("b", Json::from(1u64)),
+            ("a", Json::Arr(vec![Json::Null, Json::from("x")])),
+        ]);
+        assert_eq!(
+            v.to_string_pretty(),
+            "{\n  \"b\": 1,\n  \"a\": [\n    null,\n    \"x\"\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).to_string_pretty(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).to_string_pretty(), "{}\n");
+    }
+}

@@ -1,10 +1,11 @@
-//! # `mpipu-bench` — the experiment harness
+//! # `mpipu-bench` — the experiment registry and parallel runner
 //!
-//! One binary per table/figure of the paper (see `DESIGN.md` for the
-//! experiment index):
+//! Every table and figure of the paper is a named experiment in
+//! [`suite::registry`] with a typed configuration (see
+//! [`runner::ExperimentConfig`]):
 //!
-//! | target | regenerates |
-//! |--------|-------------|
+//! | experiment | regenerates |
+//! |------------|-------------|
 //! | `fig3` | §3.1 error analysis: abs/rel error & contaminated bits vs IPU precision |
 //! | `accuracy` | §3.1 Top-1 accuracy vs IPU precision (synthetic-model substitute) |
 //! | `fig7` | §4.2 tile area/power breakdowns |
@@ -13,52 +14,20 @@
 //! | `fig9` | §4.3 exponent-difference histograms |
 //! | `fig10` | §4.4 area/power efficiency design space |
 //! | `table1` | §4.5 multiplier-precision sensitivity |
+//! | `ablation` | pre-shift / accumulator-grid / EHU-masking ablations |
 //!
-//! Each binary prints TSV/markdown series shaped like the paper's plots.
-//! `cargo bench -p mpipu-bench` additionally runs criterion throughput
-//! benchmarks of the emulation itself and smoke-scale versions of each
-//! experiment.
+//! `cargo run --release -p mpipu-bench --bin suite` runs the whole
+//! registry across a worker pool ([`runner::run_parallel`]) and writes
+//! one JSON document per experiment under `results/` (schema guarded by
+//! a golden-file test). Each experiment also has a standalone binary
+//! (`--bin fig3`, …) that prints the human-readable report; all binaries
+//! accept `--smoke`, `--quick`, and `--full` to scale sample counts.
 //!
-//! Pass `--quick` to any binary for a reduced sample count (used in CI).
+//! `cargo bench -p mpipu-bench` additionally runs throughput benchmarks
+//! of the emulation itself and smoke-scale versions of each experiment.
 
-/// Return the sample-count scale factor implied by the CLI args:
-/// `--quick` → 0.1, default → 1.0, `--full` → 4.0.
-pub fn scale_from_args() -> f64 {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--quick") {
-        0.1
-    } else if args.iter().any(|a| a == "--full") {
-        4.0
-    } else {
-        1.0
-    }
-}
-
-/// Scale a base sample count, keeping at least `min`.
-pub fn scaled(base: usize, min: usize) -> usize {
-    ((base as f64 * scale_from_args()) as usize).max(min)
-}
-
-/// Format an `Option<f64>` table cell with one decimal, `-` when absent.
-pub fn cell(v: Option<f64>) -> String {
-    match v {
-        Some(x) => format!("{x:.1}"),
-        None => "-".to_string(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn cell_formats() {
-        assert_eq!(cell(Some(3.14)), "3.1");
-        assert_eq!(cell(None), "-");
-    }
-
-    #[test]
-    fn scaled_keeps_minimum() {
-        assert!(scaled(100, 10) >= 10);
-    }
-}
+pub mod experiments;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod suite;

@@ -1,0 +1,267 @@
+//! Structured experiment results.
+//!
+//! Every experiment produces a [`Report`]: a set of titled tables plus
+//! free-form notes (the "paper claims to check" commentary the old
+//! binaries printed). A report renders two ways:
+//!
+//! * [`Report::render_text`] — the human-readable TSV layout the
+//!   per-figure binaries print to stdout;
+//! * [`Report::to_json`] — the machine-readable document the runner
+//!   writes under `results/`, with a versioned schema guarded by a
+//!   golden-file test (`crates/bench/tests/golden_schema.rs`).
+
+use crate::json::Json;
+use std::fmt;
+
+/// Version of the JSON result schema. Bump deliberately — the golden-file
+/// test exists to make accidental format drift loud.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One table cell: a number or a label.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Numeric cell (serialized as a JSON number).
+    Num(f64),
+    /// Text cell (serialized as a JSON string).
+    Text(String),
+}
+
+impl From<f64> for Cell {
+    fn from(x: f64) -> Cell {
+        Cell::Num(x)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(x: u64) -> Cell {
+        Cell::Num(x as f64)
+    }
+}
+
+impl From<u32> for Cell {
+    fn from(x: u32) -> Cell {
+        Cell::Num(f64::from(x))
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(x: usize) -> Cell {
+        Cell::Num(x as f64)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Text(s)
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Integers print bare, tiny/huge magnitudes in scientific
+            // notation, everything else shortest-roundtrip.
+            Cell::Num(x) => {
+                if *x == x.trunc() && x.abs() < 1e9 {
+                    write!(f, "{}", *x as i64)
+                } else if *x != 0.0 && (x.abs() < 1e-3 || x.abs() >= 1e9) {
+                    write!(f, "{x:.6e}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Cell::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A titled table with named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table heading (`## …` in text output).
+    pub title: String,
+    /// Column names, one per cell of each row.
+    pub columns: Vec<String>,
+    /// Row data; every row must have `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Create an empty table with the given title and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row, asserting its width matches the columns.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in table {:?}",
+            self.title
+        );
+        self.rows.push(row);
+    }
+}
+
+/// A complete experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Registry name (`fig3`, `table1`, …).
+    pub experiment: String,
+    /// One-line human title.
+    pub title: String,
+    /// The deterministic seed the experiment ran with.
+    pub seed: u64,
+    /// Sample-count scale factor (1.0 = paper scale).
+    pub scale: f64,
+    /// Result tables, in presentation order.
+    pub tables: Vec<Table>,
+    /// Commentary: paper claims to check, caveats, substitutions.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Create an empty report.
+    pub fn new(
+        experiment: impl Into<String>,
+        title: impl Into<String>,
+        seed: u64,
+        scale: f64,
+    ) -> Report {
+        Report {
+            experiment: experiment.into(),
+            title: title.into(),
+            seed,
+            scale,
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// The versioned machine-readable form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::from(SCHEMA_VERSION)),
+            ("experiment", Json::str(&self.experiment)),
+            ("title", Json::str(&self.title)),
+            ("seed", Json::from(self.seed)),
+            ("scale", Json::from(self.scale)),
+            (
+                "tables",
+                Json::Arr(
+                    self.tables
+                        .iter()
+                        .map(|t| {
+                            Json::obj([
+                                ("title", Json::str(&t.title)),
+                                (
+                                    "columns",
+                                    Json::Arr(
+                                        t.columns.iter().map(Json::str).collect(),
+                                    ),
+                                ),
+                                (
+                                    "rows",
+                                    Json::Arr(
+                                        t.rows
+                                            .iter()
+                                            .map(|r| {
+                                                Json::Arr(
+                                                    r.iter()
+                                                        .map(|c| match c {
+                                                            Cell::Num(x) => Json::Num(*x),
+                                                            Cell::Text(s) => Json::str(s),
+                                                        })
+                                                        .collect(),
+                                                )
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+
+    /// The human-readable TSV form the per-figure binaries print.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.experiment, self.title));
+        out.push_str(&format!(
+            "# seed {:#x}, scale {}\n\n",
+            self.seed, self.scale
+        ));
+        for t in &self.tables {
+            out.push_str(&format!("## {}\n", t.title));
+            out.push_str(&t.columns.join("\t"));
+            out.push('\n');
+            for row in &t.rows {
+                let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+                out.push_str(&cells.join("\t"));
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("# {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec![Cell::from(1.0), Cell::from("x")]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec![Cell::from(1.0)]);
+    }
+
+    #[test]
+    fn text_render_contains_tables_and_notes() {
+        let mut r = Report::new("demo", "demo title", 7, 1.0);
+        let mut t = Table::new("numbers", &["x", "y"]);
+        t.push_row(vec![Cell::from(1u64), Cell::from(2.5)]);
+        r.tables.push(t);
+        r.note("a note");
+        let text = r.render_text();
+        assert!(text.contains("# demo — demo title"));
+        assert!(text.contains("## numbers"));
+        assert!(text.contains("x\ty"));
+        assert!(text.contains("1\t2.5"));
+        assert!(text.contains("# a note"));
+    }
+}

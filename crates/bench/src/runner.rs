@@ -1,0 +1,184 @@
+//! The parallel experiment runner.
+//!
+//! [`Experiment`] pairs a registry name with a typed configuration
+//! ([`ExperimentConfig`]); [`run_parallel`] executes a set of experiments
+//! across a fixed-size pool of worker threads (scoped `std::thread` —
+//! the build environment has no registry access, so no `rayon`; the work
+//! shape is nine coarse tasks, for which a work-stealing pool would be
+//! overkill anyway) and writes one JSON document per experiment.
+//!
+//! Determinism: every experiment carries its own seed inside its config,
+//! fixed at registry-construction time, so results are identical no
+//! matter how many threads run the suite or in which order the pool picks
+//! tasks up. Worker threads never share RNG state.
+
+use crate::experiments::{
+    ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, table1,
+};
+use crate::report::Report;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Typed configuration for every experiment in the registry. Each variant
+/// owns the full parameter set of one paper artifact; adding a scenario
+/// means adding a variant (or a new constructor on an existing config).
+#[derive(Debug, Clone)]
+pub enum ExperimentConfig {
+    /// §3.1 error-vs-precision sweeps (Fig 3).
+    Fig3(fig3::Config),
+    /// §3.1 Top-1 accuracy vs IPU precision.
+    Accuracy(accuracy::Config),
+    /// §4.2 tile area/power breakdowns (Fig 7).
+    Fig7(fig7::Config),
+    /// §4.3 exec time vs adder-tree precision (Fig 8a).
+    Fig8a(fig8a::Config),
+    /// §4.3 exec time vs cluster size (Fig 8b).
+    Fig8b(fig8b::Config),
+    /// §4.3 exponent-difference histograms (Fig 9).
+    Fig9(fig9::Config),
+    /// §4.4 efficiency design space (Fig 10).
+    Fig10(fig10::Config),
+    /// §4.5 multiplier-precision sensitivity (Table 1).
+    Table1(table1::Config),
+    /// Ablations of design choices the paper motivates but does not plot.
+    Ablation(ablation::Config),
+}
+
+impl ExperimentConfig {
+    /// Execute the experiment.
+    pub fn run(&self) -> Report {
+        match self {
+            ExperimentConfig::Fig3(c) => fig3::run(c),
+            ExperimentConfig::Accuracy(c) => accuracy::run(c),
+            ExperimentConfig::Fig7(c) => fig7::run(c),
+            ExperimentConfig::Fig8a(c) => fig8a::run(c),
+            ExperimentConfig::Fig8b(c) => fig8b::run(c),
+            ExperimentConfig::Fig9(c) => fig9::run(c),
+            ExperimentConfig::Fig10(c) => fig10::run(c),
+            ExperimentConfig::Table1(c) => table1::run(c),
+            ExperimentConfig::Ablation(c) => ablation::run(c),
+        }
+    }
+
+}
+
+/// A named, configured experiment.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Registry name (`fig3`, `fig8a`, …) — also the JSON file stem.
+    pub name: &'static str,
+    /// One-line description shown by `suite --list`.
+    pub title: &'static str,
+    /// The typed configuration the run executes.
+    pub config: ExperimentConfig,
+}
+
+/// Options for [`run_parallel`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (0 ⇒ one per available CPU, capped at the number
+    /// of experiments).
+    pub threads: usize,
+    /// Directory for JSON results; `None` skips writing.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { threads: 0, out_dir: Some(PathBuf::from("results")) }
+    }
+}
+
+/// What happened to one experiment.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Registry name.
+    pub name: &'static str,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// The report, or the panic message if the experiment died.
+    pub result: Result<Report, String>,
+    /// Where the JSON landed, when requested and successful.
+    pub json_path: Option<PathBuf>,
+}
+
+/// Run `experiments` across a worker pool; returns outcomes in registry
+/// order regardless of scheduling.
+pub fn run_parallel(experiments: &[Experiment], opts: &RunOptions) -> Vec<RunOutcome> {
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            panic!("cannot create results dir {}: {e}", dir.display())
+        });
+    }
+    let threads = effective_threads(opts.threads, experiments.len());
+    let next = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<Option<RunOutcome>>> =
+        Mutex::new((0..experiments.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(exp) = experiments.get(i) else { break };
+                let outcome = run_one(exp, opts.out_dir.as_deref());
+                outcomes.lock().unwrap()[i] = Some(outcome);
+            });
+        }
+    });
+
+    outcomes
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("worker pool completed every slot"))
+        .collect()
+}
+
+fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let n = if requested == 0 { hw } else { requested };
+    n.clamp(1, work_items.max(1))
+}
+
+fn run_one(exp: &Experiment, out_dir: Option<&Path>) -> RunOutcome {
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| exp.config.run()))
+        .map_err(|payload| panic_message(&payload));
+    let wall = t0.elapsed();
+    let json_path = match (&result, out_dir) {
+        (Ok(report), Some(dir)) => {
+            let path = dir.join(format!("{}.json", exp.name));
+            std::fs::write(&path, report.to_json().to_string_pretty())
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            Some(path)
+        }
+        _ => None,
+    };
+    RunOutcome { name: exp.name, wall, result, json_path }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "experiment panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_clamps_to_work() {
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 9), 2);
+        assert!(effective_threads(0, 9) >= 1);
+        assert_eq!(effective_threads(4, 0), 1);
+    }
+}

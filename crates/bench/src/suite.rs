@@ -1,0 +1,167 @@
+//! The experiment registry and the shared CLI used by every binary.
+//!
+//! [`registry`] names each paper artifact once; `bin/suite.rs` runs any
+//! subset of it in parallel, and each per-figure binary (`fig3`, …) is a
+//! thin wrapper over [`cli_single`].
+
+use crate::experiments::{
+    ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, table1,
+};
+use crate::runner::{run_parallel, Experiment, ExperimentConfig, RunOptions, RunOutcome};
+use std::path::PathBuf;
+
+/// Sample scale used by `--smoke` (clamped upward by each config's
+/// per-experiment minimum sample counts).
+pub const SMOKE_SCALE: f64 = 0.02;
+
+/// Every experiment of the reproduction, at the given sample scale, in
+/// presentation order.
+pub fn registry(scale: f64) -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "fig3",
+            title: "error of the approximate FP-IP vs IPU precision (§3.1)",
+            config: ExperimentConfig::Fig3(fig3::Config::paper(scale)),
+        },
+        Experiment {
+            name: "accuracy",
+            title: "Top-1 accuracy vs IPU precision, synthetic substitute (§3.1)",
+            config: ExperimentConfig::Accuracy(accuracy::Config::paper(scale)),
+        },
+        Experiment {
+            name: "fig7",
+            title: "tile area/power breakdown by component (§4.2)",
+            config: ExperimentConfig::Fig7(fig7::Config::paper(scale)),
+        },
+        Experiment {
+            name: "fig8a",
+            title: "normalized execution time vs MC-IPU precision (§4.3)",
+            config: ExperimentConfig::Fig8a(fig8a::Config::paper(scale)),
+        },
+        Experiment {
+            name: "fig8b",
+            title: "normalized execution time vs cluster size (§4.3)",
+            config: ExperimentConfig::Fig8b(fig8b::Config::paper(scale)),
+        },
+        Experiment {
+            name: "fig9",
+            title: "exponent-difference (alignment) histograms (§4.3)",
+            config: ExperimentConfig::Fig9(fig9::Config::paper(scale)),
+        },
+        Experiment {
+            name: "fig10",
+            title: "area/power efficiency design space (§4.4)",
+            config: ExperimentConfig::Fig10(fig10::Config::paper(scale)),
+        },
+        Experiment {
+            name: "table1",
+            title: "multiplier-precision sensitivity (§4.5)",
+            config: ExperimentConfig::Table1(table1::Config::paper(scale)),
+        },
+        Experiment {
+            name: "ablation",
+            title: "pre-shift / accumulator-grid / EHU-masking ablations",
+            config: ExperimentConfig::Ablation(ablation::Config::paper(scale)),
+        },
+    ]
+}
+
+/// Parse the scale implied by CLI args: `--smoke` → [`SMOKE_SCALE`],
+/// `--quick` → 0.1, `--full` → 4.0, default 1.0.
+pub fn scale_from(args: &[String]) -> f64 {
+    if args.iter().any(|a| a == "--smoke") {
+        SMOKE_SCALE
+    } else if args.iter().any(|a| a == "--quick") {
+        0.1
+    } else if args.iter().any(|a| a == "--full") {
+        4.0
+    } else {
+        1.0
+    }
+}
+
+/// Parse `--<key> <value>` from `args`.
+pub fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    let flag = format!("--{key}");
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Entry point for the per-figure binaries: run one registry experiment
+/// at the CLI-selected scale, print the human-readable report, and write
+/// the JSON result under `results/` (or `--out <dir>`).
+pub fn cli_single(name: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from(&args);
+    let out_dir = PathBuf::from(flag_value(&args, "out").unwrap_or("results"));
+    let exp = registry(scale)
+        .into_iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("{name} is not in the experiment registry"));
+    let opts = RunOptions { threads: 1, out_dir: Some(out_dir) };
+    let outcomes = run_parallel(&[exp], &opts);
+    report_outcomes(&outcomes, true);
+    if outcomes.iter().any(|o| o.result.is_err()) {
+        std::process::exit(1);
+    }
+}
+
+/// Print run outcomes; with `full`, print each successful report's text.
+pub fn report_outcomes(outcomes: &[RunOutcome], full: bool) {
+    for o in outcomes {
+        match &o.result {
+            Ok(report) => {
+                if full {
+                    print!("{}", report.render_text());
+                }
+                let dest = o
+                    .json_path
+                    .as_ref()
+                    .map(|p| format!(" -> {}", p.display()))
+                    .unwrap_or_default();
+                eprintln!(
+                    "[suite] {:<9} ok in {:>8.2?}{dest}",
+                    o.name, o.wall
+                );
+            }
+            Err(msg) => {
+                eprintln!("[suite] {:<9} FAILED: {msg}", o.name);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_complete() {
+        let names: Vec<&str> = registry(1.0).iter().map(|e| e.name).collect();
+        let expected = [
+            "fig3", "accuracy", "fig7", "fig8a", "fig8b", "fig9", "fig10",
+            "table1", "ablation",
+        ];
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn scale_flags() {
+        let s = |v: &[&str]| scale_from(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert_eq!(s(&[]), 1.0);
+        assert_eq!(s(&["--quick"]), 0.1);
+        assert_eq!(s(&["--full"]), 4.0);
+        assert_eq!(s(&["--smoke"]), SMOKE_SCALE);
+    }
+
+    #[test]
+    fn flag_value_parses_pairs() {
+        let args: Vec<String> =
+            ["--threads", "4", "--out", "x"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(flag_value(&args, "threads"), Some("4"));
+        assert_eq!(flag_value(&args, "out"), Some("x"));
+        assert_eq!(flag_value(&args, "missing"), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! Golden-file test for the runner's JSON result schema.
+//!
+//! Downstream tooling parses the documents the suite writes under
+//! `results/`; this test pins their exact shape so format changes are a
+//! deliberate act: change the schema → regenerate the golden file (see
+//! `bless` below) → bump [`mpipu_bench::report::SCHEMA_VERSION`] → review
+//! the diff.
+
+use mpipu_bench::report::{Cell, Report, Table, SCHEMA_VERSION};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/report_schema.json"
+);
+
+/// A hand-built report exercising every feature of the format: numeric
+/// and text cells, integral and fractional numbers, non-finite numbers
+/// (serialized as `null`), string escaping, multiple tables, and notes.
+fn specimen() -> Report {
+    let mut report = Report::new("specimen", "schema specimen — \"quoted\"", 0xC0FFEE, 0.25);
+    let mut t1 = Table::new("metrics/main", &["precision", "value", "label"]);
+    t1.push_row(vec![
+        Cell::from(12u32),
+        Cell::from(0.5),
+        Cell::from("plain"),
+    ]);
+    t1.push_row(vec![
+        Cell::from(16u32),
+        Cell::Num(f64::NAN),
+        Cell::from("tab\there"),
+    ]);
+    t1.push_row(vec![
+        Cell::from(28u32),
+        Cell::from(1.25e-9),
+        Cell::from("unicode µ"),
+    ]);
+    report.tables.push(t1);
+    let mut t2 = Table::new("empty", &["only_column"]);
+    t2.rows.clear();
+    report.tables.push(t2);
+    report.note("first note");
+    report.note("second note with \\ backslash");
+    report
+}
+
+#[test]
+fn report_json_matches_golden_file() {
+    let got = specimen().to_json().to_string_pretty();
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {GOLDEN_PATH}: {e}\n\
+             (run the `bless` test below to create it)"
+        )
+    });
+    assert!(
+        got == golden,
+        "runner JSON schema drifted from the golden file.\n\
+         If this change is deliberate: bump SCHEMA_VERSION in \
+         crates/bench/src/report.rs, regenerate with\n\
+         `BLESS=1 cargo test -p mpipu-bench --test golden_schema`, \
+         and review the diff.\n\n--- golden ---\n{golden}\n--- got ---\n{got}"
+    );
+}
+
+/// Regenerates the golden file when `BLESS=1` is set; otherwise a no-op.
+#[test]
+fn bless() {
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, specimen().to_json().to_string_pretty())
+            .expect("write golden file");
+    }
+}
+
+/// The golden file itself must carry the current schema version — a
+/// version bump without regeneration (or vice versa) fails here.
+#[test]
+fn golden_file_matches_schema_version() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+    assert!(
+        golden.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")),
+        "golden file schema_version != SCHEMA_VERSION ({SCHEMA_VERSION})"
+    );
+}

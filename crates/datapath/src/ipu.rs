@@ -40,6 +40,21 @@ pub struct FpIpResult {
 /// Holds accumulator state so callers can chain multiple vector pairs into
 /// one output pixel (`fp_ip_accumulate` / `int_ip_accumulate`), or use the
 /// single-shot helpers that reset first.
+///
+/// # Example
+///
+/// ```
+/// use mpipu_datapath::{Ipu, IpuConfig};
+/// use mpipu_fp::{Fp16, FpFormat};
+///
+/// // A 16-input IPU with a 28-bit adder tree and FP32 accumulation.
+/// let mut ipu = Ipu::new(IpuConfig::big(28));
+/// let a: Vec<Fp16> = (1..=4).map(|i| Fp16::from_f32(i as f32)).collect();
+/// let b = vec![Fp16::from_f32(0.5); 4];
+/// let r = ipu.fp_ip(&a, &b);
+/// assert_eq!(r.f32, 5.0);   // 0.5 · (1 + 2 + 3 + 4)
+/// assert_eq!(r.cycles, 9);  // 9 nibble iterations, single partition
+/// ```
 #[derive(Debug, Clone)]
 pub struct Ipu {
     cfg: IpuConfig,

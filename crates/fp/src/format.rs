@@ -279,6 +279,20 @@ fp_type!(
     /// This is the primary operand type of the paper's FP mode. Its 12-bit
     /// signed magnitude feeds the nibble decomposition in
     /// [`crate::nibble::Nibbles`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpipu_fp::{Fp16, FpFormat};
+    ///
+    /// let x = Fp16::from_f32(1.5);
+    /// assert_eq!(x.0, 0x3e00);        // raw bit pattern
+    /// assert_eq!(x.to_f64(), 1.5);    // exact decode
+    ///
+    /// // Encoding rounds to nearest-even and saturates past 65520:
+    /// assert_eq!(Fp16::from_f32(65504.0), Fp16::MAX);
+    /// assert!(Fp16::from_f32(65536.0).is_non_finite());
+    /// ```
     Fp16,
     u16,
     5,

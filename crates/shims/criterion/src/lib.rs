@@ -1,0 +1,215 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so this workspace ships
+//! the subset of the criterion 0.5 API its benches use: `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of
+//! criterion's statistical machinery it runs a short calibrated timing
+//! loop and prints one plain-text line per benchmark:
+//!
+//! ```text
+//! fp_ip/ipu/12            time: 1234 ns/iter (±whatever, n=2048)
+//! ```
+//!
+//! Invoked with `--test` (as `cargo test --benches` does), each benchmark
+//! body runs exactly once, so benches double as smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+
+/// Runs closures under a timing loop and prints results (subset of
+/// `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    smoke: bool,
+    last_ns_per_iter: Option<f64>,
+    last_iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            std::hint::black_box(f());
+            self.last_ns_per_iter = None;
+            self.last_iters = 1;
+            return;
+        }
+        // Calibrate: double the batch until it takes ≥ ~1/8 of the target.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= MEASURE_TARGET / 8 || batch >= 1 << 20 {
+                break dt.as_secs_f64() / batch as f64;
+            }
+            batch *= 2;
+        };
+        // Measure: as many batches as fit in the remaining target time.
+        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1 << 22);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let dt = t0.elapsed();
+        self.last_ns_per_iter = Some(dt.as_nanos() as f64 / iters as f64);
+        self.last_iters = iters;
+    }
+}
+
+/// Per-element/byte throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as in `BenchmarkId::new("ipu", 12)`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+}
+
+/// Entry point handed to `criterion_group!` targets (subset of
+/// `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; `cargo test --benches` passes
+        // `--test`. In test mode run every body once, quickly.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        f: F,
+    ) -> &mut Self {
+        run_one(name, None, self.smoke, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), throughput: None, parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run `grouped/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        run_one(&full, self.throughput, self.parent.smoke, f);
+        self
+    }
+
+    /// Run `grouped/id` with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.throughput, self.parent.smoke, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    smoke: bool,
+    mut f: F,
+) {
+    let mut b = Bencher { smoke, last_ns_per_iter: None, last_iters: 0 };
+    f(&mut b);
+    match b.last_ns_per_iter {
+        Some(ns) => {
+            let extra = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(", {:.1} Melem/s", n as f64 / ns * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(", {:.1} MB/s", n as f64 / ns * 1e3)
+                }
+                None => String::new(),
+            };
+            println!(
+                "{name:<40} time: {ns:>12.1} ns/iter (n={}{extra})",
+                b.last_iters
+            );
+        }
+        None => println!("{name:<40} smoke: ok"),
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

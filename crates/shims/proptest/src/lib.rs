@@ -1,0 +1,580 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no registry access, so this workspace ships
+//! the subset of the proptest 1.x API its test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` support),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * range strategies over primitive types, [`prelude::any`] for `bool`,
+//!   tuple strategies, `prop::collection::vec`, `prop::num::f32` class
+//!   strategies, and the `prop_map` / `prop_filter` / `prop_filter_map`
+//!   combinators.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports the generated inputs via
+//!   the assertion message but does not minimize them.
+//! * **Deterministic seeding** — each test derives its RNG seed from its
+//!   fully-qualified name (override with `PROPTEST_SEED=<u64>` to explore
+//!   a different stream), so failures reproduce across runs by default.
+
+#![forbid(unsafe_code)]
+
+/// Strategy combinators and primitive-strategy implementations.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// How many times a filtered strategy retries before the whole test
+    /// case is rejected.
+    const FILTER_RETRIES: usize = 256;
+
+    /// A strategy failed to produce a value (filter exhausted its
+    /// retries); the current test case is skipped, not failed.
+    #[derive(Debug)]
+    pub struct Rejection(pub &'static str);
+
+    /// A source of random values of one type (shrink-free subset of
+    /// `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generate one value, or reject the case.
+        fn sample(&self, rng: &mut SmallRng) -> Result<Self::Value, Rejection>;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values for which `f` returns `true`.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, reason, f }
+        }
+
+        /// Map values through `f`, retrying whenever it returns `None`.
+        fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+            self,
+            reason: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap { inner: self, reason, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut SmallRng) -> Result<U, Rejection> {
+            Ok((self.f)(self.inner.sample(rng)?))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut SmallRng) -> Result<S::Value, Rejection> {
+            for _ in 0..FILTER_RETRIES {
+                let v = self.inner.sample(rng)?;
+                if (self.f)(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(Rejection(self.reason))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    #[derive(Debug, Clone)]
+    pub struct FilterMap<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut SmallRng) -> Result<U, Rejection> {
+            for _ in 0..FILTER_RETRIES {
+                if let Some(v) = (self.f)(self.inner.sample(rng)?) {
+                    return Ok(v);
+                }
+            }
+            Err(Rejection(self.reason))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> Result<$t, Rejection> {
+                    Ok(rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+    range_strategy!(
+        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64
+    );
+
+    macro_rules! range_incl_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> Result<$t, Rejection> {
+                    Ok(rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+    range_incl_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut SmallRng)
+                    -> Result<Self::Value, Rejection>
+                {
+                    Ok(($(self.$idx.sample(rng)?,)+))
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (A / 0),
+        (A / 0, B / 1),
+        (A / 0, B / 1, C / 2),
+        (A / 0, B / 1, C / 2, D / 3),
+        (A / 0, B / 1, C / 2, D / 3, E / 4),
+        (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+    );
+
+    /// Marker returned by [`crate::prelude::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut SmallRng) -> Result<bool, Rejection> {
+            Ok(rng.gen())
+        }
+    }
+
+    macro_rules! any_full_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> Result<$t, Rejection> {
+                    Ok(rng.gen())
+                }
+            }
+        )*};
+    }
+    any_full_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// The `prop::` namespace (`collection`, `num`), mirroring
+/// `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies (`vec`).
+    pub mod collection {
+        use crate::strategy::{Rejection, Strategy};
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Inclusive size bounds for a generated collection.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange { lo: r.start, hi: r.end - 1 }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                SizeRange { lo: *r.start(), hi: *r.end() }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// `Vec` strategy: each element from `elem`, length from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { elem, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut SmallRng) -> Result<Self::Value, Rejection> {
+                let len = rng.gen_range(self.size.lo..=self.size.hi);
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Numeric strategies (`f32` bit-class strategies).
+    pub mod num {
+        /// Bit-class strategies for `f32`, mirroring `proptest::num::f32`.
+        pub mod f32 {
+            use crate::strategy::{Rejection, Strategy};
+            use rand::rngs::SmallRng;
+            use rand::Rng;
+
+            /// A union of `f32` value classes, combined with `|`.
+            #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+            pub struct FloatClasses(u32);
+
+            /// Positive and negative zero.
+            pub const ZERO: FloatClasses = FloatClasses(1);
+            /// Subnormal values of either sign.
+            pub const SUBNORMAL: FloatClasses = FloatClasses(2);
+            /// Normal values of either sign.
+            pub const NORMAL: FloatClasses = FloatClasses(4);
+
+            impl std::ops::BitOr for FloatClasses {
+                type Output = FloatClasses;
+                fn bitor(self, rhs: FloatClasses) -> FloatClasses {
+                    FloatClasses(self.0 | rhs.0)
+                }
+            }
+
+            impl Strategy for FloatClasses {
+                type Value = f32;
+                fn sample(&self, rng: &mut SmallRng) -> Result<f32, Rejection> {
+                    let classes: Vec<u32> =
+                        (0..3).filter(|b| self.0 & (1 << b) != 0).collect();
+                    assert!(!classes.is_empty(), "empty f32 class union");
+                    let class = classes[rng.gen_range(0..classes.len())];
+                    let sign = if rng.gen::<bool>() { 0x8000_0000u32 } else { 0 };
+                    let bits = match class {
+                        0 => sign,
+                        1 => sign | rng.gen_range(1u32..1 << 23),
+                        _ => {
+                            let exp = rng.gen_range(1u32..255);
+                            sign | (exp << 23) | rng.gen_range(0u32..1 << 23)
+                        }
+                    };
+                    Ok(f32::from_bits(bits))
+                }
+            }
+        }
+    }
+}
+
+/// Test-runner types (`ProptestConfig`, `TestRunner`, case errors).
+pub mod test_runner {
+    use crate::strategy::Rejection;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Configuration for a [`TestRunner`] (subset of the real struct).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed or a strategy rejected; skip the case.
+        Reject(String),
+        /// An assertion failed; fail the whole test.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (skipped) case with the given reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl From<Rejection> for TestCaseError {
+        fn from(r: Rejection) -> Self {
+            TestCaseError::Reject(r.0.to_string())
+        }
+    }
+
+    /// Per-case result type the [`crate::proptest!`] macro bodies return.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives the case loop for one property test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: SmallRng,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Runner for the named test; the RNG seed derives from the name
+        /// (or the `PROPTEST_SEED` environment variable when set).
+        pub fn new_for(name: &'static str, config: ProptestConfig) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| fnv1a(name.as_bytes()));
+            TestRunner { config, rng: SmallRng::seed_from_u64(seed), name }
+        }
+
+        /// Run up to `cases` successful cases, panicking on the first
+        /// failure. Rejections are retried with a global cap so a filter
+        /// that rejects everything terminates with a clear message.
+        pub fn run<F>(&mut self, mut case: F)
+        where
+            F: FnMut(&mut SmallRng) -> TestCaseResult,
+        {
+            let target = self.config.cases;
+            let max_rejects = (target as u64) * 16 + 1024;
+            let mut passed = 0u32;
+            let mut rejected = 0u64;
+            while passed < target {
+                match case(&mut self.rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > max_rejects {
+                            panic!(
+                                "{}: too many rejected cases ({rejected}) — \
+                                 filters/assumptions are too strict",
+                                self.name
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "{} failed after {passed} passing case(s): {msg}",
+                            self.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    use std::marker::PhantomData;
+
+    /// The canonical strategy for `T` (subset: primitives only).
+    pub fn any<T>() -> crate::strategy::Any<T> {
+        crate::strategy::Any(PhantomData)
+    }
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..100, v in prop::collection::vec(0i32..5, 1..8)) {
+///         prop_assert!(v.len() < 8);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( cfg = $cfg:expr; ) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new_for(
+                concat!(module_path!(), "::", stringify!($name)),
+                config,
+            );
+            runner.run(|__rng| {
+                $(
+                    let $arg = match $crate::strategy::Strategy::sample(&($strat), __rng) {
+                        Ok(v) => v,
+                        Err(r) => return Err($crate::test_runner::TestCaseError::from(r)),
+                    };
+                )+
+                // Format the inputs up front so a failure can report them
+                // (this shim does not shrink).
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let mut __case = || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                __case().map_err(|e| match e {
+                    $crate::test_runner::TestCaseError::Fail(m) => {
+                        $crate::test_runner::TestCaseError::Fail(
+                            format!("{m}\n    inputs: {}", __inputs),
+                        )
+                    }
+                    other => other,
+                })
+            });
+        }
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
