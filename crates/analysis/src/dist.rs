@@ -173,6 +173,165 @@ impl Sampler {
     }
 }
 
+/// `erf` via Abramowitz & Stegun 7.1.26 (max abs error 1.5·10⁻⁷ — far
+/// below the statistical tolerances anything here is compared at).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF.
+fn phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+impl Distribution {
+    /// Probability mass of an *exact* zero draw before any magnitude is
+    /// sampled (the ReLU-sparsity mixture weight).
+    fn zero_weight(self) -> f64 {
+        match self {
+            Distribution::Resnet18Like => 0.45,
+            Distribution::Resnet50Like => 0.35,
+            _ => 0.0,
+        }
+    }
+
+    /// CDF of the non-zero magnitude: `P(|X| ≤ x)` conditioned on the
+    /// draw not being an exact zero. `x` must be positive and finite.
+    fn magnitude_cdf(self, x: f64) -> f64 {
+        debug_assert!(x > 0.0);
+        let lognormal2 = |mu: f64, sigma: f64| phi((x.log2() - mu) / sigma);
+        match self {
+            Distribution::Uniform { scale } => (x / scale).min(1.0),
+            Distribution::Normal { std } => erf(x / (std * std::f64::consts::SQRT_2)),
+            Distribution::Laplace { b } => 1.0 - (-x / b).exp(),
+            Distribution::Resnet18Like => lognormal2(-1.0, 1.4),
+            Distribution::Resnet50Like => lognormal2(-2.0, 1.7),
+            Distribution::BackwardLike => lognormal2(-8.0, 4.0),
+            Distribution::WeightLike => lognormal2(-4.5, 1.3),
+        }
+    }
+
+    /// Exact probability of each FP16 *exponent bucket* under this
+    /// distribution: `(None, p)` is the exact-zero bucket (mixture zeros
+    /// plus magnitudes that round to zero), `(Some(e), p)` the bucket of
+    /// unbiased exponent `e` after round-to-nearest FP16 conversion.
+    ///
+    /// Bucket edges account for rounding: a magnitude rounds up into the
+    /// next binade once it exceeds the midpoint `(2 − 2⁻¹¹)·2^e` between
+    /// the binade's largest FP16 value and the next power of two, and
+    /// magnitudes below `2⁻²⁵` round to zero. The FP16 clamp keeps
+    /// everything at or below exponent 15.
+    pub fn exponent_buckets(self) -> Vec<(Option<i32>, f64)> {
+        let zero_w = self.zero_weight();
+        let live = 1.0 - zero_w;
+        // Midpoint between 0 and the smallest subnormal 2⁻²⁴.
+        let zero_edge = (-25f64).exp2();
+        // Upper rounding edge of binade `e`.
+        let edge = |e: i32| (2.0 - (-11f64).exp2()) * f64::from(e).exp2();
+        let mut buckets = Vec::with_capacity(32);
+        buckets.push((None, zero_w + live * self.magnitude_cdf(zero_edge)));
+        let mut below = self.magnitude_cdf(zero_edge);
+        for e in -14..=14i32 {
+            let up = self.magnitude_cdf(edge(e));
+            buckets.push((Some(e), live * (up - below).max(0.0)));
+            below = up;
+        }
+        buckets.push((Some(15), live * (1.0 - below).max(0.0)));
+        buckets
+    }
+}
+
+/// A seeded table-driven sampler of FP16 *exponents* — the Monte-Carlo
+/// cost model's hot path.
+///
+/// [`Sampler::sample_fp16`] pays for transcendental math (`ln`, `sqrt`,
+/// `sin_cos`, `exp2`) plus an `f64 → FP16` rounding conversion on every
+/// draw, only for the simulator to immediately discard everything but the
+/// exponent. `ExpSampler` precomputes the exact exponent-bucket
+/// distribution ([`Distribution::exponent_buckets`]) once and compiles it
+/// into a Walker/Vose alias table, so each draw is one RNG word and two
+/// table reads. `None` means the operand was an exact zero (a dead lane
+/// for the EHU).
+#[derive(Debug, Clone)]
+pub struct ExpSampler {
+    dist: Distribution,
+    rng: SmallRng,
+    /// Bucket values; `prob`/`alias` index into this.
+    values: Vec<Option<i32>>,
+    /// Alias-table acceptance probability per column.
+    prob: Vec<f64>,
+    /// Alias-table fallback bucket per column.
+    alias: Vec<usize>,
+}
+
+impl ExpSampler {
+    /// Build the alias table for `dist` and seed the draw stream.
+    pub fn new(dist: Distribution, seed: u64) -> Self {
+        let buckets = dist.exponent_buckets();
+        let total: f64 = buckets.iter().map(|&(_, p)| p).sum();
+        let n = buckets.len();
+        let values: Vec<Option<i32>> = buckets.iter().map(|&(v, _)| v).collect();
+        // Walker/Vose alias construction over the normalized masses.
+        let mut scaled: Vec<f64> = buckets.iter().map(|&(_, p)| p / total * n as f64).collect();
+        let mut prob = vec![1.0f64; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        let mut small: Vec<usize> = (0..n).filter(|&i| scaled[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..n).filter(|&i| scaled[i] >= 1.0).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers on either worklist take probability 1.
+        ExpSampler {
+            dist,
+            rng: SmallRng::seed_from_u64(seed),
+            values,
+            prob,
+            alias,
+        }
+    }
+
+    /// The distribution this sampler draws exponents of.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// Draw one FP16 exponent (`None` = exact zero): one uniform draw,
+    /// one comparison, at most two table reads.
+    pub fn sample_exp(&mut self) -> Option<i32> {
+        let u: f64 = self.rng.gen();
+        let x = u * self.values.len() as f64;
+        let i = (x as usize).min(self.values.len() - 1);
+        let col = if (x - i as f64) < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        };
+        self.values[col]
+    }
+
+    /// Fill `out` with exponent draws (batched form of
+    /// [`Self::sample_exp`]).
+    pub fn fill(&mut self, out: &mut [Option<i32>]) {
+        for slot in out {
+            *slot = self.sample_exp();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,9 +391,7 @@ mod tests {
     #[test]
     fn resnet18_like_has_relu_zeros() {
         let mut s = Sampler::new(Distribution::Resnet18Like, 1);
-        let zeros = (0..10_000)
-            .filter(|_| s.sample_f64() == 0.0)
-            .count();
+        let zeros = (0..10_000).filter(|_| s.sample_f64() == 0.0).count();
         assert!((3500..5500).contains(&zeros), "{zeros} zeros");
     }
 
@@ -251,6 +408,96 @@ mod tests {
             }
         }
         assert!(max_e - min_e > 20, "spread {}..{}", min_e, max_e);
+    }
+
+    /// Empirical frequency of each exponent bucket (index 0 = zero,
+    /// index `e + 15` = exponent `e`) over `n` draws of `f`.
+    fn bucket_freqs(n: usize, mut f: impl FnMut() -> Option<i32>) -> Vec<f64> {
+        let mut counts = vec![0u64; 32];
+        for _ in 0..n {
+            let idx = match f() {
+                None => 0,
+                Some(e) => (e + 15) as usize,
+            };
+            counts[idx] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn exp_table_matches_value_sampler_frequencies() {
+        // The alias table must reproduce the exponent distribution of the
+        // transcendental value sampler: compare per-bucket frequencies of
+        // 200k draws from each. Per-bucket standard error is ≤ ~0.0011,
+        // so 0.008 is a ≥ 5σ tolerance.
+        let n = 200_000;
+        for dist in [
+            Distribution::Uniform { scale: 3.0 },
+            Distribution::Normal { std: 1.0 },
+            Distribution::Laplace { b: 1.5 },
+            Distribution::Resnet18Like,
+            Distribution::Resnet50Like,
+            Distribution::BackwardLike,
+            Distribution::WeightLike,
+        ] {
+            let mut vs = Sampler::new(dist, 17);
+            let from_values = bucket_freqs(n, || {
+                let v = vs.sample_fp16();
+                mpipu_fp::SignedMagnitude::from_fp16(v)
+                    .filter(|sm| !sm.is_zero())
+                    .map(|sm| sm.exp)
+            });
+            let mut es = ExpSampler::new(dist, 23);
+            let from_table = bucket_freqs(n, || es.sample_exp());
+            for (i, (a, b)) in from_values.iter().zip(&from_table).enumerate() {
+                assert!(
+                    (a - b).abs() < 8e-3,
+                    "{}: bucket {i} value-sampler {a} vs table {b}",
+                    dist.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exp_buckets_sum_to_one() {
+        for dist in [
+            Distribution::Uniform { scale: 100.0 },
+            Distribution::Normal { std: 1000.0 },
+            Distribution::Laplace { b: 0.01 },
+            Distribution::Resnet18Like,
+            Distribution::BackwardLike,
+        ] {
+            let total: f64 = dist.exponent_buckets().iter().map(|&(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-6, "{}: {total}", dist.name());
+        }
+    }
+
+    #[test]
+    fn exp_sampler_deterministic_by_seed() {
+        let draw = |seed| {
+            let mut s = ExpSampler::new(Distribution::BackwardLike, seed);
+            (0..64).map(|_| s.sample_exp()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn exp_sampler_honors_relu_zero_weight() {
+        let mut s = ExpSampler::new(Distribution::Resnet18Like, 4);
+        let zeros = (0..20_000).filter(|_| s.sample_exp().is_none()).count();
+        assert!((8000..10500).contains(&zeros), "{zeros} zeros");
+    }
+
+    #[test]
+    fn fill_matches_repeated_sample_exp() {
+        let mut a = ExpSampler::new(Distribution::WeightLike, 31);
+        let mut b = a.clone();
+        let mut buf = vec![None; 40];
+        a.fill(&mut buf);
+        let singles: Vec<Option<i32>> = (0..40).map(|_| b.sample_exp()).collect();
+        assert_eq!(buf, singles);
     }
 
     #[test]

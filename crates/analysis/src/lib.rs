@@ -22,6 +22,6 @@ pub mod dist;
 pub mod hist;
 pub mod sweep;
 
-pub use dist::{Distribution, Sampler};
+pub use dist::{Distribution, ExpSampler, Sampler};
 pub use hist::{exponent_histogram, ExponentHistogram};
 pub use sweep::{precision_sweep, PrecisionRow, SweepConfig};

@@ -9,8 +9,7 @@
 
 use crate::dist::{Distribution, Sampler};
 use mpipu_datapath::{
-    contaminated_bits_f32, contaminated_bits_fp16, f32_cpu_dot, metrics, AccFormat, Ipu,
-    IpuConfig,
+    contaminated_bits_f32, contaminated_bits_fp16, f32_cpu_dot, metrics, AccFormat, Ipu, IpuConfig,
 };
 use mpipu_fp::{Fp16, FpFormat};
 
@@ -90,14 +89,9 @@ pub fn precision_sweep(cfg: &SweepConfig) -> Vec<PrecisionRow> {
                 let (approx_val, bits) = match cfg.acc {
                     AccFormat::Fp16 => {
                         let ref16 = Fp16::from_f32(reference);
-                        (
-                            r.fp16.to_f64(),
-                            contaminated_bits_fp16(r.fp16, ref16),
-                        )
+                        (r.fp16.to_f64(), contaminated_bits_fp16(r.fp16, ref16))
                     }
-                    AccFormat::Fp32 => {
-                        (r.f32 as f64, contaminated_bits_f32(r.f32, reference))
-                    }
+                    AccFormat::Fp32 => (r.f32 as f64, contaminated_bits_f32(r.f32, reference)),
                 };
                 abs_errs.push(metrics::abs_error(approx_val, reference as f64));
                 rel_errs.push(metrics::rel_error(approx_val, reference as f64));

@@ -38,9 +38,7 @@ fn bench_int_ip(c: &mut Criterion) {
     for (label, ka, kb) in [("int4", 1usize, 1usize), ("int8", 2, 2), ("int16", 4, 4)] {
         g.bench_function(label, |bch| {
             let mut ipu = Ipu::new(cfg);
-            bch.iter(|| {
-                ipu.int_ip(&a, &b, ka, kb, IntSignedness::Signed, IntSignedness::Signed)
-            });
+            bch.iter(|| ipu.int_ip(&a, &b, ka, kb, IntSignedness::Signed, IntSignedness::Signed));
         });
     }
     g.finish();

@@ -1,0 +1,170 @@
+//! ISSUE 2 hot-path benchmark suite: the Monte-Carlo tile simulator's
+//! cost pipeline, before/after the bucket-scan refactor, plus the
+//! end-to-end smoke-suite wall-clock.
+//!
+//! Unlike the other bench targets this one has a custom `main`: after the
+//! criterion groups run it drains the harness's records and writes a
+//! versioned `BENCH_v1.json` at the workspace root (override the path
+//! with `BENCH_OUT`), which CI uploads as an artifact and gates against
+//! `results/bench-baseline.json` (see the `bench_gate` binary).
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use mpipu_analysis::dist::{Distribution, ExpSampler};
+use mpipu_bench::json::Json;
+use mpipu_bench::runner::{run_parallel, RunOptions};
+use mpipu_bench::suite::{registry, SMOKE_SCALE};
+use mpipu_datapath::Ehu;
+use mpipu_dnn::zoo::Pass;
+use mpipu_sim::cost::{reference::ReferenceCostModel, CostModel};
+use mpipu_sim::{simulate_clusters, TileConfig};
+
+/// Pre-sample `count` product-exponent vectors of width `n` (backward
+/// tensors: the widest alignment spread, the worst case for the sort).
+fn product_vectors(count: usize, n: usize) -> Vec<Vec<Option<i32>>> {
+    let mut s = ExpSampler::new(Distribution::BackwardLike, 0xBE7C);
+    (0..count)
+        .map(|_| {
+            (0..n)
+                .map(|_| match (s.sample_exp(), s.sample_exp()) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// EHU partition count: optimized bucket scan vs the retained sort-based
+/// reference, over a rotating set of sampled backward-tensor vectors.
+fn bench_ehu(c: &mut Criterion) {
+    let vectors = product_vectors(256, 16);
+    let ehu = Ehu::new(28);
+    let sp = 3; // w = 12: the paper's most partition-heavy design
+    let mut g = c.benchmark_group("ehu");
+    g.throughput(Throughput::Elements(16));
+    let mut i = 0;
+    g.bench_function("partition_count/bucket", |b| {
+        b.iter(|| {
+            i = (i + 1) % vectors.len();
+            ehu.partition_count(&vectors[i], sp)
+        })
+    });
+    let mut i = 0;
+    g.bench_function("partition_count/sort", |b| {
+        b.iter(|| {
+            i = (i + 1) % vectors.len();
+            ehu.plan(&vectors[i]).partitions_naive(sp).len() as u32
+        })
+    });
+    g.finish();
+}
+
+/// One Monte-Carlo broadcast step on the paper's big tile (64 IPUs × 16
+/// lanes): the optimized pipeline vs the retained pre-refactor pipeline.
+/// This is the ISSUE 2 acceptance benchmark (≥ 3× speedup target).
+fn bench_cost_model(c: &mut Criterion) {
+    let tile = TileConfig::big().with_cluster_size(16);
+    let mut g = c.benchmark_group("cost_model");
+    g.throughput(Throughput::Elements(tile.multipliers() as u64));
+    for pass in [Pass::Forward, Pass::Backward] {
+        let label = match pass {
+            Pass::Forward => "forward",
+            Pass::Backward => "backward",
+        };
+        let mut opt = CostModel::new(tile, 12, 28, pass, 1);
+        let mut out = vec![0u32; tile.clusters()];
+        g.bench_with_input(BenchmarkId::new("step/optimized", label), &(), |b, ()| {
+            b.iter(|| opt.sample_step_into(&mut out))
+        });
+        let mut refm = ReferenceCostModel::new(tile, 12, 28, pass, 1);
+        g.bench_with_input(BenchmarkId::new("step/reference", label), &(), |b, ()| {
+            b.iter(|| refm.sample_step())
+        });
+    }
+    g.finish();
+}
+
+/// The cluster FIFO timing engine on a paper-scale layer window: the
+/// big tile at cluster size 16 (4 clusters) over 512 sampled steps.
+fn bench_engine(c: &mut Criterion) {
+    let tile = TileConfig::big().with_cluster_size(16);
+    let costs = CostModel::new(tile, 12, 28, Pass::Backward, 7)
+        .sample_steps(512)
+        .per_cluster;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(512));
+    g.bench_function("simulate_clusters/4x512", |b| {
+        b.iter(|| simulate_clusters(&costs, tile.buffer_depth))
+    });
+    g.finish();
+}
+
+/// Wall-clock of the full experiment registry at smoke scale (what CI's
+/// smoke step runs), without writing result files.
+fn bench_suite(c: &mut Criterion) {
+    c.bench_function("suite/smoke", |b| {
+        b.iter(|| {
+            let experiments = registry(SMOKE_SCALE);
+            let opts = RunOptions {
+                threads: 0,
+                out_dir: None,
+            };
+            let outcomes = run_parallel(&experiments, &opts);
+            assert!(outcomes.iter().all(|o| o.result.is_ok()));
+            outcomes.len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ehu,
+    bench_cost_model,
+    bench_engine,
+    bench_suite
+);
+
+/// Schema version of the `BENCH_*.json` trajectory document (also in the
+/// file name).
+const BENCH_SCHEMA_VERSION: u32 = 1;
+
+fn main() {
+    benches();
+    let records = criterion::take_records();
+    // In smoke (`--test`) mode nothing was timed: don't clobber the
+    // trajectory file with nulls.
+    if records.iter().all(|r| r.ns_per_iter.is_none()) {
+        return;
+    }
+    let doc = Json::obj([
+        ("schema_version", Json::from(BENCH_SCHEMA_VERSION)),
+        ("suite", Json::str("hotpath")),
+        (
+            "benches",
+            Json::Arr(
+                records
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", Json::str(&r.name)),
+                            (
+                                "ns_per_iter",
+                                r.ns_per_iter.map(Json::Num).unwrap_or(Json::Null),
+                            ),
+                            ("iters", Json::from(r.iters)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_v{BENCH_SCHEMA_VERSION}.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    std::fs::write(&path, doc.to_string_pretty())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("[bench] wrote {path}");
+}

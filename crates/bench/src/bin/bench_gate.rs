@@ -1,0 +1,111 @@
+//! CI benchmark regression gate.
+//!
+//! Compares a freshly produced `BENCH_*.json` (see `benches/hotpath.rs`)
+//! against the committed baseline and exits non-zero on a hard
+//! regression:
+//!
+//! ```text
+//! bench_gate --current BENCH_v1.json --baseline results/bench-baseline.json
+//!            [--warn-pct 10] [--fail-pct 25]
+//! ```
+//!
+//! A benchmark slower than baseline by more than `--warn-pct` prints a
+//! warning; more than `--fail-pct` fails the gate. Benchmarks present in
+//! only one of the two files are reported but never fail the gate (the
+//! suite is allowed to grow). CI machines differ, so the thresholds are
+//! deliberately loose — the gate catches step-function regressions, not
+//! single-digit drift.
+
+use mpipu_bench::json::Json;
+use mpipu_bench::suite::flag_value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// `name → ns_per_iter` for every timed benchmark in a trajectory file.
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = doc.get("schema_version").and_then(Json::as_f64);
+    if schema != Some(1.0) {
+        return Err(format!("{path}: unsupported schema_version {schema:?}"));
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing benches array"))?;
+    let mut out = BTreeMap::new();
+    for b in benches {
+        let name = b.get("name").and_then(Json::as_str);
+        let ns = b.get("ns_per_iter").and_then(Json::as_f64);
+        if let (Some(name), Some(ns)) = (name, ns) {
+            out.insert(name.to_string(), ns);
+        }
+    }
+    Ok(out)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current_path = flag_value(&args, "current").unwrap_or("BENCH_v1.json");
+    let baseline_path = flag_value(&args, "baseline").unwrap_or("results/bench-baseline.json");
+    let parse_pct = |key: &str, default: f64| -> Result<f64, String> {
+        flag_value(&args, key)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("--{key} takes a number"))
+            })
+            .unwrap_or(Ok(default))
+    };
+    let warn_pct = parse_pct("warn-pct", 10.0)?;
+    let fail_pct = parse_pct("fail-pct", 25.0)?;
+
+    let current = load(current_path)?;
+    let baseline = load(baseline_path)?;
+
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+    println!(
+        "{:<42} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline ns", "current ns", "delta"
+    );
+    for (name, &base) in &baseline {
+        match current.get(name) {
+            Some(&cur) => {
+                let delta = (cur / base - 1.0) * 100.0;
+                let verdict = if delta > fail_pct {
+                    failures += 1;
+                    "FAIL"
+                } else if delta > warn_pct {
+                    warnings += 1;
+                    "warn"
+                } else {
+                    "ok"
+                };
+                println!("{name:<42} {base:>12.1} {cur:>12.1} {delta:>+7.1}% {verdict}");
+            }
+            None => println!("{name:<42} {base:>12.1} {:>12} missing in current", "-"),
+        }
+    }
+    for name in current.keys().filter(|n| !baseline.contains_key(*n)) {
+        println!("{name:<42} new benchmark (no baseline)");
+    }
+    println!(
+        "[bench_gate] {} compared, {warnings} warning(s) (>{warn_pct}%), {failures} failure(s) (>{fail_pct}%)",
+        baseline.len()
+    );
+    Ok(if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

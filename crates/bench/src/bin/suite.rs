@@ -11,7 +11,7 @@
 //! ```
 
 use mpipu_bench::runner::{run_parallel, RunOptions};
-use mpipu_bench::suite::{flag_value, registry, report_outcomes, scale_from};
+use mpipu_bench::suite::{flag_value, registry, report_outcomes, scale_from, timing_json};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -48,13 +48,27 @@ fn main() {
         }
     };
     let out_dir = PathBuf::from(flag_value(&args, "out").unwrap_or("results"));
-    let opts = RunOptions { threads, out_dir: Some(out_dir) };
+    let opts = RunOptions {
+        threads,
+        out_dir: Some(out_dir),
+    };
 
     let t0 = Instant::now();
     let outcomes = run_parallel(&experiments, &opts);
     let failures = outcomes.iter().filter(|o| o.result.is_err()).count();
 
     report_outcomes(&outcomes, args.iter().any(|a| a == "--text"));
+
+    // Record the perf trajectory next to the results. timing.json is the
+    // one non-deterministic file in the output directory — the result
+    // JSONs themselves must stay byte-identical across thread counts.
+    if let Some(dir) = &opts.out_dir {
+        let timing = timing_json(&outcomes, scale, threads, t0.elapsed());
+        let path = dir.join("timing.json");
+        std::fs::write(&path, timing.to_string_pretty())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("[suite] wall-clock trajectory -> {}", path.display());
+    }
     eprintln!(
         "[suite] {}/{} experiments ok in {:.2?} (scale {scale})",
         outcomes.len() - failures,

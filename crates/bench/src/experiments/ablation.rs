@@ -31,7 +31,11 @@ impl Config {
     /// The paper-faithful configuration at the given sample scale.
     pub fn paper(scale: f64) -> Config {
         let samples = scaled_by(3_000, 300, scale);
-        Config { samples, seed: 11, scale: samples as f64 / 3_000.0 }
+        Config {
+            samples,
+            seed: 11,
+            scale: samples as f64 / 3_000.0,
+        }
     }
 }
 
@@ -122,7 +126,12 @@ fn ideal_accumulate(cfg: IpuConfig, a: &[Fp16], b: &[Fp16]) -> f64 {
 fn ablation_preshift(samples: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "n0_preshift",
-        &["precision", "mean_rel_err_with", "mean_rel_err_without", "ratio"],
+        &[
+            "precision",
+            "mean_rel_err_with",
+            "mean_rel_err_without",
+            "ratio",
+        ],
     );
     for p in [10u32, 12, 14, 16, 20] {
         let cfg = IpuConfig::big(p).with_software_precision(p);
@@ -136,7 +145,10 @@ fn ablation_preshift(samples: usize, seed: u64) -> Table {
             if exact == 0.0 {
                 continue;
             }
-            with.push(metrics::rel_error(fp_ip_with_preshift(cfg, &a, &b, true), exact));
+            with.push(metrics::rel_error(
+                fp_ip_with_preshift(cfg, &a, &b, true),
+                exact,
+            ));
             without.push(metrics::rel_error(
                 fp_ip_with_preshift(cfg, &a, &b, false),
                 exact,
@@ -156,7 +168,12 @@ fn ablation_preshift(samples: usize, seed: u64) -> Table {
 fn ablation_accumulator(samples: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "accumulator_grid",
-        &["precision", "total_rel_err", "window_only_rel_err", "accumulator_share_pct"],
+        &[
+            "precision",
+            "total_rel_err",
+            "window_only_rel_err",
+            "accumulator_share_pct",
+        ],
     );
     for p in [12u32, 16, 20, 28] {
         let cfg = IpuConfig::big(p).with_software_precision(p);
@@ -242,11 +259,21 @@ pub fn run(cfg: &Config) -> Report {
         cfg.scale,
     );
     report.tables.push(ablation_preshift(cfg.samples, cfg.seed));
-    report.tables.push(ablation_accumulator(cfg.samples, cfg.seed + 2));
-    report.tables.push(ablation_masking(cfg.samples, cfg.seed + 6));
-    report.note(format!("{} sampled 16-lane inner products per point", cfg.samples));
-    report.note("reading 1: the pre-shift preserves one extra LSB per product; a small but free win");
-    report.note("reading 2: the register grid contributes almost nothing — window truncation dominates");
+    report
+        .tables
+        .push(ablation_accumulator(cfg.samples, cfg.seed + 2));
+    report
+        .tables
+        .push(ablation_masking(cfg.samples, cfg.seed + 6));
+    report.note(format!(
+        "{} sampled 16-lane inner products per point",
+        cfg.samples
+    ));
+    report
+        .note("reading 1: the pre-shift preserves one extra LSB per product; a small but free win");
+    report.note(
+        "reading 2: the register grid contributes almost nothing — window truncation dominates",
+    );
     report.note("reading 3: masking beyond the software precision is free at 16/28 — the knees");
     report
 }

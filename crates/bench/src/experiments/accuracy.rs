@@ -9,9 +9,7 @@ use super::scaled_by;
 use crate::report::{Cell, Report, Table};
 use mpipu_datapath::{AccFormat, IpuConfig};
 use mpipu_dnn::synthetic::{gaussian_prototypes, Dataset};
-use mpipu_dnn::train::{
-    accuracy_emulated, accuracy_f32, batch_accuracies_emulated, train, Mlp,
-};
+use mpipu_dnn::train::{accuracy_emulated, accuracy_f32, batch_accuracies_emulated, train, Mlp};
 
 /// Parameters of the accuracy-vs-precision study.
 #[derive(Debug, Clone)]
@@ -82,7 +80,13 @@ pub fn run(cfg: &Config) -> Report {
     );
     let mut table = Table::new(
         "top1_vs_precision",
-        &["precision", "top1", "delta_vs_fp32", "batch_min", "batch_max"],
+        &[
+            "precision",
+            "top1",
+            "delta_vs_fp32",
+            "batch_min",
+            "batch_max",
+        ],
     );
     for &p in &cfg.precisions {
         let ipu_cfg = IpuConfig::big(p)

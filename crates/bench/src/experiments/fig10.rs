@@ -42,7 +42,12 @@ fn fp_slowdown(big: bool, w: u32, cluster: usize, opts: &SimOptions) -> f64 {
     } else {
         TileConfig::small().with_cluster_size(cluster)
     };
-    let d = SimDesign { tile, w, software_precision: 28, n_tiles: 4 };
+    let d = SimDesign {
+        tile,
+        w,
+        software_precision: 28,
+        n_tiles: 4,
+    };
     let mut cycles = 0u64;
     let mut base = 0u64;
     for wl in Workload::paper_study_cases() {
@@ -55,7 +60,10 @@ fn fp_slowdown(big: bool, w: u32, cluster: usize, opts: &SimOptions) -> f64 {
 
 /// Evaluate every `(precision, cluster)` design point of both families.
 pub fn run(cfg: &Config) -> Report {
-    let opts = SimOptions { sample_steps: cfg.sample_steps, seed: cfg.seed };
+    let opts = SimOptions {
+        sample_steps: cfg.sample_steps,
+        seed: cfg.seed,
+    };
     let mut report = Report::new(
         "fig10",
         "design-space trade-offs (each point: (precision, cluster))",
@@ -84,7 +92,12 @@ pub fn run(cfg: &Config) -> Report {
         }
         for (label, w, c) in points {
             let sd = fp_slowdown(big, w, c, &opts);
-            let m = DesignPoint { w, cluster_size: c, big }.metrics(sd);
+            let m = DesignPoint {
+                w,
+                cluster_size: c,
+                big,
+            }
+            .metrics(sd);
             table.push_row(vec![
                 Cell::Text(label),
                 m.int_tops_per_mm2.into(),

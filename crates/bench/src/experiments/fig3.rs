@@ -81,8 +81,7 @@ pub fn run(cfg: &Config) -> Report {
         ] {
             let mut columns = vec!["precision"];
             columns.extend(sweeps.iter().map(|(name, _)| *name));
-            let mut table =
-                Table::new(format!("{acc_label}/{metric}"), &columns);
+            let mut table = Table::new(format!("{acc_label}/{metric}"), &columns);
             for (i, &p) in cfg.precisions.iter().enumerate() {
                 let mut row: Vec<Cell> = vec![p.into()];
                 for (_, rows) in &sweeps {

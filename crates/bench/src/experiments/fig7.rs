@@ -15,7 +15,9 @@ impl Config {
     /// The paper-faithful configuration (scale-independent: the model is
     /// analytical).
     pub fn paper(_scale: f64) -> Config {
-        Config { precisions: vec![12, 16, 20, 24, 28, 38] }
+        Config {
+            precisions: vec![12, 16, 20, 24, 28, 38],
+        }
     }
 }
 
@@ -28,7 +30,10 @@ pub fn run(cfg: &Config) -> Report {
         1.0,
     );
     for (family, mk) in [
-        ("big_tile_16in", TileHwConfig::big as fn(u32) -> TileHwConfig),
+        (
+            "big_tile_16in",
+            TileHwConfig::big as fn(u32) -> TileHwConfig,
+        ),
         ("small_tile_8in", TileHwConfig::small),
     ] {
         let mut columns = vec!["design".to_string(), "total_area_um2".to_string()];
@@ -72,9 +77,8 @@ pub fn run(cfg: &Config) -> Report {
         }
         report.tables.push(savings);
 
-        let logic_gates = |b: &TileBreakdown| {
-            b.total_gates() - b.component_gates(Component::WeightBuffer)
-        };
+        let logic_gates =
+            |b: &TileBreakdown| b.total_gates() - b.component_gates(Component::WeightBuffer);
         let (int_tile, narrowest) = (&rows[0].1, &rows[1].1);
         let mut overhead = Table::new(
             format!("{family}/fp16_overhead_excl_wbuf"),

@@ -41,7 +41,10 @@ impl Config {
 
 /// Sweep precision for both tile families over the paper's study cases.
 pub fn run(cfg: &Config) -> Report {
-    let opts = SimOptions { sample_steps: cfg.sample_steps, seed: cfg.seed };
+    let opts = SimOptions {
+        sample_steps: cfg.sample_steps,
+        seed: cfg.seed,
+    };
     let workloads = Workload::paper_study_cases();
     let mut report = Report::new(
         "fig8a",

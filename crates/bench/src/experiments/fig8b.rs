@@ -40,11 +40,17 @@ impl Config {
 
 /// Sweep cluster size for both tile families over the study cases.
 pub fn run(cfg: &Config) -> Report {
-    let opts = SimOptions { sample_steps: cfg.sample_steps, seed: cfg.seed };
+    let opts = SimOptions {
+        sample_steps: cfg.sample_steps,
+        seed: cfg.seed,
+    };
     let workloads = Workload::paper_study_cases();
     let mut report = Report::new(
         "fig8b",
-        format!("normalized execution time vs cluster size, MC-IPU({})", cfg.w),
+        format!(
+            "normalized execution time vs cluster size, MC-IPU({})",
+            cfg.w
+        ),
         cfg.seed,
         cfg.scale,
     );

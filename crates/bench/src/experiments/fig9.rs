@@ -59,10 +59,7 @@ pub fn run(cfg: &Config) -> Report {
     }
     report.tables.push(table);
 
-    let mut summary = Table::new(
-        "summary",
-        &["pass", "mean_bits", "tail_gt8_frac"],
-    );
+    let mut summary = Table::new("summary", &["pass", "mean_bits", "tail_gt8_frac"]);
     summary.push_row(vec![
         Cell::from("forward"),
         fwd.mean().into(),

@@ -22,10 +22,7 @@ pub fn run(_cfg: &Config) -> Report {
     let designs = table1_designs();
     let mut report = Report::new("table1", "multiplier-precision sensitivity", 0, 1.0);
 
-    for (metric, pick) in [
-        ("tops_per_mm2", 0usize),
-        ("tops_per_w", 1),
-    ] {
+    for (metric, pick) in [("tops_per_mm2", 0usize), ("tops_per_w", 1)] {
         let mut columns = vec!["op"];
         let names: Vec<&str> = designs.iter().map(|d| d.name).collect();
         columns.extend(&names);

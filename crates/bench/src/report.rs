@@ -172,9 +172,7 @@ impl Report {
                                 ("title", Json::str(&t.title)),
                                 (
                                     "columns",
-                                    Json::Arr(
-                                        t.columns.iter().map(Json::str).collect(),
-                                    ),
+                                    Json::Arr(t.columns.iter().map(Json::str).collect()),
                                 ),
                                 (
                                     "rows",

@@ -12,9 +12,7 @@
 //! matter how many threads run the suite or in which order the pool picks
 //! tasks up. Worker threads never share RNG state.
 
-use crate::experiments::{
-    ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, table1,
-};
+use crate::experiments::{ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, table1};
 use crate::report::Report;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -62,7 +60,6 @@ impl ExperimentConfig {
             ExperimentConfig::Ablation(c) => ablation::run(c),
         }
     }
-
 }
 
 /// A named, configured experiment.
@@ -88,7 +85,10 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { threads: 0, out_dir: Some(PathBuf::from("results")) }
+        RunOptions {
+            threads: 0,
+            out_dir: Some(PathBuf::from("results")),
+        }
     }
 }
 
@@ -109,9 +109,8 @@ pub struct RunOutcome {
 /// order regardless of scheduling.
 pub fn run_parallel(experiments: &[Experiment], opts: &RunOptions) -> Vec<RunOutcome> {
     if let Some(dir) = &opts.out_dir {
-        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
-            panic!("cannot create results dir {}: {e}", dir.display())
-        });
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create results dir {}: {e}", dir.display()));
     }
     let threads = effective_threads(opts.threads, experiments.len());
     let next = AtomicUsize::new(0);
@@ -138,7 +137,9 @@ pub fn run_parallel(experiments: &[Experiment], opts: &RunOptions) -> Vec<RunOut
 }
 
 fn effective_threads(requested: usize, work_items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let n = if requested == 0 { hw } else { requested };
     n.clamp(1, work_items.max(1))
 }
@@ -157,7 +158,12 @@ fn run_one(exp: &Experiment, out_dir: Option<&Path>) -> RunOutcome {
         }
         _ => None,
     };
-    RunOutcome { name: exp.name, wall, result, json_path }
+    RunOutcome {
+        name: exp.name,
+        wall,
+        result,
+        json_path,
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

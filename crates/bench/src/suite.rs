@@ -4,11 +4,11 @@
 //! subset of it in parallel, and each per-figure binary (`fig3`, …) is a
 //! thin wrapper over [`cli_single`].
 
-use crate::experiments::{
-    ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, table1,
-};
+use crate::experiments::{ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, table1};
+use crate::json::Json;
 use crate::runner::{run_parallel, Experiment, ExperimentConfig, RunOptions, RunOutcome};
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Sample scale used by `--smoke` (clamped upward by each config's
 /// per-experiment minimum sample counts).
@@ -100,12 +100,43 @@ pub fn cli_single(name: &str) {
         .into_iter()
         .find(|e| e.name == name)
         .unwrap_or_else(|| panic!("{name} is not in the experiment registry"));
-    let opts = RunOptions { threads: 1, out_dir: Some(out_dir) };
+    let opts = RunOptions {
+        threads: 1,
+        out_dir: Some(out_dir),
+    };
     let outcomes = run_parallel(&[exp], &opts);
     report_outcomes(&outcomes, true);
     if outcomes.iter().any(|o| o.result.is_err()) {
         std::process::exit(1);
     }
+}
+
+/// Serialize per-experiment wall-clock times to a JSON document —
+/// written *alongside* the result files (never inside them: result JSON
+/// must stay byte-identical across thread counts and hosts, which CI's
+/// determinism check enforces).
+pub fn timing_json(outcomes: &[RunOutcome], scale: f64, threads: usize, total: Duration) -> Json {
+    Json::obj([
+        ("schema_version", Json::from(1u32)),
+        ("scale", Json::from(scale)),
+        ("threads", Json::from(threads)),
+        ("total_ms", Json::Num(total.as_secs_f64() * 1e3)),
+        (
+            "experiments",
+            Json::Arr(
+                outcomes
+                    .iter()
+                    .map(|o| {
+                        Json::obj([
+                            ("name", Json::str(o.name)),
+                            ("wall_ms", Json::Num(o.wall.as_secs_f64() * 1e3)),
+                            ("ok", Json::Bool(o.result.is_ok())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Print run outcomes; with `full`, print each successful report's text.
@@ -121,10 +152,7 @@ pub fn report_outcomes(outcomes: &[RunOutcome], full: bool) {
                     .as_ref()
                     .map(|p| format!(" -> {}", p.display()))
                     .unwrap_or_default();
-                eprintln!(
-                    "[suite] {:<9} ok in {:>8.2?}{dest}",
-                    o.name, o.wall
-                );
+                eprintln!("[suite] {:<9} ok in {:>8.2?}{dest}", o.name, o.wall);
             }
             Err(msg) => {
                 eprintln!("[suite] {:<9} FAILED: {msg}", o.name);
@@ -141,8 +169,7 @@ mod tests {
     fn registry_names_are_unique_and_complete() {
         let names: Vec<&str> = registry(1.0).iter().map(|e| e.name).collect();
         let expected = [
-            "fig3", "accuracy", "fig7", "fig8a", "fig8b", "fig9", "fig10",
-            "table1", "ablation",
+            "fig3", "accuracy", "fig7", "fig8a", "fig8b", "fig9", "fig10", "table1", "ablation",
         ];
         assert_eq!(names, expected);
     }
@@ -157,9 +184,39 @@ mod tests {
     }
 
     #[test]
+    fn timing_json_shape() {
+        let outcomes = vec![
+            RunOutcome {
+                name: "fig3",
+                wall: Duration::from_millis(12),
+                result: Ok(crate::report::Report::new("fig3", "t", 1, 1.0)),
+                json_path: None,
+            },
+            RunOutcome {
+                name: "fig9",
+                wall: Duration::from_millis(3),
+                result: Err("boom".into()),
+                json_path: None,
+            },
+        ];
+        let doc = timing_json(&outcomes, 0.02, 4, Duration::from_millis(20));
+        let text = doc.to_string_pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("schema_version").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(back.get("threads").and_then(Json::as_f64), Some(4.0));
+        let exps = back.get("experiments").and_then(Json::as_arr).unwrap();
+        assert_eq!(exps.len(), 2);
+        assert_eq!(exps[0].get("name").and_then(Json::as_str), Some("fig3"));
+        assert_eq!(exps[1].get("ok"), Some(&Json::Bool(false)));
+        assert!(exps[0].get("wall_ms").and_then(Json::as_f64).unwrap() >= 12.0);
+    }
+
+    #[test]
     fn flag_value_parses_pairs() {
-        let args: Vec<String> =
-            ["--threads", "4", "--out", "x"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--threads", "4", "--out", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(flag_value(&args, "threads"), Some("4"));
         assert_eq!(flag_value(&args, "out"), Some("x"));
         assert_eq!(flag_value(&args, "missing"), None);

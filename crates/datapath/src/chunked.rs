@@ -22,8 +22,14 @@ use crate::ipu::IntSignedness;
 /// Panics if `v` does not fit `bits` in the requested signedness, or if
 /// `chunk` is 0 or exceeds 15 (our widest modeled multiplier is 16-bit).
 pub fn chunks_from_int(v: i64, bits: u32, chunk: u32, signedness: IntSignedness) -> Vec<i32> {
-    assert!((1..=15).contains(&chunk), "chunk width {chunk} out of range");
-    assert!((1..=32).contains(&bits), "operand width {bits} out of range");
+    assert!(
+        (1..=15).contains(&chunk),
+        "chunk width {chunk} out of range"
+    );
+    assert!(
+        (1..=32).contains(&bits),
+        "operand width {bits} out of range"
+    );
     match signedness {
         IntSignedness::Signed => {
             let lo = -(1i64 << (bits - 1));
@@ -129,10 +135,7 @@ mod tests {
     use super::*;
 
     fn reference(a: &[i64], b: &[i64]) -> i128 {
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| x as i128 * y as i128)
-            .sum()
+        a.iter().zip(b).map(|(&x, &y)| x as i128 * y as i128).sum()
     }
 
     #[test]
@@ -177,14 +180,8 @@ mod tests {
         let expect = reference(&a, &b);
         for name in ["MC-SER", "MC-IPU4", "MC-IPU84", "MC-IPU8"] {
             let d = ChunkedIpu::by_name(name).unwrap();
-            let (got, cycles) = d.int_ip(
-                &a,
-                &b,
-                8,
-                12,
-                IntSignedness::Signed,
-                IntSignedness::Signed,
-            );
+            let (got, cycles) =
+                d.int_ip(&a, &b, 8, 12, IntSignedness::Signed, IntSignedness::Signed);
             assert_eq!(got, expect, "{name}");
             assert_eq!(cycles, d.cycles(8, 12), "{name}");
         }

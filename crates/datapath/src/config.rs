@@ -106,8 +106,16 @@ impl IpuConfig {
     /// Validate the configuration, panicking with a descriptive message on
     /// nonsensical parameters.
     pub fn validate(&self) {
-        assert!(self.n >= 1 && self.n <= 1024, "lane count {} out of range", self.n);
-        assert!(self.w >= 4, "adder tree must be at least 4 bits, got {}", self.w);
+        assert!(
+            self.n >= 1 && self.n <= 1024,
+            "lane count {} out of range",
+            self.n
+        );
+        assert!(
+            self.w >= 4,
+            "adder tree must be at least 4 bits, got {}",
+            self.w
+        );
         assert!(self.w <= 64, "adder tree wider than 64 bits is unsupported");
         assert!(
             self.software_precision <= 64,
@@ -123,11 +131,46 @@ mod tests {
 
     #[test]
     fn t_is_ceil_log2() {
-        assert_eq!(IpuConfig { n: 1, ..IpuConfig::big(16) }.t(), 0);
-        assert_eq!(IpuConfig { n: 2, ..IpuConfig::big(16) }.t(), 1);
-        assert_eq!(IpuConfig { n: 8, ..IpuConfig::big(16) }.t(), 3);
-        assert_eq!(IpuConfig { n: 9, ..IpuConfig::big(16) }.t(), 4);
-        assert_eq!(IpuConfig { n: 16, ..IpuConfig::big(16) }.t(), 4);
+        assert_eq!(
+            IpuConfig {
+                n: 1,
+                ..IpuConfig::big(16)
+            }
+            .t(),
+            0
+        );
+        assert_eq!(
+            IpuConfig {
+                n: 2,
+                ..IpuConfig::big(16)
+            }
+            .t(),
+            1
+        );
+        assert_eq!(
+            IpuConfig {
+                n: 8,
+                ..IpuConfig::big(16)
+            }
+            .t(),
+            3
+        );
+        assert_eq!(
+            IpuConfig {
+                n: 9,
+                ..IpuConfig::big(16)
+            }
+            .t(),
+            4
+        );
+        assert_eq!(
+            IpuConfig {
+                n: 16,
+                ..IpuConfig::big(16)
+            }
+            .t(),
+            4
+        );
     }
 
     #[test]
@@ -151,7 +194,12 @@ mod tests {
 
     #[test]
     fn software_precision_defaults() {
-        assert_eq!(IpuConfig::big(16).with_acc(AccFormat::Fp16).software_precision, 16);
+        assert_eq!(
+            IpuConfig::big(16)
+                .with_acc(AccFormat::Fp16)
+                .software_precision,
+            16
+        );
         assert_eq!(IpuConfig::big(16).software_precision, 28);
     }
 

@@ -37,10 +37,38 @@ impl AlignmentPlan {
         self.shifts[lane].map(|s| s / sp.max(1))
     }
 
+    /// The occupied partitions as a bitmask (bit `k` set ⇔ some live lane
+    /// executes in cycle `k`), or `None` when a partition index exceeds
+    /// 63 and the bounded bucket scan does not apply.
+    ///
+    /// For FP16 product exponents the alignment range is bounded (stage 4
+    /// masks anything beyond the software precision, itself ≤ 28 for FP32
+    /// accumulation), so every partition index fits in a `u64` mask and
+    /// the scan is a single O(n) pass with zero allocation.
+    pub fn partition_mask(&self, sp: u32) -> Option<u64> {
+        partition_mask(self.shifts.iter().copied(), sp)
+    }
+
     /// The set of non-empty partitions (sorted ascending) for safe
     /// precision `sp` — the number of cycles an MC-IPU spends per nibble
     /// iteration (paper §3.2). Empty input ⇒ one (idle) cycle.
+    ///
+    /// Counting-sort fast path: scan the lanes once into a partition
+    /// bitmask and read the sorted set out of it (O(n + range), no
+    /// comparison sort). Falls back to [`Self::partitions_naive`] in the
+    /// unbounded case (partition index ≥ 64), which cannot arise from
+    /// stage-4-masked FP16 plans.
     pub fn partitions(&self, sp: u32) -> Vec<u32> {
+        match self.partition_mask(sp) {
+            Some(mask) => mask_to_partitions(mask),
+            None => self.partitions_naive(sp),
+        }
+    }
+
+    /// Sort-based reference implementation of [`Self::partitions`],
+    /// retained as the equivalence oracle for the property tests and as
+    /// the benchmark baseline.
+    pub fn partitions_naive(&self, sp: u32) -> Vec<u32> {
         let mut ks: Vec<u32> = self
             .shifts
             .iter()
@@ -56,9 +84,45 @@ impl AlignmentPlan {
     }
 
     /// Cycles per nibble iteration for an MC-IPU with safe precision `sp`.
+    ///
+    /// Zero allocation on the bounded fast path: a popcount of the
+    /// partition bitmask.
     pub fn cycles(&self, sp: u32) -> u32 {
-        self.partitions(sp).len() as u32
+        match self.partition_mask(sp) {
+            Some(mask) => mask.count_ones().max(1),
+            None => self.partitions_naive(sp).len() as u32,
+        }
     }
+}
+
+/// Bucket-scan the live alignments into a partition bitmask; `None` if
+/// any partition index is ≥ 64 (caller falls back to the sort path).
+fn partition_mask(shifts: impl Iterator<Item = Option<u32>>, sp: u32) -> Option<u64> {
+    let sp = sp.max(1);
+    let mut mask = 0u64;
+    for s in shifts.flatten() {
+        let k = s / sp;
+        if k >= u64::BITS {
+            return None;
+        }
+        mask |= 1 << k;
+    }
+    Some(mask)
+}
+
+/// Expand a partition bitmask into the ascending partition list (empty
+/// mask ⇒ the single idle partition 0).
+fn mask_to_partitions(mut mask: u64) -> Vec<u32> {
+    if mask == 0 {
+        return vec![0];
+    }
+    let mut ks = Vec::with_capacity(mask.count_ones() as usize);
+    while mask != 0 {
+        let k = mask.trailing_zeros();
+        ks.push(k);
+        mask &= mask - 1;
+    }
+    ks
 }
 
 /// The exponent handling unit.
@@ -97,6 +161,31 @@ impl Ehu {
             .collect();
         AlignmentPlan { max_exp, shifts }
     }
+
+    /// Cycles per nibble iteration for safe precision `sp`, straight from
+    /// the product exponents — the Monte-Carlo simulator's hot path.
+    ///
+    /// Equivalent to `self.plan(product_exps).cycles(sp)` but with zero
+    /// allocation: one pass for the max exponent (EHU stage 2) and one
+    /// bucket scan of the alignments into a `u64` partition bitmask
+    /// (stages 3–5), whose popcount is the cycle count. Falls back to the
+    /// allocating plan when a partition index would exceed 63, which
+    /// stage-4 masking rules out for any real FP16 configuration.
+    pub fn partition_count(&self, product_exps: &[Option<i32>], sp: u32) -> u32 {
+        let Some(max_exp) = product_exps.iter().flatten().copied().max() else {
+            return 1; // all-zero vector: one idle cycle
+        };
+        let shifts = product_exps.iter().map(|e| {
+            e.and_then(|e| {
+                let s = (max_exp - e) as u32;
+                (s <= self.software_precision).then_some(s)
+            })
+        });
+        match partition_mask(shifts, sp) {
+            Some(mask) => mask.count_ones().max(1),
+            None => self.plan(product_exps).cycles(sp),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -113,10 +202,7 @@ mod tests {
         // with sp = 5 products A,D run in cycle 0 and B,C in cycle 1.
         let plan = Ehu::new(28).plan(&exps(&[10, 2, 3, 8]));
         assert_eq!(plan.max_exp, 10);
-        assert_eq!(
-            plan.shifts,
-            vec![Some(0), Some(8), Some(7), Some(2)]
-        );
+        assert_eq!(plan.shifts, vec![Some(0), Some(8), Some(7), Some(2)]);
         assert_eq!(plan.partitions(5), vec![0, 1]);
         assert_eq!(plan.cycles(5), 2);
         assert_eq!(plan.partition_of(0, 5), Some(0));
@@ -161,6 +247,61 @@ mod tests {
         let plan = Ehu::new(28).plan(&exps(&[30, -28, 2]));
         assert_eq!(plan.shifts, vec![Some(0), None, Some(28)]);
         assert_eq!(plan.partitions(3), vec![0, 9]);
+    }
+
+    #[test]
+    fn bucket_scan_agrees_with_naive_sort() {
+        let cases: &[&[i32]] = &[
+            &[10, 2, 3, 8],
+            &[0, -17, -16, -30],
+            &[30, -28, 2],
+            &[3; 16],
+            &[5],
+        ];
+        for &exps_raw in cases {
+            let plan = Ehu::new(28).plan(&exps(exps_raw));
+            for sp in 1..=29 {
+                assert_eq!(
+                    plan.partitions(sp),
+                    plan.partitions_naive(sp),
+                    "exps {exps_raw:?} sp {sp}"
+                );
+                assert_eq!(plan.cycles(sp), plan.partitions_naive(sp).len() as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_count_matches_plan_cycles() {
+        let ehu = Ehu::new(28);
+        let vectors: &[&[Option<i32>]] = &[
+            &[Some(10), Some(2), Some(3), Some(8)],
+            &[Some(-5), None, Some(-9)],
+            &[None, None],
+            &[Some(30), Some(-28), Some(2)],
+        ];
+        for &v in vectors {
+            for sp in [1, 3, 5, 7, 11, 29] {
+                assert_eq!(
+                    ehu.partition_count(v, sp),
+                    ehu.plan(v).cycles(sp),
+                    "{v:?} sp {sp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_alignments_fall_back_to_sort_path() {
+        // software precision far beyond the u64 mask: partition indices
+        // up to 1000 force the naive fallback on both entry points.
+        let ehu = Ehu::new(10_000);
+        let v = exps(&[0, -1000, -400]);
+        let plan = ehu.plan(&v);
+        assert_eq!(plan.partition_mask(1), None);
+        assert_eq!(plan.partitions(1), vec![0, 400, 1000]);
+        assert_eq!(plan.cycles(1), 3);
+        assert_eq!(ehu.partition_count(&v, 1), 3);
     }
 
     #[test]

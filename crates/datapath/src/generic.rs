@@ -81,15 +81,16 @@ pub fn fp_ip_generic<F: FpFormat>(cfg: IpuConfig, a: &[F], b: &[F]) -> GenericFp
             if plan.live_lanes() > 0 {
                 let mut sum: i64 = 0;
                 for (k, (x, y)) in na.iter().zip(&nb).enumerate() {
-                    let Some(shift) = plan.shifts[k] else { continue };
+                    let Some(shift) = plan.shifts[k] else {
+                        continue;
+                    };
                     let p = lane::mul5x5(x.n[i], y.n[j]);
                     sum += lane::shift_truncate(p, shift, cfg.w);
                 }
                 // Nibble-significance shift straight from slice weights
                 // (uniform 4Δ for FP16, but BF16's grid is anchored
                 // differently).
-                let nibble_shift =
-                    (w_top - (na[0].weights[i] + nb[0].weights[j])) as u32;
+                let nibble_shift = (w_top - (na[0].weights[i] + nb[0].weights[j])) as u32;
                 acc.add_fp(sum, plan.max_exp, nibble_shift, 0);
             }
             cycles += 1;
@@ -186,10 +187,11 @@ mod tests {
     #[test]
     fn bf16_subnormals_handled() {
         let tiny = Bf16(0x0001); // smallest subnormal
-        let r = fp_ip_generic(IpuConfig::small(28), &[tiny, tiny], &[
-            Bf16::from_f32(1.0),
-            Bf16::from_f32(1.0),
-        ]);
+        let r = fp_ip_generic(
+            IpuConfig::small(28),
+            &[tiny, tiny],
+            &[Bf16::from_f32(1.0), Bf16::from_f32(1.0)],
+        );
         assert_eq!(r.fixed.to_f64(), 2.0 * tiny.to_f64());
     }
 

@@ -98,11 +98,7 @@ impl Ipu {
     ///
     /// Zero operands yield `None` exponents so they neither win the EHU max
     /// nor occupy an alignment slot.
-    fn decode(
-        &self,
-        a: &[Fp16],
-        b: &[Fp16],
-    ) -> (Vec<Nibbles>, Vec<Nibbles>, Vec<Option<i32>>) {
+    fn decode(&self, a: &[Fp16], b: &[Fp16]) -> (Vec<Nibbles>, Vec<Nibbles>, Vec<Option<i32>>) {
         assert_eq!(a.len(), b.len(), "operand vectors must match");
         assert!(
             a.len() <= self.cfg.n,
@@ -148,7 +144,9 @@ impl Ipu {
                 if plan.live_lanes() > 0 {
                     let mut sum: i64 = 0;
                     for (k, (x, y)) in na.iter().zip(nb).enumerate() {
-                        let Some(shift) = plan.shifts[k] else { continue };
+                        let Some(shift) = plan.shifts[k] else {
+                            continue;
+                        };
                         let p = lane::mul5x5(x.n[i], y.n[j]);
                         sum += lane::shift_truncate(p, shift, w);
                     }
@@ -294,8 +292,19 @@ mod tests {
         let mut ipu = Ipu::new(IpuConfig::big(16));
         let a = [65535, 12345, 0, 40000];
         let b = [65535, 54321, 99, 2];
-        let expect: i128 = a.iter().zip(&b).map(|(&x, &y)| (x as i128) * (y as i128)).sum();
-        let c = ipu.int_ip(&a, &b, 4, 4, IntSignedness::Unsigned, IntSignedness::Unsigned);
+        let expect: i128 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (x as i128) * (y as i128))
+            .sum();
+        let c = ipu.int_ip(
+            &a,
+            &b,
+            4,
+            4,
+            IntSignedness::Unsigned,
+            IntSignedness::Unsigned,
+        );
         assert_eq!(c, expect);
         assert_eq!(ipu.cycles(), 16);
     }

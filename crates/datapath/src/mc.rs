@@ -137,7 +137,9 @@ impl McIpu {
                     // every lane aligns locally (plain IPU semantics).
                     let mut sum: i64 = 0;
                     for (lane_idx, (x, y)) in na.iter().zip(&nb).enumerate() {
-                        let Some(s) = plan.shifts[lane_idx] else { continue };
+                        let Some(s) = plan.shifts[lane_idx] else {
+                            continue;
+                        };
                         if !single && s / sp != k {
                             continue;
                         }
@@ -344,10 +346,7 @@ mod tests {
         let b = fp16v(&[1.0; 8]);
         let sched = mc.schedule(&a, &b);
         assert!(sched.cycles_per_iteration >= 3);
-        assert_eq!(
-            sched.total_cycles,
-            9 * sched.cycles_per_iteration as u64
-        );
+        assert_eq!(sched.total_cycles, 9 * sched.cycles_per_iteration as u64);
     }
 
     #[test]

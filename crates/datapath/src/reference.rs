@@ -28,7 +28,7 @@ pub fn exact_dot_fp16(a: &[Fp16], b: &[Fp16]) -> FixedPoint {
         let sy = SignedMagnitude::from_fp16(y).expect("finite input");
         let prod = sx.m as i128 * sy.m as i128; // ≤ 22 bits + sign
         let e = sx.exp + sy.exp; // [−28, 30]
-        // Product value = prod · 2^(e − 20); place on the 2^EXACT_LSB grid.
+                                 // Product value = prod · 2^(e − 20); place on the 2^EXACT_LSB grid.
         let up = e - 20 - EXACT_LSB;
         debug_assert!(up >= 0);
         sum += prod << up;

@@ -110,10 +110,7 @@ mod tests {
     fn tight_bound_dominates_printed_bound() {
         for p in 8..30 {
             for n in 2..32 {
-                assert!(
-                    theorem1_bound_tight(2, 2, p, 5, n)
-                        >= theorem1_bound(2, 2, p, 5, n)
-                );
+                assert!(theorem1_bound_tight(2, 2, p, 5, n) >= theorem1_bound(2, 2, p, 5, n));
             }
         }
     }

@@ -213,3 +213,25 @@ proptest! {
         prop_assert_eq!(r1.cycles, r2.cycles);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The bucket-scan partition count agrees with the retained naive
+    /// sort-based reference on arbitrary exponent vectors (ISSUE 2
+    /// equivalence oracle for the counting-sort EHU).
+    #[test]
+    fn bucket_scan_partitions_match_naive(
+        exps in prop::collection::vec(
+            prop::option::of(-60i32..=60), 0..=32),
+        swp in 0u32..=64,
+        sp in 0u32..=32,
+    ) {
+        let ehu = mpipu_datapath::Ehu::new(swp);
+        let plan = ehu.plan(&exps);
+        let naive = plan.partitions_naive(sp);
+        prop_assert_eq!(&plan.partitions(sp), &naive);
+        prop_assert_eq!(plan.cycles(sp), naive.len() as u32);
+        prop_assert_eq!(ehu.partition_count(&exps, sp), naive.len() as u32);
+    }
+}

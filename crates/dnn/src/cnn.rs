@@ -3,7 +3,9 @@
 //! study. Architecture: conv3×3 (C0→C1, pad 1) → ReLU → 2×2 maxpool →
 //! flatten → linear → softmax cross-entropy.
 
-use crate::layers::{conv2d_emulated, conv2d_f32, linear_emulated, linear_f32, maxpool2x2, softmax};
+use crate::layers::{
+    conv2d_emulated, conv2d_f32, linear_emulated, linear_f32, maxpool2x2, softmax,
+};
 use crate::tensor::Tensor;
 use mpipu_datapath::IpuConfig;
 use rand::rngs::SmallRng;
@@ -27,15 +29,11 @@ pub struct SmallCnn {
 impl SmallCnn {
     /// He-initialized CNN for `(c0, h, w)` inputs, `c1` conv channels and
     /// `classes` outputs. `h` and `w` must be even (for the 2×2 pool).
-    pub fn new(
-        c0: usize,
-        h: usize,
-        w: usize,
-        c1: usize,
-        classes: usize,
-        seed: u64,
-    ) -> Self {
-        assert!(h.is_multiple_of(2) && w.is_multiple_of(2), "pooling needs even dimensions");
+    pub fn new(c0: usize, h: usize, w: usize, c1: usize, classes: usize, seed: u64) -> Self {
+        assert!(
+            h.is_multiple_of(2) && w.is_multiple_of(2),
+            "pooling needs even dimensions"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut normal = move || -> f32 {
             let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -278,12 +276,7 @@ pub fn cnn_accuracy_f32(model: &SmallCnn, xs: &[Tensor], ys: &[usize]) -> f64 {
 }
 
 /// Top-1 accuracy with inference through the emulated IPU.
-pub fn cnn_accuracy_emulated(
-    model: &SmallCnn,
-    xs: &[Tensor],
-    ys: &[usize],
-    cfg: IpuConfig,
-) -> f64 {
+pub fn cnn_accuracy_emulated(model: &SmallCnn, xs: &[Tensor], ys: &[usize], cfg: IpuConfig) -> f64 {
     let correct = xs
         .iter()
         .zip(ys)

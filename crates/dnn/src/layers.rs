@@ -251,7 +251,13 @@ mod tests {
         let input = seq_tensor(&[4, 5, 5], 0.25);
         let weight = seq_tensor(&[2, 4, 3, 3], 0.125);
         let reference = conv2d_f32(&input, &weight, 1, 0);
-        let lo = conv2d_emulated(&input, &weight, 1, 0, IpuConfig::big(8).with_software_precision(8));
+        let lo = conv2d_emulated(
+            &input,
+            &weight,
+            1,
+            0,
+            IpuConfig::big(8).with_software_precision(8),
+        );
         let hi = conv2d_emulated(&input, &weight, 1, 0, IpuConfig::big(28));
         let err = |t: &Tensor| -> f32 {
             t.data()

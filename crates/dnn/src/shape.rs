@@ -73,8 +73,7 @@ impl ConvShape {
         w_unroll: usize,
     ) -> u64 {
         let k_groups = self.k.div_ceil(k_parallel) as u64;
-        let pix_groups =
-            (self.h_out.div_ceil(h_unroll) * self.w_out.div_ceil(w_unroll)) as u64;
+        let pix_groups = (self.h_out.div_ceil(h_unroll) * self.w_out.div_ceil(w_unroll)) as u64;
         k_groups * pix_groups * self.ip_ops_per_pixel(c_unroll)
     }
 }

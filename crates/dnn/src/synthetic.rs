@@ -54,13 +54,7 @@ fn normal(rng: &mut SmallRng) -> f32 {
 /// * `n` samples of dimension `d` over `classes` classes;
 /// * `noise` is the within-class standard deviation (prototypes are
 ///   ~unit-norm, so `noise ≈ 0.3` gives a hard-but-learnable task).
-pub fn gaussian_prototypes(
-    n: usize,
-    d: usize,
-    classes: usize,
-    noise: f32,
-    seed: u64,
-) -> Dataset {
+pub fn gaussian_prototypes(n: usize, d: usize, classes: usize, noise: f32, seed: u64) -> Dataset {
     let mut rng = SmallRng::seed_from_u64(seed);
     let protos: Vec<f32> = (0..classes * d)
         .map(|_| normal(&mut rng) / (d as f32).sqrt() * 4.0)
@@ -123,9 +117,8 @@ mod tests {
         let ds = gaussian_prototypes(200, 32, 4, 0.1, 3);
         // Distance between two samples of class 0 should typically be
         // smaller than between class 0 and class 1.
-        let d = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
-        };
+        let d =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum() };
         let (a0, _) = ds.sample(0);
         let (a4, _) = ds.sample(4); // same class (stride = classes)
         let (b1, _) = ds.sample(1); // different class
@@ -136,8 +129,7 @@ mod tests {
     fn fill_normal_has_requested_scale() {
         let mut buf = vec![0.0f32; 20_000];
         fill_normal(&mut buf, 0.5, 9);
-        let var: f32 =
-            buf.iter().map(|v| v * v).sum::<f32>() / buf.len() as f32;
+        let var: f32 = buf.iter().map(|v| v * v).sum::<f32>() / buf.len() as f32;
         assert!((var - 0.25).abs() < 0.02, "var {var}");
     }
 }

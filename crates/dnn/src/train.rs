@@ -253,20 +253,28 @@ mod tests {
         assert!(base > 0.8, "f32 accuracy {base}");
         let cfg = IpuConfig::big(28);
         let emu = accuracy_emulated(&model, &test_set, cfg);
-        assert!(
-            (emu - base).abs() <= 0.02,
-            "emulated {emu} vs f32 {base}"
-        );
+        assert!((emu - base).abs() <= 0.02, "emulated {emu} vs f32 {base}");
     }
 
     #[test]
     fn precision_12_matches_but_low_precision_can_degrade() {
         let (model, _, test_set) = trained_setup();
         let base = accuracy_f32(&model, &test_set);
-        let acc12 = accuracy_emulated(&model, &test_set, IpuConfig::big(12).with_software_precision(12));
-        let acc4 = accuracy_emulated(&model, &test_set, IpuConfig::big(4).with_software_precision(4));
+        let acc12 = accuracy_emulated(
+            &model,
+            &test_set,
+            IpuConfig::big(12).with_software_precision(12),
+        );
+        let acc4 = accuracy_emulated(
+            &model,
+            &test_set,
+            IpuConfig::big(4).with_software_precision(4),
+        );
         assert!((acc12 - base).abs() <= 0.03, "p12 {acc12} vs {base}");
-        assert!(acc4 <= acc12 + 1e-9, "p4 {acc4} should not beat p12 {acc12}");
+        assert!(
+            acc4 <= acc12 + 1e-9,
+            "p4 {acc4} should not beat p12 {acc12}"
+        );
     }
 
     #[test]

@@ -60,10 +60,7 @@ impl Workload {
 
     /// Total MACs over all layers (×multiplicity), one input sample.
     pub fn total_macs(&self) -> u64 {
-        self.layers
-            .iter()
-            .map(|(l, m)| l.macs() * *m as u64)
-            .sum()
+        self.layers.iter().map(|(l, m)| l.macs() * *m as u64).sum()
     }
 
     /// The paper's four study cases, in presentation order.
@@ -174,7 +171,7 @@ pub fn inception_v3(pass: Pass) -> Workload {
     push(288, 48, 1, 1, 35, 1, 3);
     push(48, 64, 5, 5, 35, 1, 3);
     push(288, 32, 1, 1, 35, 1, 3); // pool projections
-    // Grid reduction A (35 → 17).
+                                   // Grid reduction A (35 → 17).
     push(288, 384, 3, 3, 17, 2, 1);
     push(288, 64, 1, 1, 35, 1, 1);
     push(96, 96, 3, 3, 17, 2, 1);

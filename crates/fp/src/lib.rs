@@ -46,5 +46,4 @@ pub const FP16_EXP_RANGE: (i32, i32) = (-14, 15);
 pub const FP16_PRODUCT_EXP_RANGE: (i32, i32) = (-28, 30);
 
 /// Worst-case alignment (exponent difference) between two FP16 products.
-pub const FP16_MAX_ALIGNMENT: u32 =
-    (FP16_PRODUCT_EXP_RANGE.1 - FP16_PRODUCT_EXP_RANGE.0) as u32;
+pub const FP16_MAX_ALIGNMENT: u32 = (FP16_PRODUCT_EXP_RANGE.1 - FP16_PRODUCT_EXP_RANGE.0) as u32;

@@ -23,7 +23,10 @@ pub struct FixedPoint {
 
 impl FixedPoint {
     /// Zero.
-    pub const ZERO: FixedPoint = FixedPoint { mag: 0, lsb_pow2: 0 };
+    pub const ZERO: FixedPoint = FixedPoint {
+        mag: 0,
+        lsb_pow2: 0,
+    };
 
     /// Exact value as `f64` **if** the magnitude fits 53 bits (always true
     /// for the paper's accumulator widths); otherwise correctly rounded.
@@ -212,8 +215,10 @@ mod tests {
         assert_eq!(round_to_fp16_rne(1, -25), Fp16::ZERO); // tie → even(0)
         assert_eq!(round_to_fp16_rne(3, -25), Fp16(0x0002));
         // Subnormal rounding up into normal range.
-        assert_eq!(round_to_fp16_rne((1 << 10) * 2 - 1, -25).classify(),
-            crate::FpClass::Normal);
+        assert_eq!(
+            round_to_fp16_rne((1 << 10) * 2 - 1, -25).classify(),
+            crate::FpClass::Normal
+        );
     }
 
     #[test]

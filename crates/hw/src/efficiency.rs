@@ -50,7 +50,10 @@ impl DesignPoint {
     /// `fp_slowdown` is the workload-average normalized execution time from
     /// `mpipu-sim` (≥ 1.0; the baseline design has 1.0).
     pub fn metrics(&self, fp_slowdown: f64) -> DesignMetrics {
-        assert!(fp_slowdown >= 1.0, "slowdown must be ≥ 1, got {fp_slowdown}");
+        assert!(
+            fp_slowdown >= 1.0,
+            "slowdown must be ≥ 1, got {fp_slowdown}"
+        );
         let hw = self.tile_hw();
         let b = TileBreakdown::model(hw);
         // Small clusters add duplicated input/output buffering: charge
@@ -66,8 +69,8 @@ impl DesignPoint {
 
         // Peak INT4: one MAC per multiplier per cycle at 1 GHz.
         let int_gops = hw.multipliers() as f64; // GOPS
-        // FP16: nine nibble iterations per MAC, degraded by the simulated
-        // slowdown.
+                                                // FP16: nine nibble iterations per MAC, degraded by the simulated
+                                                // slowdown.
         let fp_gflops = int_gops / 9.0 / fp_slowdown;
 
         DesignMetrics {
@@ -120,8 +123,18 @@ mod tests {
         // At equal slowdown, narrower is better; at high slowdown the
         // narrow tree loses its FP advantage.
         let base = no_opt();
-        let p16_fast = DesignPoint { w: 16, cluster_size: 1, big: true }.metrics(1.1);
-        let p16_slow = DesignPoint { w: 16, cluster_size: 16, big: true }.metrics(2.2);
+        let p16_fast = DesignPoint {
+            w: 16,
+            cluster_size: 1,
+            big: true,
+        }
+        .metrics(1.1);
+        let p16_slow = DesignPoint {
+            w: 16,
+            cluster_size: 16,
+            big: true,
+        }
+        .metrics(2.2);
         assert!(p16_fast.fp_tflops_per_mm2 > p16_slow.fp_tflops_per_mm2);
         assert!(p16_fast.fp_tflops_per_mm2 > base.fp_tflops_per_mm2);
         assert!(p16_fast.fp_tflops_per_w > base.fp_tflops_per_w);
@@ -132,24 +145,53 @@ mod tests {
         // Paper abstract: up to 25% TFLOPS/mm² and up to 40% TFLOPS/W for
         // the 16-input family at (16, 1) with modest slowdown.
         let base = no_opt();
-        let p = DesignPoint { w: 16, cluster_size: 1, big: true }.metrics(1.15);
+        let p = DesignPoint {
+            w: 16,
+            cluster_size: 1,
+            big: true,
+        }
+        .metrics(1.15);
         let area_gain = p.fp_tflops_per_mm2 / base.fp_tflops_per_mm2 - 1.0;
         let power_gain = p.fp_tflops_per_w / base.fp_tflops_per_w - 1.0;
-        assert!((0.05..0.55).contains(&area_gain), "FP area gain {area_gain:.3}");
-        assert!((0.05..0.80).contains(&power_gain), "FP power gain {power_gain:.3}");
+        assert!(
+            (0.05..0.55).contains(&area_gain),
+            "FP area gain {area_gain:.3}"
+        );
+        assert!(
+            (0.05..0.80).contains(&power_gain),
+            "FP power gain {power_gain:.3}"
+        );
     }
 
     #[test]
     fn clustering_overhead_is_small() {
-        let c16 = DesignPoint { w: 16, cluster_size: 16, big: true }.metrics(1.0);
-        let c1 = DesignPoint { w: 16, cluster_size: 1, big: true }.metrics(1.0);
+        let c16 = DesignPoint {
+            w: 16,
+            cluster_size: 16,
+            big: true,
+        }
+        .metrics(1.0);
+        let c1 = DesignPoint {
+            w: 16,
+            cluster_size: 1,
+            big: true,
+        }
+        .metrics(1.0);
         let ratio = c16.int_tops_per_mm2 / c1.int_tops_per_mm2;
-        assert!((1.0..1.35).contains(&ratio), "cluster overhead ratio {ratio}");
+        assert!(
+            (1.0..1.35).contains(&ratio),
+            "cluster overhead ratio {ratio}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "slowdown must be")]
     fn rejects_speedup_factors() {
-        DesignPoint { w: 16, cluster_size: 1, big: true }.metrics(0.5);
+        DesignPoint {
+            w: 16,
+            cluster_size: 1,
+            big: true,
+        }
+        .metrics(0.5);
     }
 }

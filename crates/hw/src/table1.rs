@@ -173,9 +173,7 @@ impl Table1Design {
             FpMode::None => None,
             FpMode::Native => Some(1.0),
             FpMode::SpatialHalf => Some(2.0),
-            FpMode::Temporal { stall } => {
-                Some(f64::from(self.int_cycles(12, 12)) * stall)
-            }
+            FpMode::Temporal { stall } => Some(f64::from(self.int_cycles(12, 12)) * stall),
         }
     }
 

@@ -295,9 +295,8 @@ mod tests {
         // MC-IPU(12) can support FP16 with a 43% increase in area." The
         // comparison is at the IPU level, so exclude the weight buffers
         // (identical in both and not part of the IPU datapath).
-        let ipu_area = |b: &TileBreakdown| {
-            b.total_gates() - b.component_gates(Component::WeightBuffer)
-        };
+        let ipu_area =
+            |b: &TileBreakdown| b.total_gates() - b.component_gates(Component::WeightBuffer);
         let int_only = TileBreakdown::model(TileHwConfig::big(12).int_only());
         let fp12 = TileBreakdown::model(TileHwConfig::big(12));
         let overhead = ipu_area(&fp12) / ipu_area(&int_only) - 1.0;

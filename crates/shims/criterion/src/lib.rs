@@ -12,23 +12,50 @@
 //! fp_ip/ipu/12            time: 1234 ns/iter (±whatever, n=2048)
 //! ```
 //!
-//! Invoked with `--test` (as `cargo test --benches` does), each benchmark
-//! body runs exactly once, so benches double as smoke tests.
+//! Without `cargo bench`'s `--bench` argument (e.g. under
+//! `cargo test --benches`), each benchmark body runs exactly once,
+//! untimed, so benches double as smoke tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Target measurement time per benchmark.
 const MEASURE_TARGET: Duration = Duration::from_millis(200);
+
+/// Target measurement time in `--quick` mode (CI smoke benches).
+const MEASURE_TARGET_QUICK: Duration = Duration::from_millis(25);
+
+/// One measured benchmark, as recorded by the harness.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/function/parameter`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration; `None` in smoke
+    /// (`--test`) mode, where each body runs exactly once untimed.
+    pub ns_per_iter: Option<f64>,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drain every benchmark result recorded so far in this process — used by
+/// `harness = false` bench mains to emit machine-readable `BENCH_*.json`
+/// trajectories after their groups have run.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut RECORDS.lock().unwrap())
+}
 
 /// Runs closures under a timing loop and prints results (subset of
 /// `criterion::Bencher`).
 #[derive(Debug)]
 pub struct Bencher {
     smoke: bool,
+    target: Duration,
     last_ns_per_iter: Option<f64>,
     last_iters: u64,
 }
@@ -50,14 +77,13 @@ impl Bencher {
                 std::hint::black_box(f());
             }
             let dt = t0.elapsed();
-            if dt >= MEASURE_TARGET / 8 || batch >= 1 << 20 {
+            if dt >= self.target / 8 || batch >= 1 << 20 {
                 break dt.as_secs_f64() / batch as f64;
             }
             batch *= 2;
         };
         // Measure: as many batches as fit in the remaining target time.
-        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64)
-            .clamp(1, 1 << 22);
+        let iters = ((self.target.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 22);
         let t0 = Instant::now();
         for _ in 0..iters {
             std::hint::black_box(f());
@@ -86,7 +112,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`, as in `BenchmarkId::new("ipu", 12)`.
     pub fn new(name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
     }
 }
 
@@ -95,31 +123,46 @@ impl BenchmarkId {
 #[derive(Debug)]
 pub struct Criterion {
     smoke: bool,
+    target: Duration,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        // `cargo bench` passes `--bench`; `cargo test --benches` passes
-        // `--test`. In test mode run every body once, quickly.
-        let smoke = std::env::args().any(|a| a == "--test");
-        Criterion { smoke }
+        // `cargo bench` appends `--bench` to a `harness = false` target's
+        // arguments; `cargo test --benches` runs the same binary with
+        // `--test` (older cargo) or no flag at all (current cargo). Only
+        // measure under an explicit `--bench`: everything else is a smoke
+        // run where each body executes exactly once, untimed — so test
+        // runs stay fast and never overwrite `BENCH_*.json` trajectories
+        // with contended numbers. `--quick` (mirroring real criterion's
+        // flag) shortens the measurement window for CI smoke benches.
+        let smoke = !std::env::args().any(|a| a == "--bench");
+        let quick = std::env::args().any(|a| a == "--quick");
+        Criterion {
+            smoke,
+            target: if quick {
+                MEASURE_TARGET_QUICK
+            } else {
+                MEASURE_TARGET
+            },
+        }
     }
 }
 
 impl Criterion {
     /// Run one named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        f: F,
-    ) -> &mut Self {
-        run_one(name, None, self.smoke, f);
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, self.smoke, self.target, f);
         self
     }
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), throughput: None, parent: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            parent: self,
+        }
     }
 }
 
@@ -139,13 +182,15 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run `grouped/name`.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let full = format!("{}/{name}", self.name);
-        run_one(&full, self.throughput, self.parent.smoke, f);
+        run_one(
+            &full,
+            self.throughput,
+            self.parent.smoke,
+            self.parent.target,
+            f,
+        );
         self
     }
 
@@ -157,7 +202,13 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.id);
-        run_one(&full, self.throughput, self.parent.smoke, |b| f(b, input));
+        run_one(
+            &full,
+            self.throughput,
+            self.parent.smoke,
+            self.parent.target,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -169,10 +220,21 @@ fn run_one<F: FnMut(&mut Bencher)>(
     name: &str,
     throughput: Option<Throughput>,
     smoke: bool,
+    target: Duration,
     mut f: F,
 ) {
-    let mut b = Bencher { smoke, last_ns_per_iter: None, last_iters: 0 };
+    let mut b = Bencher {
+        smoke,
+        target,
+        last_ns_per_iter: None,
+        last_iters: 0,
+    };
     f(&mut b);
+    RECORDS.lock().unwrap().push(BenchRecord {
+        name: name.to_string(),
+        ns_per_iter: b.last_ns_per_iter,
+        iters: b.last_iters,
+    });
     match b.last_ns_per_iter {
         Some(ns) => {
             let extra = match throughput {

@@ -64,7 +64,11 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Filter { inner: self, reason, f }
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
         }
 
         /// Map values through `f`, retrying whenever it returns `None`.
@@ -76,7 +80,11 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            FilterMap { inner: self, reason, f }
+            FilterMap {
+                inner: self,
+                reason,
+                f,
+            }
         }
     }
 
@@ -145,9 +153,7 @@ pub mod strategy {
             }
         )*};
     }
-    range_strategy!(
-        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64
-    );
+    range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
 
     macro_rules! range_incl_strategy {
         ($($t:ty),*) => {$(
@@ -226,13 +232,19 @@ pub mod prop {
         impl From<Range<usize>> for SizeRange {
             fn from(r: Range<usize>) -> Self {
                 assert!(r.start < r.end, "empty size range");
-                SizeRange { lo: r.start, hi: r.end - 1 }
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
             }
         }
 
         impl From<RangeInclusive<usize>> for SizeRange {
             fn from(r: RangeInclusive<usize>) -> Self {
-                SizeRange { lo: *r.start(), hi: *r.end() }
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
             }
         }
 
@@ -251,7 +263,10 @@ pub mod prop {
 
         /// `Vec` strategy: each element from `elem`, length from `size`.
         pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { elem, size: size.into() }
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
         }
 
         impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -259,6 +274,36 @@ pub mod prop {
             fn sample(&self, rng: &mut SmallRng) -> Result<Self::Value, Rejection> {
                 let len = rng.gen_range(self.size.lo..=self.size.hi);
                 (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies (`of`), mirroring `proptest::option`.
+    pub mod option {
+        use crate::strategy::{Rejection, Strategy};
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy for `Option<S::Value>` (see [`of`]).
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Option` strategy: `None` with probability 1/4 (the real
+        /// crate's default weighting), otherwise `Some` of `inner`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut SmallRng) -> Result<Self::Value, Rejection> {
+                if rng.gen_range(0u32..4) == 0 {
+                    Ok(None)
+                } else {
+                    self.inner.sample(rng).map(Some)
+                }
             }
         }
     }
@@ -292,8 +337,7 @@ pub mod prop {
             impl Strategy for FloatClasses {
                 type Value = f32;
                 fn sample(&self, rng: &mut SmallRng) -> Result<f32, Rejection> {
-                    let classes: Vec<u32> =
-                        (0..3).filter(|b| self.0 & (1 << b) != 0).collect();
+                    let classes: Vec<u32> = (0..3).filter(|b| self.0 & (1 << b) != 0).collect();
                     assert!(!classes.is_empty(), "empty f32 class union");
                     let class = classes[rng.gen_range(0..classes.len())];
                     let sign = if rng.gen::<bool>() { 0x8000_0000u32 } else { 0 };
@@ -384,7 +428,11 @@ pub mod test_runner {
                 .ok()
                 .and_then(|s| s.parse::<u64>().ok())
                 .unwrap_or_else(|| fnv1a(name.as_bytes()));
-            TestRunner { config, rng: SmallRng::seed_from_u64(seed), name }
+            TestRunner {
+                config,
+                rng: SmallRng::seed_from_u64(seed),
+                name,
+            }
         }
 
         /// Run up to `cases` successful cases, panicking on the first
@@ -412,10 +460,7 @@ pub mod test_runner {
                         }
                     }
                     Err(TestCaseError::Fail(msg)) => {
-                        panic!(
-                            "{} failed after {passed} passing case(s): {msg}",
-                            self.name
-                        );
+                        panic!("{} failed after {passed} passing case(s): {msg}", self.name);
                     }
                 }
             }
@@ -574,7 +619,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }

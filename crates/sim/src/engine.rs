@@ -26,6 +26,9 @@
 ///
 /// # Panics
 /// Panics if cluster streams have different lengths or `buffer_depth == 0`.
+// The step index drives every cluster stream in lock step plus the ring
+// arithmetic; an iterator over one stream cannot express that.
+#[allow(clippy::needless_range_loop)]
 pub fn simulate_clusters(costs: &[Vec<u32>], buffer_depth: usize) -> u64 {
     assert!(buffer_depth >= 1, "buffer depth must be at least 1");
     let clusters = costs.len();
@@ -40,22 +43,33 @@ pub fn simulate_clusters(costs: &[Vec<u32>], buffer_depth: usize) -> u64 {
     if steps == 0 {
         return 0;
     }
-    let mut finish = vec![vec![0u64; steps]; clusters];
+    // The recurrence only ever looks back `buffer_depth` steps, so keep a
+    // ring of the last `buffer_depth` finish times per cluster instead of
+    // the full `clusters × steps` matrix: O(clusters · min(depth, steps))
+    // memory, independent of the stream length.
+    let ring = buffer_depth.min(steps);
+    let mut hist = vec![0u64; clusters * ring];
+    let mut last = vec![0u64; clusters];
     let mut issue_prev = 0u64;
     for s in 0..steps {
+        let slot = s % ring;
         let mut issue = if s == 0 { 0 } else { issue_prev + 1 };
         if s >= buffer_depth {
-            for f in &finish {
-                issue = issue.max(f[s - buffer_depth]);
+            // s ≥ buffer_depth ⇒ ring == buffer_depth, so step
+            // s − buffer_depth lives in this step's own slot (read before
+            // it is overwritten below).
+            for c in 0..clusters {
+                issue = issue.max(hist[c * ring + slot]);
             }
         }
-        for (c, f) in finish.iter_mut().enumerate() {
-            let ready = if s == 0 { 0 } else { f[s - 1] };
-            f[s] = issue.max(ready) + u64::from(costs[c][s]);
+        for (c, ready) in last.iter_mut().enumerate() {
+            let f = issue.max(if s == 0 { 0 } else { *ready }) + u64::from(costs[c][s]);
+            hist[c * ring + slot] = f;
+            *ready = f;
         }
         issue_prev = issue;
     }
-    finish.iter().map(|f| f[steps - 1]).max().unwrap()
+    last.into_iter().max().unwrap()
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ pub mod result;
 pub mod run;
 pub mod tile;
 
-pub use cost::{CostModel, StepCosts};
+pub use cost::{step_costs_from_exps, CostModel, StepCosts};
 pub use engine::simulate_clusters;
 pub use mixed::{first_last_fp16, run_mixed, LayerPrecision, MixedResult};
 pub use result::{LayerResult, WorkloadResult};

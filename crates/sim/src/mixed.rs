@@ -71,8 +71,7 @@ pub fn run_mixed(
     let mut layers = Vec::with_capacity(workload.layers.len());
     let mut fp_base = 0u64;
     let mut all_base = 0u64;
-    for (li, (&(shape, multiplicity), &prec)) in
-        workload.layers.iter().zip(assignment).enumerate()
+    for (li, (&(shape, multiplicity), &prec)) in workload.layers.iter().zip(assignment).enumerate()
     {
         let steps = shape.tile_steps(
             tile.c_unroll,
@@ -98,8 +97,7 @@ pub fn run_mixed(
                 );
                 let costs = model.sample_steps(sampled);
                 let window = simulate_clusters(&costs.per_cluster, tile.buffer_depth);
-                let cycles =
-                    (window as f64 * steps as f64 / sampled as f64).round() as u64;
+                let cycles = (window as f64 * steps as f64 / sampled as f64).round() as u64;
                 (cycles, steps * u64::from(costs.baseline_per_step))
             }
         };
@@ -199,8 +197,11 @@ mod tests {
         let r = run_mixed(&design(12), &wl, &assignment, &opts());
         // conv1 + fc are a small share of MACs but a larger share of
         // cycles (FP16 steps cost 9 baseline cycles vs 1 for INT4).
-        assert!(r.fp_fraction > 0.0 && r.fp_fraction < 0.8,
-            "fp fraction {}", r.fp_fraction);
+        assert!(
+            r.fp_fraction > 0.0 && r.fp_fraction < 0.8,
+            "fp fraction {}",
+            r.fp_fraction
+        );
         // Hybrid total sits between all-INT4 and all-FP16.
         let all_int = run_mixed(
             &design(12),

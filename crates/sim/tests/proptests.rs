@@ -84,3 +84,37 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ISSUE 2 equivalence: the zero-allocation bucket-scan cost pipeline
+    /// and the retained pre-refactor (plan + sort) pipeline produce
+    /// *identical* cycle counts from the same operand exponents.
+    #[test]
+    fn optimized_cost_pipeline_matches_reference(
+        seed in 0u64..10_000,
+        sp in 1u32..=30,
+        swp in any::<bool>().prop_map(|fp32| if fp32 { 28u32 } else { 16 }),
+        cluster_log2 in 0u32..=5,
+    ) {
+        use mpipu_analysis::dist::{Distribution, ExpSampler};
+        use mpipu_datapath::Ehu;
+        use mpipu_sim::cost::{reference, step_costs_from_exps};
+
+        let tile = TileConfig::small().with_cluster_size(1 << cluster_log2);
+        let (n, pixels, k) = (tile.c_unroll, tile.pixels(), tile.k_unroll);
+        let mut s = ExpSampler::new(Distribution::BackwardLike, seed);
+        let mut acts = vec![None; pixels * n];
+        let mut wgts = vec![None; k * n];
+        s.fill(&mut acts);
+        s.fill(&mut wgts);
+        let ehu = Ehu::new(swp);
+        let mut prod = vec![None; n];
+        let mut fast = vec![0u32; tile.clusters()];
+        let mut slow = vec![0u32; tile.clusters()];
+        step_costs_from_exps(&ehu, sp, &tile, &acts, &wgts, &mut prod, &mut fast);
+        reference::step_costs_from_exps(&ehu, sp, &tile, &acts, &wgts, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -38,7 +38,11 @@ fn main() {
             big: true,
         }
         .metrics(slowdown);
-        let label = if w == 38 { "NO-OPT".to_string() } else { format!("({w},{cluster})") };
+        let label = if w == 38 {
+            "NO-OPT".to_string()
+        } else {
+            format!("({w},{cluster})")
+        };
         println!(
             "{label}\t{f:.2}\t{b:.2}\t{:.1}\t{:.2}\t{:.3}",
             m.int_tops_per_mm2, m.fp_tflops_per_mm2, m.fp_tflops_per_w

@@ -43,7 +43,11 @@ fn main() {
     println!("\nFig 4 walk-through (exponents 10, 2, 3, 8; sp = 5):");
     println!("  max exponent = {}", plan.max_exp);
     println!("  alignments   = {:?}", plan.shifts);
-    println!("  partitions   = {:?} -> {} cycles/iteration", plan.partitions(5), plan.cycles(5));
+    println!(
+        "  partitions   = {:?} -> {} cycles/iteration",
+        plan.partitions(5),
+        plan.cycles(5)
+    );
 
     let cfg = IpuConfig {
         n: 4,

@@ -19,10 +19,8 @@ fn main() {
 
     println!("ResNet-18 forward on four small tiles, per-layer precision:\n");
     println!("assignment\tadder_w\ttotal_Mcycles\tfp_share\tvs_all_int4");
-    let all_int4: Vec<LayerPrecision> =
-        vec![LayerPrecision::Int { ka: 1, kb: 1 }; wl.layers.len()];
-    let all_int8: Vec<LayerPrecision> =
-        vec![LayerPrecision::Int { ka: 2, kb: 2 }; wl.layers.len()];
+    let all_int4: Vec<LayerPrecision> = vec![LayerPrecision::Int { ka: 1, kb: 1 }; wl.layers.len()];
+    let all_int8: Vec<LayerPrecision> = vec![LayerPrecision::Int { ka: 2, kb: 2 }; wl.layers.len()];
     let hybrid = first_last_fp16(&wl);
     let all_fp: Vec<LayerPrecision> = vec![LayerPrecision::Fp16; wl.layers.len()];
 

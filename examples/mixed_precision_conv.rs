@@ -21,7 +21,10 @@ fn main() {
     fill_normal(weight.data_mut(), 0.08, 2);
 
     let reference = conv2d_f32(&input, &weight, 1, 1);
-    println!("conv2d 16->8, 3x3, pad 1 on 12x12 input; {} output values\n", reference.len());
+    println!(
+        "conv2d 16->8, 3x3, pad 1 on 12x12 input; {} output values\n",
+        reference.len()
+    );
     println!("precision\tmax_abs_err\tmean_abs_err\trel_to_output_std");
 
     let std = {
@@ -45,10 +48,7 @@ fn main() {
             sum_err += err;
         }
         let mean = sum_err / reference.len() as f32;
-        println!(
-            "{p}\t{max_err:.6}\t{mean:.6}\t{:.2e}",
-            mean / std
-        );
+        println!("{p}\t{max_err:.6}\t{mean:.6}\t{:.2e}", mean / std);
     }
 
     println!("\nExpected shape: errors shrink rapidly with precision and are");

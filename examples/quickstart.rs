@@ -29,7 +29,10 @@ fn main() {
     println!("FP16 inner product on IPU(28):");
     println!("  approximate (datapath) = {}", result.f32);
     println!("  exact                  = {exact}");
-    println!("  cycles                 = {} (9 nibble iterations)", result.cycles);
+    println!(
+        "  cycles                 = {} (9 nibble iterations)",
+        result.cycles
+    );
 
     // --- The same dot product on a narrow multi-cycle unit --------------
     // MC-IPU(12) keeps a 12-bit adder tree but serves 28-bit alignments
@@ -52,5 +55,8 @@ fn main() {
     let xs = [100, -128, 127, 55];
     let ws = [2000, -2048, 2047, -999];
     let dot = int_ipu.int_ip(&xs, &ws, 2, 3, IntSignedness::Signed, IntSignedness::Signed);
-    println!("INT8 x INT12 inner product: {dot}, {} cycles (2 x 3 nibbles)", int_ipu.cycles());
+    println!(
+        "INT8 x INT12 inner product: {dot}, {} cycles (2 x 3 nibbles)",
+        int_ipu.cycles()
+    );
 }

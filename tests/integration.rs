@@ -83,7 +83,13 @@ fn conv_layer_error_decreases_with_precision() {
     fill_normal(weight.data_mut(), 0.1, 4);
     let reference = conv2d_f32(&input, &weight, 1, 1);
     let err = |p: u32| -> f64 {
-        let out = conv2d_emulated(&input, &weight, 1, 1, IpuConfig::big(p).with_software_precision(p));
+        let out = conv2d_emulated(
+            &input,
+            &weight,
+            1,
+            1,
+            IpuConfig::big(p).with_software_precision(p),
+        );
         reference
             .data()
             .iter()
@@ -136,8 +142,16 @@ fn simulator_reproduces_fig8_orderings() {
 fn exponent_statistics_match_fig9() {
     let fwd = exponent_histogram(Distribution::Resnet18Like, 8, 5000, 1);
     let bwd = exponent_histogram(Distribution::BackwardLike, 8, 5000, 1);
-    assert!(fwd.tail_fraction(8) < 0.05, "forward tail {}", fwd.tail_fraction(8));
-    assert!(bwd.tail_fraction(8) > 0.3, "backward tail {}", bwd.tail_fraction(8));
+    assert!(
+        fwd.tail_fraction(8) < 0.05,
+        "forward tail {}",
+        fwd.tail_fraction(8)
+    );
+    assert!(
+        bwd.tail_fraction(8) > 0.3,
+        "backward tail {}",
+        bwd.tail_fraction(8)
+    );
 }
 
 /// E4 + E8: hardware model and simulator compose into the Fig 10 story —
@@ -164,8 +178,18 @@ fn design_points_beat_baseline_on_int_efficiency() {
         }
         (cycles as f64 / base as f64).max(1.0)
     };
-    let no_opt = DesignPoint { w: 38, cluster_size: 64, big: true }.metrics(1.0);
-    let p16 = DesignPoint { w: 16, cluster_size: 1, big: true }.metrics(slowdown);
+    let no_opt = DesignPoint {
+        w: 38,
+        cluster_size: 64,
+        big: true,
+    }
+    .metrics(1.0);
+    let p16 = DesignPoint {
+        w: 16,
+        cluster_size: 1,
+        big: true,
+    }
+    .metrics(slowdown);
     assert!(p16.int_tops_per_mm2 > no_opt.int_tops_per_mm2);
     assert!(p16.int_tops_per_w > no_opt.int_tops_per_w);
 }
@@ -174,7 +198,13 @@ fn design_points_beat_baseline_on_int_efficiency() {
 /// through a 1-element IPU product with 1.0.
 #[test]
 fn identity_product_roundtrips_every_finite_fp16() {
-    let cfg = IpuConfig { n: 1, w: 16, software_precision: 16, acc: AccFormat::Fp16, headroom_l: 4 };
+    let cfg = IpuConfig {
+        n: 1,
+        w: 16,
+        software_precision: 16,
+        acc: AccFormat::Fp16,
+        headroom_l: 4,
+    };
     let mut ipu = Ipu::new(cfg);
     for bits in (0u16..=u16::MAX).step_by(7) {
         let x = Fp16(bits);
