@@ -4,15 +4,14 @@
 //! `fig*`/`table1`/`accuracy` binaries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mpipu::{Scenario, Zoo};
 use mpipu_analysis::dist::Distribution;
 use mpipu_analysis::hist::exponent_histogram;
 use mpipu_analysis::sweep::{precision_sweep, SweepConfig};
 use mpipu_datapath::AccFormat;
-use mpipu_dnn::zoo::{resnet18, Pass};
 use mpipu_hw::table1_designs;
 use mpipu_hw::tile_model::{TileBreakdown, TileHwConfig};
 use mpipu_hw::DesignPoint;
-use mpipu_sim::{run_workload, SimDesign, SimOptions, TileConfig};
 
 fn bench_fig3(c: &mut Criterion) {
     c.bench_function("fig3_sweep_smoke", |b| {
@@ -43,22 +42,12 @@ fn bench_fig7(c: &mut Criterion) {
 }
 
 fn bench_fig8(c: &mut Criterion) {
-    let opts = SimOptions {
-        sample_steps: 32,
-        seed: 5,
-    };
-    let wl = resnet18(Pass::Forward);
-    c.bench_function("fig8_sim_smoke", |b| {
-        b.iter(|| {
-            let d = SimDesign {
-                tile: TileConfig::small(),
-                w: 16,
-                software_precision: 28,
-                n_tiles: 4,
-            };
-            run_workload(&d, &wl, &opts).normalized()
-        })
-    });
+    let scenario = Scenario::small_tile()
+        .w(16)
+        .workload(Zoo::ResNet18)
+        .sample_steps(32)
+        .seed(5);
+    c.bench_function("fig8_sim_smoke", |b| b.iter(|| scenario.run().normalized()));
 }
 
 fn bench_fig9(c: &mut Criterion) {

@@ -10,9 +10,11 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use mpipu_analysis::dist::{Distribution, ExpSampler};
+use mpipu_bench::events::NullSink;
 use mpipu_bench::json::Json;
+use mpipu_bench::registry::Registry;
 use mpipu_bench::runner::{run_parallel, RunOptions};
-use mpipu_bench::suite::{registry, SMOKE_SCALE};
+use mpipu_bench::suite::SMOKE_SCALE;
 use mpipu_datapath::Ehu;
 use mpipu_dnn::zoo::Pass;
 use mpipu_sim::cost::{reference::ReferenceCostModel, CostModel};
@@ -104,12 +106,14 @@ fn bench_engine(c: &mut Criterion) {
 fn bench_suite(c: &mut Criterion) {
     c.bench_function("suite/smoke", |b| {
         b.iter(|| {
-            let experiments = registry(SMOKE_SCALE);
+            let registry = Registry::builtin();
             let opts = RunOptions {
                 threads: 0,
                 out_dir: None,
+                scale: SMOKE_SCALE,
+                seed: None,
             };
-            let outcomes = run_parallel(&experiments, &opts);
+            let outcomes = run_parallel(&registry.experiments(), &opts, &NullSink);
             assert!(outcomes.iter().all(|o| o.result.is_ok()));
             outcomes.len()
         })

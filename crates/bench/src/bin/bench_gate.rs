@@ -7,6 +7,7 @@
 //! ```text
 //! bench_gate --current BENCH_v1.json --baseline results/bench-baseline.json
 //!            [--warn-pct 10] [--fail-pct 25]
+//!            [--update-baseline]
 //! ```
 //!
 //! A benchmark slower than baseline by more than `--warn-pct` prints a
@@ -15,6 +16,10 @@
 //! suite is allowed to grow). CI machines differ, so the thresholds are
 //! deliberately loose — the gate catches step-function regressions, not
 //! single-digit drift.
+//!
+//! `--update-baseline` validates the fresh trajectory file and rewrites
+//! the committed baseline from it instead of comparing — the
+//! baseline-refresh workflow (see README "Benchmarks").
 
 use mpipu_bench::json::Json;
 use mpipu_bench::suite::flag_value;
@@ -58,6 +63,30 @@ fn run() -> Result<ExitCode, String> {
     };
     let warn_pct = parse_pct("warn-pct", 10.0)?;
     let fail_pct = parse_pct("fail-pct", 25.0)?;
+
+    if args.iter().any(|a| a == "--update-baseline") {
+        // Refresh the committed baseline from the fresh trajectory.
+        // `load` validates the schema and extracts the timed records, so
+        // a smoke-mode file (no timings) is rejected rather than
+        // committed as an empty baseline.
+        let records = load(current_path)?;
+        if records.is_empty() {
+            return Err(format!(
+                "{current_path} has no timed benchmarks (was it produced by \
+                 `cargo bench`, not `cargo test --benches`?)"
+            ));
+        }
+        let text = std::fs::read_to_string(current_path)
+            .map_err(|e| format!("cannot read {current_path}: {e}"))?;
+        std::fs::write(baseline_path, text)
+            .map_err(|e| format!("cannot write {baseline_path}: {e}"))?;
+        println!(
+            "[bench_gate] baseline {baseline_path} updated from {current_path} \
+             ({} benchmarks)",
+            records.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
 
     let current = load(current_path)?;
     let baseline = load(baseline_path)?;

@@ -7,37 +7,46 @@
 //!       [--threads N]          worker threads (default: one per CPU)
 //!       [--only a,b,c]         run a comma-separated subset
 //!       [--out DIR]            results directory (default: results/)
+//!       [--seed N]             override seeds (per-experiment derived)
+//!       [--events FILE]        stream JSONL run events to FILE
 //!       [--text]               also print each report to stdout
 //! ```
+//!
+//! Without `--seed` every experiment runs its canonical paper seed, and
+//! the result JSONs are byte-identical across thread counts (CI enforces
+//! this). `--seed` derives an independent stream per experiment, so
+//! overridden runs are reproducible too.
 
+use mpipu_bench::events::{JsonlSink, StderrSink, TeeSink};
+use mpipu_bench::registry::Registry;
 use mpipu_bench::runner::{run_parallel, RunOptions};
-use mpipu_bench::suite::{flag_value, registry, report_outcomes, scale_from, timing_json};
+use mpipu_bench::suite::{flag_value, scale_from, timing_json};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from(&args);
-    let mut experiments = registry(scale);
+    let registry = Registry::builtin();
 
     if args.iter().any(|a| a == "--list") {
-        println!("{} experiments registered:", experiments.len());
-        for e in &experiments {
-            println!("  {:<9} {}", e.name, e.title);
+        println!("{} experiments registered:", registry.len());
+        for e in registry.experiments() {
+            println!("  {:<9} {}", e.name(), e.title());
         }
         return;
     }
 
-    if let Some(only) = flag_value(&args, "only") {
-        let wanted: Vec<&str> = only.split(',').map(str::trim).collect();
-        for w in &wanted {
-            if !experiments.iter().any(|e| e.name == *w) {
-                eprintln!("error: unknown experiment {w:?}; try --list");
+    let experiments = match flag_value(&args, "only") {
+        Some(only) => {
+            let wanted: Vec<&str> = only.split(',').map(str::trim).collect();
+            registry.select(&wanted).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
                 std::process::exit(2);
-            }
+            })
         }
-        experiments.retain(|e| wanted.contains(&e.name));
-    }
+        None => registry.experiments(),
+    };
 
     let threads = match flag_value(&args, "threads").map(str::parse::<usize>) {
         None => 0,
@@ -47,17 +56,62 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let out_dir = PathBuf::from(flag_value(&args, "out").unwrap_or("results"));
+    let seed = match flag_value(&args, "seed").map(str::parse::<u64>) {
+        None => None,
+        Some(Ok(s)) => Some(s),
+        Some(Err(_)) => {
+            eprintln!("error: --seed takes a u64");
+            std::process::exit(2);
+        }
+    };
     let opts = RunOptions {
         threads,
-        out_dir: Some(out_dir),
+        out_dir: Some(PathBuf::from(flag_value(&args, "out").unwrap_or("results"))),
+        scale,
+        seed,
     };
 
+    // Sinks: human-readable stderr stream, optionally teed with a
+    // machine-readable JSONL event stream. Report texts are printed from
+    // the ordered outcomes after the run, not streamed: with a parallel
+    // pool the finish order is scheduling-dependent and stdout must stay
+    // deterministic.
+    let stderr_sink = StderrSink {
+        print_reports: false,
+    };
+    let jsonl_sink = flag_value(&args, "events").map(|path| {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create event stream {path}: {e}"));
+        (JsonlSink::new(std::io::BufWriter::new(file)), path)
+    });
     let t0 = Instant::now();
-    let outcomes = run_parallel(&experiments, &opts);
+    let outcomes = match &jsonl_sink {
+        Some((jsonl, _)) => {
+            let tee = TeeSink::new(vec![&stderr_sink, jsonl]);
+            run_parallel(&experiments, &opts, &tee)
+        }
+        None => run_parallel(&experiments, &opts, &stderr_sink),
+    };
+    if let Some((jsonl, path)) = jsonl_sink {
+        // Flush explicitly: the failure path below leaves via
+        // `process::exit`, which skips Drop — an unflushed BufWriter
+        // would lose exactly the events that explain the failure.
+        use std::io::Write as _;
+        jsonl
+            .into_inner()
+            .flush()
+            .unwrap_or_else(|e| panic!("cannot flush event stream {path}: {e}"));
+        eprintln!("[suite] event stream -> {path}");
+    }
     let failures = outcomes.iter().filter(|o| o.result.is_err()).count();
 
-    report_outcomes(&outcomes, args.iter().any(|a| a == "--text"));
+    if args.iter().any(|a| a == "--text") {
+        for outcome in &outcomes {
+            if let Ok(report) = &outcome.result {
+                print!("{}", report.render_text());
+            }
+        }
+    }
 
     // Record the perf trajectory next to the results. timing.json is the
     // one non-deterministic file in the output directory — the result

@@ -1,0 +1,374 @@
+//! Streaming run events.
+//!
+//! The runner no longer buffers outcomes behind a `Mutex` and prints them
+//! after the pool joins: every lifecycle transition is published as an
+//! [`Event`] to a caller-supplied [`Sink`] *while the suite runs*. The
+//! CLI's human-readable output ([`StderrSink`]) is just one sink; a
+//! machine-readable JSON-lines stream ([`JsonlSink`]) and an in-memory
+//! collector for tests ([`CollectSink`]) ship alongside — and a future
+//! service front-end plugs in the same way.
+//!
+//! Sinks must be [`Sync`]: experiments run on a worker pool and events
+//! arrive concurrently (each `event` call is atomic per sink, but the
+//! *order* of events from different experiments is scheduling-dependent).
+
+use crate::json::Json;
+use crate::report::Report;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One lifecycle event of a suite run. Borrowed data: events are views
+/// into the runner's state, emitted synchronously.
+#[derive(Debug, Clone, Copy)]
+pub enum Event<'a> {
+    /// The runner accepted a set of experiments and is starting the pool.
+    SuiteStarted {
+        /// Experiments about to run.
+        total: usize,
+        /// Worker threads in the pool.
+        threads: usize,
+        /// Sample scale of this run.
+        scale: f64,
+    },
+    /// A worker picked an experiment up.
+    ExperimentStarted {
+        /// Registry name.
+        name: &'a str,
+        /// Position in the run set (0-based).
+        index: usize,
+        /// Experiments in the run set.
+        total: usize,
+    },
+    /// Free-form progress from inside an experiment (via
+    /// [`crate::runner::RunCtx::progress`]).
+    Progress {
+        /// Registry name.
+        name: &'a str,
+        /// What the experiment is doing.
+        message: &'a str,
+    },
+    /// An experiment completed (successfully or not).
+    ExperimentFinished {
+        /// Registry name.
+        name: &'a str,
+        /// Position in the run set (0-based).
+        index: usize,
+        /// Experiments in the run set.
+        total: usize,
+        /// Wall-clock duration of the run.
+        wall: Duration,
+        /// The report, when the experiment succeeded.
+        report: Option<&'a Report>,
+        /// The panic message, when it failed.
+        error: Option<&'a str>,
+        /// Where the result JSON landed, when written.
+        json_path: Option<&'a Path>,
+    },
+    /// Every experiment finished; the pool is joined.
+    SuiteFinished {
+        /// Experiments that succeeded.
+        ok: usize,
+        /// Experiments that failed.
+        failed: usize,
+        /// Wall-clock duration of the whole run.
+        wall: Duration,
+    },
+}
+
+impl Event<'_> {
+    /// The machine-readable form ([`JsonlSink`] writes one per line).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            Event::SuiteStarted {
+                total,
+                threads,
+                scale,
+            } => Json::obj([
+                ("event", Json::str("suite_started")),
+                ("total", Json::from(total)),
+                ("threads", Json::from(threads)),
+                ("scale", Json::from(scale)),
+            ]),
+            Event::ExperimentStarted { name, index, total } => Json::obj([
+                ("event", Json::str("experiment_started")),
+                ("name", Json::str(name)),
+                ("index", Json::from(index)),
+                ("total", Json::from(total)),
+            ]),
+            Event::Progress { name, message } => Json::obj([
+                ("event", Json::str("progress")),
+                ("name", Json::str(name)),
+                ("message", Json::str(message)),
+            ]),
+            Event::ExperimentFinished {
+                name,
+                index,
+                total,
+                wall,
+                report,
+                error,
+                json_path,
+            } => Json::obj([
+                ("event", Json::str("experiment_finished")),
+                ("name", Json::str(name)),
+                ("index", Json::from(index)),
+                ("total", Json::from(total)),
+                ("wall_ms", Json::Num(wall.as_secs_f64() * 1e3)),
+                ("ok", Json::Bool(error.is_none())),
+                (
+                    "tables",
+                    report
+                        .map(|r| Json::from(r.tables.len()))
+                        .unwrap_or(Json::Null),
+                ),
+                ("error", error.map(Json::str).unwrap_or(Json::Null)),
+                (
+                    "json_path",
+                    json_path
+                        .map(|p| Json::str(p.display().to_string()))
+                        .unwrap_or(Json::Null),
+                ),
+            ]),
+            Event::SuiteFinished { ok, failed, wall } => Json::obj([
+                ("event", Json::str("suite_finished")),
+                ("ok", Json::from(ok)),
+                ("failed", Json::from(failed)),
+                ("wall_ms", Json::Num(wall.as_secs_f64() * 1e3)),
+            ]),
+        }
+    }
+}
+
+/// A consumer of run events. Implementations must tolerate concurrent
+/// calls (experiments finish on worker threads).
+pub trait Sink: Sync {
+    /// Receive one event.
+    fn event(&self, event: &Event<'_>);
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn event(&self, _event: &Event<'_>) {}
+}
+
+/// The CLI's human-readable stream: `[suite] …` status lines on stderr,
+/// optionally each successful report's text on stdout. Suite-level
+/// events are left to the caller (the binaries print their own summary
+/// with scale and output paths).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink {
+    /// Also print each successful report's text rendering to stdout.
+    pub print_reports: bool,
+}
+
+impl Sink for StderrSink {
+    fn event(&self, event: &Event<'_>) {
+        match *event {
+            Event::SuiteStarted { .. }
+            | Event::ExperimentStarted { .. }
+            | Event::SuiteFinished { .. } => {}
+            Event::Progress { name, message } => {
+                eprintln!("[suite] {name:<9} … {message}");
+            }
+            Event::ExperimentFinished {
+                name,
+                wall,
+                report,
+                error,
+                json_path,
+                ..
+            } => match error {
+                None => {
+                    if self.print_reports {
+                        if let Some(report) = report {
+                            print!("{}", report.render_text());
+                        }
+                    }
+                    let dest = json_path
+                        .map(|p| format!(" -> {}", p.display()))
+                        .unwrap_or_default();
+                    eprintln!("[suite] {name:<9} ok in {wall:>8.2?}{dest}");
+                }
+                Some(msg) => eprintln!("[suite] {name:<9} FAILED: {msg}"),
+            },
+        }
+    }
+}
+
+/// Streams events as JSON lines (one compact document per event) to any
+/// writer — a file for offline tooling, a socket for a service front-end.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flush and recover the writer.
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().expect("jsonl sink poisoned")
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn event(&self, event: &Event<'_>) {
+        let line = event.to_json().to_string_compact();
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        writeln!(out, "{line}").expect("cannot write event stream");
+    }
+}
+
+/// Fan an event stream out to several sinks (e.g. stderr + JSONL).
+pub struct TeeSink<'a> {
+    sinks: Vec<&'a dyn Sink>,
+}
+
+impl<'a> TeeSink<'a> {
+    /// Combine sinks; events are delivered in argument order.
+    pub fn new(sinks: Vec<&'a dyn Sink>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl Sink for TeeSink<'_> {
+    fn event(&self, event: &Event<'_>) {
+        for sink in &self.sinks {
+            sink.event(event);
+        }
+    }
+}
+
+/// An owned record of one event — what [`CollectSink`] stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectedEvent {
+    /// The `event` discriminant (`suite_started`, `progress`, …).
+    pub kind: String,
+    /// The experiment name, for per-experiment events.
+    pub name: Option<String>,
+    /// Success flag, for `experiment_finished`.
+    pub ok: Option<bool>,
+}
+
+/// Collects events in memory — the test sink.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    events: Mutex<Vec<CollectedEvent>>,
+}
+
+impl CollectSink {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain the collected events.
+    pub fn take(&self) -> Vec<CollectedEvent> {
+        std::mem::take(&mut self.events.lock().expect("collect sink poisoned"))
+    }
+}
+
+impl Sink for CollectSink {
+    fn event(&self, event: &Event<'_>) {
+        let (kind, name, ok) = match *event {
+            Event::SuiteStarted { .. } => ("suite_started", None, None),
+            Event::ExperimentStarted { name, .. } => ("experiment_started", Some(name), None),
+            Event::Progress { name, .. } => ("progress", Some(name), None),
+            Event::ExperimentFinished { name, error, .. } => {
+                ("experiment_finished", Some(name), Some(error.is_none()))
+            }
+            Event::SuiteFinished { failed, .. } => ("suite_finished", None, Some(failed == 0)),
+        };
+        self.events
+            .lock()
+            .expect("collect sink poisoned")
+            .push(CollectedEvent {
+                kind: kind.to_string(),
+                name: name.map(str::to_string),
+                ok,
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_shapes() {
+        let started = Event::SuiteStarted {
+            total: 9,
+            threads: 4,
+            scale: 0.02,
+        };
+        let doc = started.to_json();
+        assert_eq!(
+            doc.get("event").and_then(Json::as_str),
+            Some("suite_started")
+        );
+        assert_eq!(doc.get("threads").and_then(Json::as_f64), Some(4.0));
+
+        let finished = Event::ExperimentFinished {
+            name: "fig3",
+            index: 0,
+            total: 9,
+            wall: Duration::from_millis(5),
+            report: None,
+            error: Some("boom"),
+            json_path: None,
+        };
+        let doc = finished.to_json();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("error").and_then(Json::as_str), Some("boom"));
+        // Each event serializes to one parseable line.
+        assert!(Json::parse(&doc.to_string_compact()).is_ok());
+        assert!(!doc.to_string_compact().contains('\n'));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        sink.event(&Event::SuiteStarted {
+            total: 2,
+            threads: 1,
+            scale: 1.0,
+        });
+        sink.event(&Event::SuiteFinished {
+            ok: 2,
+            failed: 0,
+            wall: Duration::from_secs(1),
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(Json::parse(line).is_ok(), "unparseable line {line:?}");
+        }
+    }
+
+    #[test]
+    fn collect_and_tee() {
+        let a = CollectSink::new();
+        let b = CollectSink::new();
+        let tee = TeeSink::new(vec![&a, &b]);
+        tee.event(&Event::Progress {
+            name: "hybrid",
+            message: "sweeping",
+        });
+        let got = a.take();
+        assert_eq!(got, b.take());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].kind, "progress");
+        assert_eq!(got[0].name.as_deref(), Some("hybrid"));
+    }
+}

@@ -10,7 +10,25 @@
 
 use super::scaled_by;
 use crate::report::{Report, Table};
+use crate::runner::{Experiment, RunCtx};
 use mpipu_analysis::dist::{Distribution, Sampler};
+
+/// Registry entry: runs the paper configuration at the context's scale.
+pub struct Ablation;
+
+impl Experiment for Ablation {
+    fn name(&self) -> &str {
+        "ablation"
+    }
+    fn title(&self) -> &str {
+        "pre-shift / accumulator-grid / EHU-masking ablations"
+    }
+    fn run(&self, ctx: &RunCtx<'_>) -> Report {
+        let mut cfg = Config::paper(ctx.scale);
+        cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        run(&cfg)
+    }
+}
 use mpipu_datapath::accum::Accumulator;
 use mpipu_datapath::{exact_dot_fp16, lane, metrics, Ehu, Ipu, IpuConfig};
 use mpipu_fp::{Fp16, Nibbles, SignedMagnitude};

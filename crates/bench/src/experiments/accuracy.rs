@@ -7,7 +7,25 @@
 
 use super::scaled_by;
 use crate::report::{Cell, Report, Table};
+use crate::runner::{Experiment, RunCtx};
 use mpipu_datapath::{AccFormat, IpuConfig};
+
+/// Registry entry: runs the paper configuration at the context's scale.
+pub struct Accuracy;
+
+impl Experiment for Accuracy {
+    fn name(&self) -> &str {
+        "accuracy"
+    }
+    fn title(&self) -> &str {
+        "Top-1 accuracy vs IPU precision, synthetic substitute (§3.1)"
+    }
+    fn run(&self, ctx: &RunCtx<'_>) -> Report {
+        let mut cfg = Config::paper(ctx.scale);
+        cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        run(&cfg)
+    }
+}
 use mpipu_dnn::synthetic::{gaussian_prototypes, Dataset};
 use mpipu_dnn::train::{accuracy_emulated, accuracy_f32, batch_accuracies_emulated, train, Mlp};
 

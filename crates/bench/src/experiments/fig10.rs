@@ -4,9 +4,26 @@
 
 use super::scaled_by;
 use crate::report::{Cell, Report, Table};
+use crate::runner::{Experiment, RunCtx};
+use mpipu::Scenario;
 use mpipu_dnn::zoo::Workload;
-use mpipu_hw::DesignPoint;
-use mpipu_sim::{run_workload, SimDesign, SimOptions, TileConfig};
+
+/// Registry entry: runs the paper configuration at the context's scale.
+pub struct Fig10;
+
+impl Experiment for Fig10 {
+    fn name(&self) -> &str {
+        "fig10"
+    }
+    fn title(&self) -> &str {
+        "area/power efficiency design space (§4.4)"
+    }
+    fn run(&self, ctx: &RunCtx<'_>) -> Report {
+        let mut cfg = Config::paper(ctx.scale);
+        cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        run(&cfg)
+    }
+}
 
 /// Parameters of the design-space study.
 #[derive(Debug, Clone)]
@@ -36,34 +53,19 @@ impl Config {
 
 /// Workload-average FP slowdown (normalized execution time weighted by
 /// baseline cycles) for one design point.
-fn fp_slowdown(big: bool, w: u32, cluster: usize, opts: &SimOptions) -> f64 {
-    let tile = if big {
-        TileConfig::big().with_cluster_size(cluster)
-    } else {
-        TileConfig::small().with_cluster_size(cluster)
-    };
-    let d = SimDesign {
-        tile,
-        w,
-        software_precision: 28,
-        n_tiles: 4,
-    };
+fn fp_slowdown(scenario: &Scenario) -> f64 {
     let mut cycles = 0u64;
     let mut base = 0u64;
     for wl in Workload::paper_study_cases() {
-        let r = run_workload(&d, &wl, opts);
-        cycles += r.total_cycles();
-        base += r.total_baseline_cycles();
+        let r = scenario.clone().custom_workload(wl).run();
+        cycles += r.result.total_cycles();
+        base += r.result.total_baseline_cycles();
     }
     (cycles as f64 / base as f64).max(1.0)
 }
 
 /// Evaluate every `(precision, cluster)` design point of both families.
 pub fn run(cfg: &Config) -> Report {
-    let opts = SimOptions {
-        sample_steps: cfg.sample_steps,
-        seed: cfg.seed,
-    };
     let mut report = Report::new(
         "fig10",
         "design-space trade-offs (each point: (precision, cluster))",
@@ -73,6 +75,13 @@ pub fn run(cfg: &Config) -> Report {
     for big in [false, true] {
         let family = if big { "16-input" } else { "8-input" };
         let k = if big { 16 } else { 8 };
+        let base = if big {
+            Scenario::big_tile()
+        } else {
+            Scenario::small_tile()
+        }
+        .sample_steps(cfg.sample_steps)
+        .seed(cfg.seed);
         let mut table = Table::new(
             format!("{family}_family"),
             &[
@@ -91,13 +100,9 @@ pub fn run(cfg: &Config) -> Report {
             }
         }
         for (label, w, c) in points {
-            let sd = fp_slowdown(big, w, c, &opts);
-            let m = DesignPoint {
-                w,
-                cluster_size: c,
-                big,
-            }
-            .metrics(sd);
+            let scenario = base.clone().w(w).cluster(c);
+            let sd = fp_slowdown(&scenario);
+            let m = scenario.metrics(sd);
             table.push_row(vec![
                 Cell::Text(label),
                 m.int_tops_per_mm2.into(),

@@ -5,9 +5,27 @@
 
 use super::scaled_by;
 use crate::report::{Cell, Report, Table};
+use crate::runner::{Experiment, RunCtx};
 use mpipu_analysis::dist::Distribution;
 use mpipu_analysis::sweep::{precision_sweep, SweepConfig};
 use mpipu_datapath::AccFormat;
+
+/// Registry entry: runs the paper configuration at the context's scale.
+pub struct Fig3;
+
+impl Experiment for Fig3 {
+    fn name(&self) -> &str {
+        "fig3"
+    }
+    fn title(&self) -> &str {
+        "error of the approximate FP-IP vs IPU precision (§3.1)"
+    }
+    fn run(&self, ctx: &RunCtx<'_>) -> Report {
+        let mut cfg = Config::paper(ctx.scale);
+        cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        run(&cfg)
+    }
+}
 
 /// Parameters of the Fig 3 sweep.
 #[derive(Debug, Clone)]

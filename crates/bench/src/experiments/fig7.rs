@@ -2,7 +2,23 @@
 //! (analytical 7nm-class model; fully deterministic).
 
 use crate::report::{Cell, Report, Table};
+use crate::runner::{Experiment, RunCtx};
 use mpipu_hw::tile_model::{Component, TileBreakdown, TileHwConfig};
+
+/// Registry entry: runs the paper configuration (scale-independent).
+pub struct Fig7;
+
+impl Experiment for Fig7 {
+    fn name(&self) -> &str {
+        "fig7"
+    }
+    fn title(&self) -> &str {
+        "tile area/power breakdown by component (§4.2)"
+    }
+    fn run(&self, ctx: &RunCtx<'_>) -> Report {
+        run(&Config::paper(ctx.scale))
+    }
+}
 
 /// Parameters of the breakdown study.
 #[derive(Debug, Clone)]

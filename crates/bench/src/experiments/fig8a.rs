@@ -4,8 +4,26 @@
 
 use super::scaled_by;
 use crate::report::{Cell, Report, Table};
+use crate::runner::{Experiment, RunCtx};
+use mpipu::Scenario;
 use mpipu_dnn::zoo::Workload;
-use mpipu_sim::{run_workload, SimDesign, SimOptions, TileConfig};
+
+/// Registry entry: runs the paper configuration at the context's scale.
+pub struct Fig8a;
+
+impl Experiment for Fig8a {
+    fn name(&self) -> &str {
+        "fig8a"
+    }
+    fn title(&self) -> &str {
+        "normalized execution time vs MC-IPU precision (§4.3)"
+    }
+    fn run(&self, ctx: &RunCtx<'_>) -> Report {
+        let mut cfg = Config::paper(ctx.scale);
+        cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        run(&cfg)
+    }
+}
 
 /// Parameters of the precision-sweep timing study.
 #[derive(Debug, Clone)]
@@ -41,10 +59,6 @@ impl Config {
 
 /// Sweep precision for both tile families over the paper's study cases.
 pub fn run(cfg: &Config) -> Report {
-    let opts = SimOptions {
-        sample_steps: cfg.sample_steps,
-        seed: cfg.seed,
-    };
     let workloads = Workload::paper_study_cases();
     let mut report = Report::new(
         "fig8a",
@@ -52,10 +66,15 @@ pub fn run(cfg: &Config) -> Report {
         cfg.seed,
         cfg.scale,
     );
-    for (family, tile) in [
-        ("8-input_vs_baseline1", TileConfig::small()),
-        ("16-input_vs_baseline2", TileConfig::big()),
+    for (family, base) in [
+        ("8-input_vs_baseline1", Scenario::small_tile()),
+        ("16-input_vs_baseline2", Scenario::big_tile()),
     ] {
+        let base = base
+            .software_precision(cfg.software_precision)
+            .n_tiles(cfg.n_tiles)
+            .sample_steps(cfg.sample_steps)
+            .seed(cfg.seed);
         let mut columns = vec!["precision".to_string()];
         columns.extend(workloads.iter().map(|w| w.label()));
         let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -63,13 +82,8 @@ pub fn run(cfg: &Config) -> Report {
         for &p in &cfg.precisions {
             let mut row: Vec<Cell> = vec![p.into()];
             for wl in &workloads {
-                let d = SimDesign {
-                    tile,
-                    w: p,
-                    software_precision: cfg.software_precision,
-                    n_tiles: cfg.n_tiles,
-                };
-                row.push(run_workload(&d, wl, &opts).normalized().into());
+                let scenario = base.clone().w(p).custom_workload(wl.clone());
+                row.push(scenario.run().normalized().into());
             }
             table.push_row(row);
         }

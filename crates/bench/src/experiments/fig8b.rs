@@ -3,8 +3,26 @@
 
 use super::scaled_by;
 use crate::report::{Cell, Report, Table};
+use crate::runner::{Experiment, RunCtx};
+use mpipu::Scenario;
 use mpipu_dnn::zoo::Workload;
-use mpipu_sim::{run_workload, SimDesign, SimOptions, TileConfig};
+
+/// Registry entry: runs the paper configuration at the context's scale.
+pub struct Fig8b;
+
+impl Experiment for Fig8b {
+    fn name(&self) -> &str {
+        "fig8b"
+    }
+    fn title(&self) -> &str {
+        "normalized execution time vs cluster size (§4.3)"
+    }
+    fn run(&self, ctx: &RunCtx<'_>) -> Report {
+        let mut cfg = Config::paper(ctx.scale);
+        cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        run(&cfg)
+    }
+}
 
 /// Parameters of the cluster-size timing study.
 #[derive(Debug, Clone)]
@@ -40,10 +58,6 @@ impl Config {
 
 /// Sweep cluster size for both tile families over the study cases.
 pub fn run(cfg: &Config) -> Report {
-    let opts = SimOptions {
-        sample_steps: cfg.sample_steps,
-        seed: cfg.seed,
-    };
     let workloads = Workload::paper_study_cases();
     let mut report = Report::new(
         "fig8b",
@@ -54,18 +68,24 @@ pub fn run(cfg: &Config) -> Report {
         cfg.seed,
         cfg.scale,
     );
-    for (family, mk, sizes) in [
+    for (family, base, sizes) in [
         (
             "8-input_vs_baseline1",
-            TileConfig::small as fn() -> TileConfig,
+            Scenario::small_tile(),
             vec![1usize, 2, 4, 8],
         ),
         (
             "16-input_vs_baseline2",
-            TileConfig::big as fn() -> TileConfig,
+            Scenario::big_tile(),
             vec![1usize, 2, 4, 8, 16],
         ),
     ] {
+        let base = base
+            .w(cfg.w)
+            .software_precision(cfg.software_precision)
+            .n_tiles(cfg.n_tiles)
+            .sample_steps(cfg.sample_steps)
+            .seed(cfg.seed);
         let mut columns = vec!["cluster_size".to_string()];
         columns.extend(workloads.iter().map(|w| w.label()));
         let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -73,13 +93,8 @@ pub fn run(cfg: &Config) -> Report {
         for &c in &sizes {
             let mut row: Vec<Cell> = vec![c.into()];
             for wl in &workloads {
-                let d = SimDesign {
-                    tile: mk().with_cluster_size(c),
-                    w: cfg.w,
-                    software_precision: cfg.software_precision,
-                    n_tiles: cfg.n_tiles,
-                };
-                row.push(run_workload(&d, wl, &opts).normalized().into());
+                let scenario = base.clone().cluster(c).custom_workload(wl.clone());
+                row.push(scenario.run().normalized().into());
             }
             table.push_row(row);
         }

@@ -3,8 +3,26 @@
 
 use super::scaled_by;
 use crate::report::{Cell, Report, Table};
+use crate::runner::{Experiment, RunCtx};
 use mpipu_analysis::dist::Distribution;
 use mpipu_analysis::hist::exponent_histogram;
+
+/// Registry entry: runs the paper configuration at the context's scale.
+pub struct Fig9;
+
+impl Experiment for Fig9 {
+    fn name(&self) -> &str {
+        "fig9"
+    }
+    fn title(&self) -> &str {
+        "exponent-difference (alignment) histograms (§4.3)"
+    }
+    fn run(&self, ctx: &RunCtx<'_>) -> Report {
+        let mut cfg = Config::paper(ctx.scale);
+        cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        run(&cfg)
+    }
+}
 
 /// Parameters of the alignment-histogram experiment.
 #[derive(Debug, Clone)]

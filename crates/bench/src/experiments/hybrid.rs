@@ -1,0 +1,189 @@
+//! `hybrid` — mixed-precision deployment study (the scenario the paper's
+//! introduction motivates but never plots): most layers INT-quantized, the
+//! quantization-sensitive first/last layers kept in FP16, executed on
+//! MC-IPU tiles of several adder-tree widths.
+//!
+//! This experiment is also the registry's open-API demonstration: it is
+//! built entirely on the `mpipu::Scenario` builder and the
+//! `mpipu_sim::Schedule` policy type, lives in one file, and is wired up
+//! by a single `register` line in `crate::registry` — `runner.rs`,
+//! `suite.rs`, and the per-figure binaries required zero edits.
+
+use super::scaled_by;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{Experiment, RunCtx};
+use mpipu::{Scenario, Zoo};
+use mpipu_sim::{LayerPrecision, Schedule};
+
+/// Registry entry: runs the paper-motivated configuration at the
+/// context's scale, streaming per-schedule progress events.
+pub struct Hybrid;
+
+impl Experiment for Hybrid {
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+    fn title(&self) -> &str {
+        "mixed-precision deployment: INT-quantized layers + FP16 ends (§1)"
+    }
+    fn run(&self, ctx: &RunCtx<'_>) -> Report {
+        let mut cfg = Config::paper(ctx.scale);
+        cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        run(&cfg, ctx)
+    }
+}
+
+/// Parameters of the mixed-precision study.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Monte-Carlo steps sampled per FP16 layer.
+    pub sample_steps: usize,
+    /// Adder-tree precisions to compare.
+    pub precisions: Vec<u32>,
+    /// Alignment-plan sampler seed.
+    pub seed: u64,
+    /// Effective sample scale (recorded in the report).
+    pub scale: f64,
+}
+
+impl Config {
+    /// The paper-motivated configuration at the given sample scale.
+    pub fn paper(scale: f64) -> Config {
+        let sample_steps = scaled_by(256, 48, scale);
+        Config {
+            sample_steps,
+            precisions: vec![12, 16, 28],
+            seed: 0x15B41D,
+            scale: sample_steps as f64 / 256.0,
+        }
+    }
+}
+
+/// The schedules under study, with report labels.
+fn schedules() -> Vec<(&'static str, Schedule)> {
+    vec![
+        (
+            "all-int4",
+            Schedule::Uniform(LayerPrecision::Int { ka: 1, kb: 1 }),
+        ),
+        (
+            "all-int8",
+            Schedule::Uniform(LayerPrecision::Int { ka: 2, kb: 2 }),
+        ),
+        ("first-last-fp16", Schedule::FirstLastFp16),
+        ("all-fp16", Schedule::Uniform(LayerPrecision::Fp16)),
+    ]
+}
+
+/// Execute every (schedule × adder-tree width) cell on the paper's
+/// deployment design point (small tiles, cluster size 1).
+pub fn run(cfg: &Config, ctx: &RunCtx<'_>) -> Report {
+    let mut report = Report::new(
+        "hybrid",
+        "mixed-precision schedules on MC-IPU tiles (ResNet-18 forward)",
+        cfg.seed,
+        cfg.scale,
+    );
+    let base = Scenario::small_tile()
+        .cluster(1)
+        .workload(Zoo::ResNet18)
+        .sample_steps(cfg.sample_steps)
+        .seed(cfg.seed);
+
+    let mut table = Table::new(
+        "schedule_vs_tree_width",
+        &[
+            "schedule",
+            "adder_w",
+            "total_mcycles",
+            "fp_fraction",
+            "vs_all_int4",
+        ],
+    );
+    // The all-INT4 reference is width-invariant (INT layers never touch
+    // the adder tree), so one run serves every cell.
+    let int4_cycles = base
+        .clone()
+        .w(cfg.precisions[0])
+        .schedule(Schedule::Uniform(LayerPrecision::Int { ka: 1, kb: 1 }))
+        .run()
+        .result
+        .total_cycles();
+    for (label, schedule) in schedules() {
+        ctx.progress("hybrid", &format!("schedule {label}"));
+        for &w in &cfg.precisions {
+            let r = base.clone().w(w).schedule(schedule.clone()).run();
+            let cycles = r.result.total_cycles();
+            table.push_row(vec![
+                Cell::from(label),
+                w.into(),
+                (cycles as f64 / 1e6).into(),
+                r.fp_fraction.into(),
+                (cycles as f64 / int4_cycles as f64).into(),
+            ]);
+        }
+    }
+    report.tables.push(table);
+
+    report.note(format!(
+        "{} sampled steps per FP16 layer; small tiles, cluster size 1, FP32 accumulation",
+        cfg.sample_steps
+    ));
+    report.note("INT layers run ka*kb cycles/step regardless of the adder-tree width");
+    report.note(
+        "reading: the hybrid split pays the narrow tree's FP alignment cost only on its \
+         small FP16 share — the deployment the paper's §1 argues the MC-IPU serves",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::NullSink;
+
+    #[test]
+    fn hybrid_sits_between_int_and_fp() {
+        let cfg = Config::paper(0.05);
+        let report = run(&cfg, &RunCtx::new(cfg.scale, &NullSink));
+        let table = &report.tables[0];
+        let cycles = |schedule: &str, w: f64| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| {
+                    matches!(&r[0], Cell::Text(s) if s == schedule)
+                        && matches!(&r[1], Cell::Num(x) if *x == w)
+                })
+                .map(|r| match &r[2] {
+                    Cell::Num(x) => *x,
+                    Cell::Text(_) => unreachable!("cycles column is numeric"),
+                })
+                .expect("row present")
+        };
+        for &w in &[12.0, 16.0, 28.0] {
+            let int4 = cycles("all-int4", w);
+            let hybrid = cycles("first-last-fp16", w);
+            let fp = cycles("all-fp16", w);
+            assert!(int4 < hybrid && hybrid < fp, "w={w}: {int4} {hybrid} {fp}");
+        }
+    }
+
+    #[test]
+    fn int_schedules_are_width_invariant() {
+        let cfg = Config::paper(0.05);
+        let report = run(&cfg, &RunCtx::new(cfg.scale, &NullSink));
+        let table = &report.tables[0];
+        let int4_rows: Vec<f64> = table
+            .rows
+            .iter()
+            .filter(|r| matches!(&r[0], Cell::Text(s) if s == "all-int4"))
+            .map(|r| match &r[2] {
+                Cell::Num(x) => *x,
+                Cell::Text(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(int4_rows.len(), 3);
+        assert!(int4_rows.windows(2).all(|w| w[0] == w[1]));
+    }
+}

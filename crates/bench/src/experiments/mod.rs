@@ -1,8 +1,10 @@
-//! One module per paper artifact. Each module exposes a typed `Config`
-//! (with a `paper(scale)` constructor producing the paper-faithful
-//! parameter set at a given sample-count scale) and a
-//! `run(&Config) -> Report` entry point. The registry in
-//! [`crate::suite`] wires these into named [`crate::runner::Experiment`]s.
+//! One module per scenario. Each module exposes a typed `Config` (with a
+//! `paper(scale)` constructor producing the paper-faithful parameter set
+//! at a given sample-count scale), a `run(&Config) -> Report` entry
+//! point, and a unit struct implementing [`crate::runner::Experiment`]
+//! that [`crate::registry::Registry::builtin`] registers. Adding a
+//! scenario is one new module here plus one `register` line in the
+//! registry — nothing else changes.
 
 pub mod ablation;
 pub mod accuracy;
@@ -12,6 +14,7 @@ pub mod fig7;
 pub mod fig8a;
 pub mod fig8b;
 pub mod fig9;
+pub mod hybrid;
 pub mod table1;
 
 /// Scale `base` samples by `scale`, keeping at least `min`.

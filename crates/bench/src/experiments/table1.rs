@@ -2,7 +2,23 @@
 //! precisions (§4.5 sensitivity analysis; fully deterministic).
 
 use crate::report::{Cell, Report, Table};
+use crate::runner::{Experiment, RunCtx};
 use mpipu_hw::table1_designs;
+
+/// Registry entry: runs the paper configuration (scale-independent).
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn name(&self) -> &str {
+        "table1"
+    }
+    fn title(&self) -> &str {
+        "multiplier-precision sensitivity (§4.5)"
+    }
+    fn run(&self, ctx: &RunCtx<'_>) -> Report {
+        run(&Config::paper(ctx.scale))
+    }
+}
 
 /// Parameters of the sensitivity table (none — the model is analytical).
 #[derive(Debug, Clone, Default)]

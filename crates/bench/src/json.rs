@@ -100,6 +100,48 @@ impl Json {
         out
     }
 
+    /// Serialize on one line with no whitespace — the JSONL form the
+    /// event stream writes (one document per line).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::UInt(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -520,6 +562,18 @@ mod tests {
         assert!(Json::parse("nul").is_err());
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn compact_form_round_trips_and_has_no_whitespace() {
+        let v = Json::obj([
+            ("a", Json::Arr(vec![Json::from(1u64), Json::Num(2.5)])),
+            ("b", Json::str("x y")),
+            ("c", Json::Obj(vec![])),
+        ]);
+        let text = v.to_string_compact();
+        assert_eq!(text, r#"{"a":[1,2.5],"b":"x y","c":{}}"#);
+        assert_eq!(Json::parse(&text).unwrap(), v);
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! # `mpipu-bench` — the experiment registry and parallel runner
+//! # `mpipu-bench` — the open experiment registry and parallel runner
 //!
-//! Every table and figure of the paper is a named experiment in
-//! [`suite::registry`] with a typed configuration (see
-//! [`runner::ExperimentConfig`]):
+//! An experiment is anything implementing the object-safe
+//! [`runner::Experiment`] trait; [`registry::Registry::builtin`] names the
+//! builtin scenarios and [`registry::Registry::register`] adds new ones —
+//! one new file per scenario, zero edits to the runner, the suite CLI, or
+//! the per-figure binaries. Runs stream structured lifecycle events
+//! ([`events::Event`]) to pluggable [`events::Sink`]s (stderr, JSON
+//! lines, in-memory).
 //!
 //! | experiment | regenerates |
 //! |------------|-------------|
@@ -15,6 +19,7 @@
 //! | `fig10` | §4.4 area/power efficiency design space |
 //! | `table1` | §4.5 multiplier-precision sensitivity |
 //! | `ablation` | pre-shift / accumulator-grid / EHU-masking ablations |
+//! | `hybrid` | §1 mixed-precision deployment (INT layers + FP16 ends) |
 //!
 //! `cargo run --release -p mpipu-bench --bin suite` runs the whole
 //! registry across a worker pool ([`runner::run_parallel`]) and writes
@@ -23,11 +28,17 @@
 //! (`--bin fig3`, …) that prints the human-readable report; all binaries
 //! accept `--smoke`, `--quick`, and `--full` to scale sample counts.
 //!
+//! The performance experiments compose their design points through the
+//! `mpipu::Scenario` builder (see the facade crate) rather than
+//! hand-assembled `SimDesign`/`SimOptions` piles.
+//!
 //! `cargo bench -p mpipu-bench` additionally runs throughput benchmarks
 //! of the emulation itself and smoke-scale versions of each experiment.
 
+pub mod events;
 pub mod experiments;
 pub mod json;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod suite;

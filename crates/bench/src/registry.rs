@@ -1,0 +1,259 @@
+//! The open experiment registry.
+//!
+//! [`Registry::builtin`] names every builtin scenario once, in
+//! presentation order; [`Registry::register`] adds new ones at runtime.
+//! Adding a scenario is one new file implementing
+//! [`crate::runner::Experiment`] plus one registration line here (or a
+//! `register` call in your own binary) — `runner.rs`, `suite.rs`, and the
+//! per-figure binaries stay untouched.
+//!
+//! ```
+//! use mpipu_bench::registry::Registry;
+//! use mpipu_bench::report::Report;
+//! use mpipu_bench::runner::{Experiment, RunCtx};
+//!
+//! /// A scenario defined entirely outside the bench crate.
+//! struct Doubling;
+//!
+//! impl Experiment for Doubling {
+//!     fn name(&self) -> &str {
+//!         "doubling"
+//!     }
+//!     fn title(&self) -> &str {
+//!         "a custom scenario registered through the trait API"
+//!     }
+//!     fn run(&self, ctx: &RunCtx<'_>) -> Report {
+//!         Report::new("doubling", "custom", ctx.seed_for("doubling", 1), ctx.scale)
+//!     }
+//! }
+//!
+//! let mut registry = Registry::builtin();
+//! let before = registry.len();
+//! registry.register(Box::new(Doubling));
+//! assert_eq!(registry.len(), before + 1);
+//! assert!(registry.get("doubling").is_some());
+//! ```
+
+use crate::experiments::{
+    ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, hybrid, table1,
+};
+use crate::runner::Experiment;
+use std::fmt;
+
+/// An ordered, name-unique collection of experiments.
+pub struct Registry {
+    entries: Vec<Box<dyn Experiment>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Registry {
+        Registry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Every builtin experiment, in presentation order: the nine paper
+    /// artifacts plus the `hybrid` mixed-precision scenario.
+    pub fn builtin() -> Registry {
+        let mut r = Registry::empty();
+        r.register(Box::new(fig3::Fig3))
+            .register(Box::new(accuracy::Accuracy))
+            .register(Box::new(fig7::Fig7))
+            .register(Box::new(fig8a::Fig8a))
+            .register(Box::new(fig8b::Fig8b))
+            .register(Box::new(fig9::Fig9))
+            .register(Box::new(fig10::Fig10))
+            .register(Box::new(table1::Table1))
+            .register(Box::new(ablation::Ablation))
+            .register(Box::new(hybrid::Hybrid));
+        r
+    }
+
+    /// Append an experiment.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered (duplicate result-file
+    /// stems would silently overwrite each other).
+    pub fn register(&mut self, experiment: Box<dyn Experiment>) -> &mut Registry {
+        assert!(
+            self.get(experiment.name()).is_none(),
+            "experiment {:?} is already registered",
+            experiment.name()
+        );
+        self.entries.push(experiment);
+        self
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registered names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name()).collect()
+    }
+
+    /// Look an experiment up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Experiment> {
+        self.entries
+            .iter()
+            .find(|e| e.name() == name)
+            .map(Box::as_ref)
+    }
+
+    /// Every experiment, in order — the slice [`crate::runner::run_parallel`]
+    /// consumes.
+    pub fn experiments(&self) -> Vec<&dyn Experiment> {
+        self.entries.iter().map(Box::as_ref).collect()
+    }
+
+    /// Resolve a `--only`-style selection: keep registry order, reject
+    /// unknown names with the valid list and a nearest-match suggestion.
+    pub fn select(&self, wanted: &[&str]) -> Result<Vec<&dyn Experiment>, UnknownExperiment> {
+        for w in wanted {
+            if self.get(w).is_none() {
+                return Err(UnknownExperiment {
+                    name: (*w).to_string(),
+                    valid: self.names().iter().map(|n| n.to_string()).collect(),
+                    suggestion: self.suggest(w).map(str::to_string),
+                });
+            }
+        }
+        Ok(self
+            .experiments()
+            .into_iter()
+            .filter(|e| wanted.contains(&e.name()))
+            .collect())
+    }
+
+    /// The registered name nearest to `name` by edit distance, when it is
+    /// close enough to be a plausible typo (distance ≤ half the query
+    /// length, and never more than 3). Distance ties prefer a name that
+    /// extends (or is extended by) the query — `fig8` suggests `fig8a`,
+    /// not `fig3`.
+    pub fn suggest(&self, name: &str) -> Option<&str> {
+        let max_plausible = (name.len() / 2).clamp(1, 3);
+        self.entries
+            .iter()
+            .map(|e| {
+                let candidate = e.name();
+                let prefix_related = candidate.starts_with(name) || name.starts_with(candidate);
+                (edit_distance(name, candidate), !prefix_related, candidate)
+            })
+            .filter(|(d, _, _)| *d <= max_plausible)
+            .min_by_key(|(d, not_prefix, _)| (*d, *not_prefix))
+            .map(|(_, _, n)| n)
+    }
+}
+
+/// A `--only` selection named an experiment that does not exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The unknown name.
+    pub name: String,
+    /// Every valid name, in registry order.
+    pub valid: Vec<String>,
+    /// The nearest valid name, when one is plausibly intended.
+    pub suggestion: Option<String>,
+}
+
+impl fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown experiment {:?}; valid names: {}",
+            self.name,
+            self.valid.join(", ")
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (did you mean {s:?}?)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+/// Levenshtein distance — small inputs only (experiment names).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("fig8a", "fig8a"), 0);
+        assert_eq!(edit_distance("fig8", "fig8a"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn select_keeps_registry_order() {
+        let r = Registry::builtin();
+        let picked = r.select(&["fig9", "fig3"]).unwrap();
+        let names: Vec<&str> = picked.iter().map(|e| e.name()).collect();
+        assert_eq!(names, ["fig3", "fig9"], "registry order, not request order");
+    }
+
+    #[test]
+    fn select_rejects_unknown_names_with_suggestion() {
+        let r = Registry::builtin();
+        let Err(err) = r.select(&["fig8"]) else {
+            panic!("fig8 must be rejected");
+        };
+        assert_eq!(err.name, "fig8");
+        assert_eq!(err.suggestion.as_deref(), Some("fig8a"));
+        assert_eq!(err.valid, r.names());
+        let rendered = err.to_string();
+        assert!(rendered.contains("valid names: fig3,"), "{rendered}");
+        assert!(rendered.contains("did you mean \"fig8a\"?"), "{rendered}");
+    }
+
+    #[test]
+    fn select_offers_no_suggestion_for_nonsense() {
+        let r = Registry::builtin();
+        let Err(err) = r.select(&["zzzzzzzzzz"]) else {
+            panic!("nonsense must be rejected");
+        };
+        assert_eq!(err.suggestion, None);
+        assert!(!err.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn suggest_handles_typos_and_case() {
+        let r = Registry::builtin();
+        assert_eq!(r.suggest("talbe1"), Some("table1"));
+        assert_eq!(r.suggest("acuracy"), Some("accuracy"));
+        assert_eq!(r.suggest("hybird"), Some("hybrid"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_registration_panics() {
+        let mut r = Registry::builtin();
+        r.register(Box::new(crate::experiments::fig3::Fig3));
+    }
+}

@@ -1,18 +1,24 @@
-//! The parallel experiment runner.
+//! The open experiment abstraction and the parallel runner.
 //!
-//! [`Experiment`] pairs a registry name with a typed configuration
-//! ([`ExperimentConfig`]); [`run_parallel`] executes a set of experiments
-//! across a fixed-size pool of worker threads (scoped `std::thread` —
-//! the build environment has no registry access, so no `rayon`; the work
-//! shape is nine coarse tasks, for which a work-stealing pool would be
-//! overkill anyway) and writes one JSON document per experiment.
+//! [`Experiment`] is an object-safe trait: anything that can name itself
+//! and produce a [`Report`] from a [`RunCtx`] is an experiment. The
+//! builtin paper artifacts implement it in `experiments/*`; downstream
+//! scenarios implement it in their own files and register through
+//! [`crate::registry::Registry::register`] — no edits here or in
+//! `suite.rs` required.
 //!
-//! Determinism: every experiment carries its own seed inside its config,
-//! fixed at registry-construction time, so results are identical no
-//! matter how many threads run the suite or in which order the pool picks
-//! tasks up. Worker threads never share RNG state.
+//! [`run_parallel`] executes a set of experiments across a fixed-size
+//! pool of worker threads (scoped `std::thread` — the build environment
+//! has no registry access, so no `rayon`; the work shape is a handful of
+//! coarse tasks, for which a work-stealing pool would be overkill anyway)
+//! and streams lifecycle [`Event`]s to a [`Sink`] as they happen.
+//!
+//! Determinism: every builtin experiment derives its configuration (and
+//! seed) from `RunCtx` the same way on every run, so results are
+//! identical no matter how many threads run the suite or in which order
+//! the pool picks tasks up. Worker threads never share RNG state.
 
-use crate::experiments::{ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, table1};
+use crate::events::{Event, Sink};
 use crate::report::Report;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -20,57 +26,77 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Typed configuration for every experiment in the registry. Each variant
-/// owns the full parameter set of one paper artifact; adding a scenario
-/// means adding a variant (or a new constructor on an existing config).
-#[derive(Debug, Clone)]
-pub enum ExperimentConfig {
-    /// §3.1 error-vs-precision sweeps (Fig 3).
-    Fig3(fig3::Config),
-    /// §3.1 Top-1 accuracy vs IPU precision.
-    Accuracy(accuracy::Config),
-    /// §4.2 tile area/power breakdowns (Fig 7).
-    Fig7(fig7::Config),
-    /// §4.3 exec time vs adder-tree precision (Fig 8a).
-    Fig8a(fig8a::Config),
-    /// §4.3 exec time vs cluster size (Fig 8b).
-    Fig8b(fig8b::Config),
-    /// §4.3 exponent-difference histograms (Fig 9).
-    Fig9(fig9::Config),
-    /// §4.4 efficiency design space (Fig 10).
-    Fig10(fig10::Config),
-    /// §4.5 multiplier-precision sensitivity (Table 1).
-    Table1(table1::Config),
-    /// Ablations of design choices the paper motivates but does not plot.
-    Ablation(ablation::Config),
+/// An experiment: a named, self-describing unit of work producing a
+/// structured [`Report`]. Object-safe — the registry stores
+/// `Box<dyn Experiment>`.
+pub trait Experiment: Send + Sync {
+    /// Registry name (`fig3`, `hybrid`, …) — also the JSON file stem.
+    fn name(&self) -> &str;
+
+    /// One-line description shown by `suite --list`.
+    fn title(&self) -> &str;
+
+    /// Execute at the context's scale/seed, streaming progress through
+    /// the context's sink.
+    fn run(&self, ctx: &RunCtx<'_>) -> Report;
 }
 
-impl ExperimentConfig {
-    /// Execute the experiment.
-    pub fn run(&self) -> Report {
-        match self {
-            ExperimentConfig::Fig3(c) => fig3::run(c),
-            ExperimentConfig::Accuracy(c) => accuracy::run(c),
-            ExperimentConfig::Fig7(c) => fig7::run(c),
-            ExperimentConfig::Fig8a(c) => fig8a::run(c),
-            ExperimentConfig::Fig8b(c) => fig8b::run(c),
-            ExperimentConfig::Fig9(c) => fig9::run(c),
-            ExperimentConfig::Fig10(c) => fig10::run(c),
-            ExperimentConfig::Table1(c) => table1::run(c),
-            ExperimentConfig::Ablation(c) => ablation::run(c),
+/// Everything an experiment needs from its environment: sample scale,
+/// optional seed override, the worker-thread budget, and the event sink.
+pub struct RunCtx<'a> {
+    /// Sample-count scale (1.0 = paper scale).
+    pub scale: f64,
+    /// Optional seed override. `None` runs each experiment's canonical
+    /// (paper) seed; `Some(s)` derives a distinct per-experiment seed
+    /// from `s` — see [`RunCtx::seed_for`].
+    pub seed: Option<u64>,
+    /// Size of the worker pool this run executes on — informational:
+    /// up to this many experiments run *concurrently*, so an experiment
+    /// wanting internal parallelism must assume its siblings share the
+    /// budget (spawning `threads` threads of its own would oversubscribe
+    /// the host `threads`-fold).
+    pub threads: usize,
+    /// Event sink for progress reporting.
+    pub sink: &'a dyn Sink,
+}
+
+impl<'a> RunCtx<'a> {
+    /// A context at the given scale with no seed override.
+    pub fn new(scale: f64, sink: &'a dyn Sink) -> Self {
+        RunCtx {
+            scale,
+            seed: None,
+            threads: 1,
+            sink,
         }
+    }
+
+    /// The seed an experiment should run with: its canonical `default`
+    /// when no override is set, otherwise a per-experiment stream derived
+    /// by mixing the override with the experiment name (so overridden
+    /// suites still give every experiment an independent seed).
+    pub fn seed_for(&self, name: &str, default: u64) -> u64 {
+        match self.seed {
+            None => default,
+            Some(s) => s ^ fnv1a(name.as_bytes()),
+        }
+    }
+
+    /// Publish a progress event.
+    pub fn progress(&self, name: &str, message: &str) {
+        self.sink.event(&Event::Progress { name, message });
     }
 }
 
-/// A named, configured experiment.
-#[derive(Debug, Clone)]
-pub struct Experiment {
-    /// Registry name (`fig3`, `fig8a`, …) — also the JSON file stem.
-    pub name: &'static str,
-    /// One-line description shown by `suite --list`.
-    pub title: &'static str,
-    /// The typed configuration the run executes.
-    pub config: ExperimentConfig,
+/// FNV-1a — a stable, dependency-free string hash for seed derivation
+/// (must never change: overridden-seed results are reproducible too).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Options for [`run_parallel`].
@@ -81,6 +107,10 @@ pub struct RunOptions {
     pub threads: usize,
     /// Directory for JSON results; `None` skips writing.
     pub out_dir: Option<PathBuf>,
+    /// Sample-count scale handed to every experiment.
+    pub scale: f64,
+    /// Optional seed override handed to every experiment.
+    pub seed: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -88,6 +118,8 @@ impl Default for RunOptions {
         RunOptions {
             threads: 0,
             out_dir: Some(PathBuf::from("results")),
+            scale: 1.0,
+            seed: None,
         }
     }
 }
@@ -96,7 +128,7 @@ impl Default for RunOptions {
 #[derive(Debug)]
 pub struct RunOutcome {
     /// Registry name.
-    pub name: &'static str,
+    pub name: String,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     /// The report, or the panic message if the experiment died.
@@ -105,35 +137,55 @@ pub struct RunOutcome {
     pub json_path: Option<PathBuf>,
 }
 
-/// Run `experiments` across a worker pool; returns outcomes in registry
-/// order regardless of scheduling.
-pub fn run_parallel(experiments: &[Experiment], opts: &RunOptions) -> Vec<RunOutcome> {
+/// Run `experiments` across a worker pool, streaming events to `sink`;
+/// returns outcomes in input order regardless of scheduling.
+pub fn run_parallel(
+    experiments: &[&dyn Experiment],
+    opts: &RunOptions,
+    sink: &dyn Sink,
+) -> Vec<RunOutcome> {
     if let Some(dir) = &opts.out_dir {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| panic!("cannot create results dir {}: {e}", dir.display()));
     }
-    let threads = effective_threads(opts.threads, experiments.len());
+    let total = experiments.len();
+    let threads = effective_threads(opts.threads, total);
+    let t0 = Instant::now();
+    sink.event(&Event::SuiteStarted {
+        total,
+        threads,
+        scale: opts.scale,
+    });
+
     let next = AtomicUsize::new(0);
-    let outcomes: Mutex<Vec<Option<RunOutcome>>> =
-        Mutex::new((0..experiments.len()).map(|_| None).collect());
+    let outcomes: Mutex<Vec<Option<RunOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(exp) = experiments.get(i) else { break };
-                let outcome = run_one(exp, opts.out_dir.as_deref());
+                let Some(exp) = experiments.get(i).copied() else {
+                    break;
+                };
+                let outcome = run_one(exp, i, total, threads, opts, sink);
                 outcomes.lock().unwrap()[i] = Some(outcome);
             });
         }
     });
 
-    outcomes
+    let outcomes: Vec<RunOutcome> = outcomes
         .into_inner()
         .unwrap()
         .into_iter()
         .map(|o| o.expect("worker pool completed every slot"))
-        .collect()
+        .collect();
+    let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
+    sink.event(&Event::SuiteFinished {
+        ok: outcomes.len() - failed,
+        failed,
+        wall: t0.elapsed(),
+    });
+    outcomes
 }
 
 fn effective_threads(requested: usize, work_items: usize) -> usize {
@@ -144,22 +196,53 @@ fn effective_threads(requested: usize, work_items: usize) -> usize {
     n.clamp(1, work_items.max(1))
 }
 
-fn run_one(exp: &Experiment, out_dir: Option<&Path>) -> RunOutcome {
+fn run_one(
+    exp: &dyn Experiment,
+    index: usize,
+    total: usize,
+    threads: usize,
+    opts: &RunOptions,
+    sink: &dyn Sink,
+) -> RunOutcome {
+    let name = exp.name().to_string();
+    sink.event(&Event::ExperimentStarted {
+        name: &name,
+        index,
+        total,
+    });
+    let ctx = RunCtx {
+        scale: opts.scale,
+        seed: opts.seed,
+        threads,
+        sink,
+    };
     let t0 = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| exp.config.run()))
-        .map_err(|payload| panic_message(&payload));
+    // `payload.as_ref()`, not `&payload`: a `&Box<dyn Any>` would itself
+    // coerce to `&dyn Any` wrapping the box, and every downcast would
+    // miss (losing the panic message).
+    let result = catch_unwind(AssertUnwindSafe(|| exp.run(&ctx)))
+        .map_err(|payload| panic_message(payload.as_ref()));
     let wall = t0.elapsed();
-    let json_path = match (&result, out_dir) {
+    let json_path = match (&result, opts.out_dir.as_deref()) {
         (Ok(report), Some(dir)) => {
-            let path = dir.join(format!("{}.json", exp.name));
+            let path = dir.join(format!("{name}.json"));
             std::fs::write(&path, report.to_json().to_string_pretty())
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
             Some(path)
         }
         _ => None,
     };
+    sink.event(&Event::ExperimentFinished {
+        name: &name,
+        index,
+        total,
+        wall,
+        report: result.as_ref().ok(),
+        error: result.as_ref().err().map(String::as_str),
+        json_path: json_path.as_deref().map(Path::new),
+    });
     RunOutcome {
-        name: exp.name,
+        name,
         wall,
         result,
         json_path,
@@ -179,6 +262,28 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::{CollectSink, NullSink};
+
+    struct Probe {
+        name: &'static str,
+        fail: bool,
+    }
+
+    impl Experiment for Probe {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn title(&self) -> &str {
+            "probe"
+        }
+        fn run(&self, ctx: &RunCtx<'_>) -> Report {
+            ctx.progress(self.name, "working");
+            if self.fail {
+                panic!("probe {} exploded", self.name);
+            }
+            Report::new(self.name, "probe", ctx.seed_for(self.name, 7), ctx.scale)
+        }
+    }
 
     #[test]
     fn thread_count_clamps_to_work() {
@@ -186,5 +291,80 @@ mod tests {
         assert_eq!(effective_threads(2, 9), 2);
         assert!(effective_threads(0, 9) >= 1);
         assert_eq!(effective_threads(4, 0), 1);
+    }
+
+    #[test]
+    fn runner_streams_events_and_orders_outcomes() {
+        let a = Probe {
+            name: "alpha",
+            fail: false,
+        };
+        let b = Probe {
+            name: "beta",
+            fail: true,
+        };
+        let sink = CollectSink::new();
+        let opts = RunOptions {
+            threads: 2,
+            out_dir: None,
+            scale: 0.5,
+            seed: None,
+        };
+        let outcomes = run_parallel(&[&a, &b], &opts, &sink);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].name, "alpha");
+        assert!(outcomes[0].result.is_ok());
+        assert_eq!(outcomes[1].name, "beta");
+        let err = outcomes[1].result.as_ref().unwrap_err();
+        assert!(err.contains("beta exploded"), "{err}");
+
+        let events = sink.take();
+        assert_eq!(events.first().unwrap().kind, "suite_started");
+        assert_eq!(events.last().unwrap().kind, "suite_finished");
+        assert_eq!(events.last().unwrap().ok, Some(false));
+        let finished_ok: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == "experiment_finished")
+            .collect();
+        assert_eq!(finished_ok.len(), 2);
+        assert_eq!(
+            events.iter().filter(|e| e.kind == "progress").count(),
+            2,
+            "both probes emit progress"
+        );
+    }
+
+    #[test]
+    fn seed_override_derives_distinct_per_experiment_streams() {
+        let ctx = RunCtx::new(1.0, &NullSink);
+        assert_eq!(ctx.seed_for("fig3", 0x5eed), 0x5eed);
+        let overridden = RunCtx {
+            seed: Some(99),
+            ..RunCtx::new(1.0, &NullSink)
+        };
+        let a = overridden.seed_for("fig3", 0x5eed);
+        let b = overridden.seed_for("fig9", 9);
+        assert_ne!(a, 0x5eed, "override must replace the default");
+        assert_ne!(a, b, "distinct experiments get distinct streams");
+        // Stable derivation: same inputs, same seed, forever.
+        assert_eq!(a, overridden.seed_for("fig3", 123));
+    }
+
+    #[test]
+    fn run_ctx_scale_reaches_reports() {
+        let probe = Probe {
+            name: "gamma",
+            fail: false,
+        };
+        let opts = RunOptions {
+            threads: 1,
+            out_dir: None,
+            scale: 0.25,
+            seed: Some(5),
+        };
+        let outcomes = run_parallel(&[&probe], &opts, &NullSink);
+        let report = outcomes[0].result.as_ref().unwrap();
+        assert_eq!(report.scale, 0.25);
+        assert_ne!(report.seed, 7, "seed override must be applied");
     }
 }

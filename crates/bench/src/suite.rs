@@ -1,70 +1,21 @@
-//! The experiment registry and the shared CLI used by every binary.
+//! The shared CLI used by every binary.
 //!
-//! [`registry`] names each paper artifact once; `bin/suite.rs` runs any
-//! subset of it in parallel, and each per-figure binary (`fig3`, …) is a
-//! thin wrapper over [`cli_single`].
+//! `bin/suite.rs` runs any subset of [`crate::registry::Registry::builtin`]
+//! in parallel; each per-figure binary (`fig3`, …) is a thin wrapper over
+//! [`cli_single`]. Experiment lookup, selection, and the registry itself
+//! live in [`crate::registry`] — this module only parses flags and wires
+//! sinks, so new scenarios never touch it.
 
-use crate::experiments::{ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, table1};
+use crate::events::StderrSink;
 use crate::json::Json;
-use crate::runner::{run_parallel, Experiment, ExperimentConfig, RunOptions, RunOutcome};
+use crate::registry::Registry;
+use crate::runner::{run_parallel, RunOptions, RunOutcome};
 use std::path::PathBuf;
 use std::time::Duration;
 
 /// Sample scale used by `--smoke` (clamped upward by each config's
 /// per-experiment minimum sample counts).
 pub const SMOKE_SCALE: f64 = 0.02;
-
-/// Every experiment of the reproduction, at the given sample scale, in
-/// presentation order.
-pub fn registry(scale: f64) -> Vec<Experiment> {
-    vec![
-        Experiment {
-            name: "fig3",
-            title: "error of the approximate FP-IP vs IPU precision (§3.1)",
-            config: ExperimentConfig::Fig3(fig3::Config::paper(scale)),
-        },
-        Experiment {
-            name: "accuracy",
-            title: "Top-1 accuracy vs IPU precision, synthetic substitute (§3.1)",
-            config: ExperimentConfig::Accuracy(accuracy::Config::paper(scale)),
-        },
-        Experiment {
-            name: "fig7",
-            title: "tile area/power breakdown by component (§4.2)",
-            config: ExperimentConfig::Fig7(fig7::Config::paper(scale)),
-        },
-        Experiment {
-            name: "fig8a",
-            title: "normalized execution time vs MC-IPU precision (§4.3)",
-            config: ExperimentConfig::Fig8a(fig8a::Config::paper(scale)),
-        },
-        Experiment {
-            name: "fig8b",
-            title: "normalized execution time vs cluster size (§4.3)",
-            config: ExperimentConfig::Fig8b(fig8b::Config::paper(scale)),
-        },
-        Experiment {
-            name: "fig9",
-            title: "exponent-difference (alignment) histograms (§4.3)",
-            config: ExperimentConfig::Fig9(fig9::Config::paper(scale)),
-        },
-        Experiment {
-            name: "fig10",
-            title: "area/power efficiency design space (§4.4)",
-            config: ExperimentConfig::Fig10(fig10::Config::paper(scale)),
-        },
-        Experiment {
-            name: "table1",
-            title: "multiplier-precision sensitivity (§4.5)",
-            config: ExperimentConfig::Table1(table1::Config::paper(scale)),
-        },
-        Experiment {
-            name: "ablation",
-            title: "pre-shift / accumulator-grid / EHU-masking ablations",
-            config: ExperimentConfig::Ablation(ablation::Config::paper(scale)),
-        },
-    ]
-}
 
 /// Parse the scale implied by CLI args: `--smoke` → [`SMOKE_SCALE`],
 /// `--quick` → 0.1, `--full` → 4.0, default 1.0.
@@ -94,18 +45,21 @@ pub fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
 /// the JSON result under `results/` (or `--out <dir>`).
 pub fn cli_single(name: &str) {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from(&args);
-    let out_dir = PathBuf::from(flag_value(&args, "out").unwrap_or("results"));
-    let exp = registry(scale)
-        .into_iter()
-        .find(|e| e.name == name)
-        .unwrap_or_else(|| panic!("{name} is not in the experiment registry"));
+    let registry = Registry::builtin();
+    let selected = registry.select(&[name]).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let opts = RunOptions {
         threads: 1,
-        out_dir: Some(out_dir),
+        out_dir: Some(PathBuf::from(flag_value(&args, "out").unwrap_or("results"))),
+        scale: scale_from(&args),
+        seed: None,
     };
-    let outcomes = run_parallel(&[exp], &opts);
-    report_outcomes(&outcomes, true);
+    let sink = StderrSink {
+        print_reports: true,
+    };
+    let outcomes = run_parallel(&selected, &opts, &sink);
     if outcomes.iter().any(|o| o.result.is_err()) {
         std::process::exit(1);
     }
@@ -128,7 +82,7 @@ pub fn timing_json(outcomes: &[RunOutcome], scale: f64, threads: usize, total: D
                     .iter()
                     .map(|o| {
                         Json::obj([
-                            ("name", Json::str(o.name)),
+                            ("name", Json::str(&o.name)),
                             ("wall_ms", Json::Num(o.wall.as_secs_f64() * 1e3)),
                             ("ok", Json::Bool(o.result.is_ok())),
                         ])
@@ -139,40 +93,9 @@ pub fn timing_json(outcomes: &[RunOutcome], scale: f64, threads: usize, total: D
     ])
 }
 
-/// Print run outcomes; with `full`, print each successful report's text.
-pub fn report_outcomes(outcomes: &[RunOutcome], full: bool) {
-    for o in outcomes {
-        match &o.result {
-            Ok(report) => {
-                if full {
-                    print!("{}", report.render_text());
-                }
-                let dest = o
-                    .json_path
-                    .as_ref()
-                    .map(|p| format!(" -> {}", p.display()))
-                    .unwrap_or_default();
-                eprintln!("[suite] {:<9} ok in {:>8.2?}{dest}", o.name, o.wall);
-            }
-            Err(msg) => {
-                eprintln!("[suite] {:<9} FAILED: {msg}", o.name);
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn registry_names_are_unique_and_complete() {
-        let names: Vec<&str> = registry(1.0).iter().map(|e| e.name).collect();
-        let expected = [
-            "fig3", "accuracy", "fig7", "fig8a", "fig8b", "fig9", "fig10", "table1", "ablation",
-        ];
-        assert_eq!(names, expected);
-    }
 
     #[test]
     fn scale_flags() {
@@ -187,13 +110,13 @@ mod tests {
     fn timing_json_shape() {
         let outcomes = vec![
             RunOutcome {
-                name: "fig3",
+                name: "fig3".to_string(),
                 wall: Duration::from_millis(12),
                 result: Ok(crate::report::Report::new("fig3", "t", 1, 1.0)),
                 json_path: None,
             },
             RunOutcome {
-                name: "fig9",
+                name: "fig9".to_string(),
                 wall: Duration::from_millis(3),
                 result: Err("boom".into()),
                 json_path: None,

@@ -1,0 +1,55 @@
+//! Golden test pinning the builtin registry's names and order.
+//!
+//! Result-file stems, CI's existence checks, and downstream tooling all
+//! key on these names; reordering changes `--list` output and the
+//! presentation order of every suite run. Changing this list is fine —
+//! but it must be a deliberate act, so the full expected sequence lives
+//! here verbatim.
+
+use mpipu_bench::registry::Registry;
+use mpipu_bench::runner::{RunCtx, RunOptions};
+
+#[test]
+fn builtin_names_and_order_are_pinned() {
+    let expected = [
+        "fig3", "accuracy", "fig7", "fig8a", "fig8b", "fig9", "fig10", "table1", "ablation",
+        "hybrid",
+    ];
+    assert_eq!(Registry::builtin().names(), expected);
+}
+
+#[test]
+fn builtin_titles_are_nonempty_and_distinct() {
+    let registry = Registry::builtin();
+    let titles: Vec<&str> = registry.experiments().iter().map(|e| e.title()).collect();
+    assert!(titles.iter().all(|t| !t.is_empty()));
+    let mut unique = titles.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), titles.len(), "duplicate titles: {titles:?}");
+}
+
+#[test]
+fn experiment_reports_carry_their_registry_name() {
+    // The runner writes `<name>.json` from `Experiment::name`; the report
+    // inside must agree, or results become unattributable.
+    let registry = Registry::builtin();
+    let sink = mpipu_bench::events::NullSink;
+    let ctx = RunCtx::new(mpipu_bench::suite::SMOKE_SCALE, &sink);
+    // One cheap, fully deterministic entry is enough to pin the contract
+    // end to end; running all ten here would re-run the whole suite.
+    let exp = registry.get("fig7").expect("fig7 registered");
+    let report = exp.run(&ctx);
+    assert_eq!(report.experiment, "fig7");
+}
+
+#[test]
+fn default_run_options_target_results_dir() {
+    let opts = RunOptions::default();
+    assert_eq!(
+        opts.out_dir.as_deref(),
+        Some(std::path::Path::new("results"))
+    );
+    assert_eq!(opts.scale, 1.0);
+    assert_eq!(opts.seed, None);
+}

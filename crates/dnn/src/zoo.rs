@@ -21,6 +21,9 @@ pub enum Network {
     Resnet50,
     /// InceptionV3 (Szegedy et al., 2016).
     InceptionV3,
+    /// A parametric synthetic stack (see [`synthetic_stack`]) — for
+    /// scenarios beyond the paper's fixed study cases.
+    Synthetic,
 }
 
 /// Forward inference or backward (error back-propagation) pass.
@@ -50,6 +53,7 @@ impl Workload {
             Network::Resnet18 => "resnet18",
             Network::Resnet50 => "resnet50",
             Network::InceptionV3 => "inceptionv3",
+            Network::Synthetic => "synthetic",
         };
         let pass = match self.pass {
             Pass::Forward => "fwd",
@@ -206,9 +210,37 @@ pub fn inception_v3(pass: Pass) -> Workload {
     }
 }
 
+/// A parametric synthetic workload: `depth` same-shaped 3×3 convolutions
+/// at `channels` channels on a `spatial`×`spatial` feature map, closed by
+/// a classifier layer. Lets scenario authors scale MAC count and layer
+/// mix without enumerating a published network.
+pub fn synthetic_stack(channels: usize, spatial: usize, depth: usize, pass: Pass) -> Workload {
+    assert!(channels > 0 && spatial > 0 && depth > 0, "degenerate stack");
+    // One entry per conv (not one entry × depth multiplicity): per-layer
+    // precision schedules address entries, so a schedule like
+    // first/last-FP16 needs the stack's depth visible as entries.
+    let mut layers: Vec<(ConvShape, usize)> = (0..depth)
+        .map(|_| (ConvShape::square(channels, channels, 3, spatial, 1), 1))
+        .collect();
+    layers.push((ConvShape::fc(channels, 1000), 1));
+    Workload {
+        network: Network::Synthetic,
+        pass,
+        layers,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn synthetic_stack_scales_with_depth() {
+        let shallow = synthetic_stack(64, 28, 2, Pass::Forward);
+        let deep = synthetic_stack(64, 28, 8, Pass::Forward);
+        assert_eq!(shallow.label(), "synthetic-fwd");
+        assert!(deep.total_macs() > 3 * shallow.total_macs());
+    }
 
     #[test]
     fn resnet18_mac_count_matches_published() {

@@ -129,7 +129,19 @@ impl CostModel {
     ///   accumulation, 28 for FP32);
     /// * `pass` — selects the distribution family.
     pub fn new(tile: TileConfig, w: u32, software_precision: u32, pass: Pass, seed: u64) -> Self {
-        let (act_dist, wgt_dist) = pass_distributions(pass);
+        Self::with_distributions(tile, w, software_precision, pass_distributions(pass), seed)
+    }
+
+    /// Build a cost model sampling operand exponents from an explicit
+    /// `(activation, weight)` distribution pair instead of the pass
+    /// defaults — the lowering target of `Scenario::distributions`.
+    pub fn with_distributions(
+        tile: TileConfig,
+        w: u32,
+        software_precision: u32,
+        (act_dist, wgt_dist): (Distribution, Distribution),
+        seed: u64,
+    ) -> Self {
         CostModel {
             act: ExpSampler::new(act_dist, seed),
             wgt: ExpSampler::new(wgt_dist, seed ^ 0x9e37_79b9),

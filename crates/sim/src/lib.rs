@@ -39,7 +39,7 @@ pub mod tile;
 
 pub use cost::{step_costs_from_exps, CostModel, StepCosts};
 pub use engine::simulate_clusters;
-pub use mixed::{first_last_fp16, run_mixed, LayerPrecision, MixedResult};
+pub use mixed::{first_last_fp16, run_mixed, LayerPrecision, MixedResult, Schedule};
 pub use result::{LayerResult, WorkloadResult};
-pub use run::{run_workload, SimDesign, SimOptions};
+pub use run::{run_workload, Lowered, SimDesign, SimOptions};
 pub use tile::TileConfig;

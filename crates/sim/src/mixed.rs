@@ -8,10 +8,9 @@
 //! where each layer carries its own precision assignment and reports the
 //! split and the blended execution time.
 
-use crate::cost::CostModel;
-use crate::engine::simulate_clusters;
 use crate::result::{LayerResult, WorkloadResult};
-use crate::run::{SimDesign, SimOptions};
+use crate::run::{layer_steps, sampled_fp16_layer, SimDesign, SimOptions};
+use mpipu_analysis::dist::Distribution;
 use mpipu_dnn::zoo::Workload;
 
 /// Per-layer numeric assignment.
@@ -39,6 +38,53 @@ impl LayerPrecision {
     }
 }
 
+/// A reusable per-layer precision policy. Where a `Vec<LayerPrecision>`
+/// is tied to one workload's layer count, a `Schedule` describes the
+/// *rule* and is materialized against any workload — the form the
+/// `Scenario` builder carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Schedule {
+    /// Every layer runs at the same precision.
+    Uniform(LayerPrecision),
+    /// First and last layers FP16 (the quantization-sensitive ones),
+    /// everything else INT4 — the hybrid split the paper motivates.
+    FirstLastFp16,
+    /// An explicit per-layer assignment (must match the workload's layer
+    /// count when materialized).
+    Custom(Vec<LayerPrecision>),
+}
+
+impl Schedule {
+    /// Resolve the policy into one [`LayerPrecision`] per workload layer.
+    ///
+    /// # Panics
+    /// Panics if a [`Schedule::Custom`] assignment length does not match
+    /// the workload's layer count.
+    pub fn materialize(&self, workload: &Workload) -> Vec<LayerPrecision> {
+        match self {
+            Schedule::Uniform(p) => vec![*p; workload.layers.len()],
+            Schedule::FirstLastFp16 => first_last_fp16(workload),
+            Schedule::Custom(assignment) => {
+                assert_eq!(
+                    assignment.len(),
+                    workload.layers.len(),
+                    "one precision per layer required"
+                );
+                assignment.clone()
+            }
+        }
+    }
+
+    /// Label for reports: `uniform-int4x4`, `first-last-fp16`, `custom`.
+    pub fn label(&self) -> String {
+        match self {
+            Schedule::Uniform(p) => format!("uniform-{}", p.label()),
+            Schedule::FirstLastFp16 => "first-last-fp16".to_string(),
+            Schedule::Custom(_) => "custom".to_string(),
+        }
+    }
+}
+
 /// Outcome of a mixed-precision run.
 #[derive(Debug, Clone)]
 pub struct MixedResult {
@@ -46,6 +92,14 @@ pub struct MixedResult {
     pub result: WorkloadResult,
     /// Fraction of MAC work executed in FP16 (by baseline cycles).
     pub fp_fraction: f64,
+}
+
+impl MixedResult {
+    /// Execution time normalized to the baseline — delegates to the
+    /// underlying [`WorkloadResult`].
+    pub fn normalized(&self) -> f64 {
+        self.result.normalized()
+    }
 }
 
 /// Simulate a workload with a per-layer precision assignment.
@@ -62,23 +116,29 @@ pub fn run_mixed(
     assignment: &[LayerPrecision],
     opts: &SimOptions,
 ) -> MixedResult {
+    run_mixed_with(design, workload, assignment, opts, None)
+}
+
+/// [`run_mixed`] with an optional `(activation, weight)` distribution
+/// override for the FP16 layers.
+pub(crate) fn run_mixed_with(
+    design: &SimDesign,
+    workload: &Workload,
+    assignment: &[LayerPrecision],
+    opts: &SimOptions,
+    dists: Option<(Distribution, Distribution)>,
+) -> MixedResult {
     assert_eq!(
         assignment.len(),
         workload.layers.len(),
         "one precision per layer required"
     );
-    let tile = design.tile;
     let mut layers = Vec::with_capacity(workload.layers.len());
     let mut fp_base = 0u64;
     let mut all_base = 0u64;
     for (li, (&(shape, multiplicity), &prec)) in workload.layers.iter().zip(assignment).enumerate()
     {
-        let steps = shape.tile_steps(
-            tile.c_unroll,
-            tile.k_unroll * design.n_tiles,
-            tile.h_unroll,
-            tile.w_unroll,
-        );
+        let steps = layer_steps(design, &shape);
         let (cycles, baseline_cycles) = match prec {
             LayerPrecision::Int { ka, kb } => {
                 // Deterministic: ka·kb cycles per step on every IPU; the
@@ -87,18 +147,7 @@ pub fn run_mixed(
                 (steps * per_step, steps * per_step)
             }
             LayerPrecision::Fp16 => {
-                let sampled = (steps as usize).min(opts.sample_steps).max(1);
-                let mut model = CostModel::new(
-                    tile,
-                    design.w,
-                    design.software_precision,
-                    workload.pass,
-                    opts.seed ^ (li as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                );
-                let costs = model.sample_steps(sampled);
-                let window = simulate_clusters(&costs.per_cluster, tile.buffer_depth);
-                let cycles = (window as f64 * steps as f64 / sampled as f64).round() as u64;
-                (cycles, steps * u64::from(costs.baseline_per_step))
+                sampled_fp16_layer(design, li, steps, workload.pass, dists, opts)
             }
         };
         if matches!(prec, LayerPrecision::Fp16) {
@@ -246,5 +295,65 @@ mod tests {
         assert_eq!(LayerPrecision::Int { ka: 1, kb: 1 }.label(), "int4x4");
         assert_eq!(LayerPrecision::Int { ka: 2, kb: 3 }.label(), "int8x12");
         assert_eq!(LayerPrecision::Fp16.label(), "fp16");
+        assert_eq!(
+            Schedule::Uniform(LayerPrecision::Fp16).label(),
+            "uniform-fp16"
+        );
+        assert_eq!(Schedule::FirstLastFp16.label(), "first-last-fp16");
+    }
+
+    #[test]
+    fn schedule_materializes_against_any_workload() {
+        let wl = resnet18(Pass::Forward);
+        let n = wl.layers.len();
+        let uniform = Schedule::Uniform(LayerPrecision::Int { ka: 1, kb: 1 }).materialize(&wl);
+        assert_eq!(uniform.len(), n);
+        assert!(uniform
+            .iter()
+            .all(|p| *p == LayerPrecision::Int { ka: 1, kb: 1 }));
+        let hybrid = Schedule::FirstLastFp16.materialize(&wl);
+        assert_eq!(hybrid, first_last_fp16(&wl));
+        let custom = Schedule::Custom(hybrid.clone()).materialize(&wl);
+        assert_eq!(custom, hybrid);
+    }
+
+    #[test]
+    #[should_panic(expected = "one precision per layer")]
+    fn custom_schedule_length_mismatch_panics() {
+        Schedule::Custom(vec![LayerPrecision::Fp16]).materialize(&resnet18(Pass::Forward));
+    }
+
+    #[test]
+    fn scheduled_run_matches_explicit_assignment() {
+        let wl = resnet18(Pass::Forward);
+        let lowered = crate::run::Lowered {
+            design: design(12),
+            opts: opts(),
+            dists: None,
+            schedule: Some(Schedule::FirstLastFp16),
+        };
+        let via_schedule = lowered.execute(&wl);
+        let explicit = run_mixed(&design(12), &wl, &first_last_fp16(&wl), &opts());
+        assert_eq!(
+            via_schedule.result.total_cycles(),
+            explicit.result.total_cycles()
+        );
+        assert_eq!(via_schedule.fp_fraction, explicit.fp_fraction);
+    }
+
+    #[test]
+    fn uniform_lowered_execute_matches_run_workload() {
+        let wl = resnet18(Pass::Forward);
+        let lowered = crate::run::Lowered {
+            design: design(12),
+            opts: opts(),
+            dists: None,
+            schedule: None,
+        };
+        let r = lowered.execute(&wl);
+        let direct = crate::run::run_workload(&design(12), &wl, &opts());
+        assert_eq!(r.result.total_cycles(), direct.total_cycles());
+        assert_eq!(r.fp_fraction, 1.0);
+        assert_eq!(r.normalized(), direct.normalized());
     }
 }

@@ -1,10 +1,18 @@
 //! Top-level workload simulation: layers → sampled step costs → timing.
+//!
+//! The entry points are [`run_workload`] (uniform FP16 execution) and
+//! [`crate::mixed::run_mixed`] (per-layer precision schedules); both lower
+//! through the same sampled-layer core. [`Lowered`] is the fully-resolved
+//! form the `mpipu::Scenario` builder produces: design point + Monte-Carlo
+//! options + optional distribution override + optional schedule.
 
 use crate::cost::CostModel;
 use crate::engine::simulate_clusters;
+use crate::mixed::{run_mixed_with, MixedResult, Schedule};
 use crate::result::{LayerResult, WorkloadResult};
 use crate::tile::TileConfig;
-use mpipu_dnn::zoo::Workload;
+use mpipu_analysis::dist::Distribution;
+use mpipu_dnn::zoo::{Pass, Workload};
 
 /// A complete accelerator design point for the performance experiments.
 #[derive(Debug, Clone, Copy)]
@@ -59,31 +67,66 @@ impl Default for SimOptions {
     }
 }
 
+/// Broadcast steps one layer takes on the design's tile geometry.
+pub(crate) fn layer_steps(design: &SimDesign, shape: &mpipu_dnn::shape::ConvShape) -> u64 {
+    shape.tile_steps(
+        design.tile.c_unroll,
+        design.tile.k_unroll * design.n_tiles,
+        design.tile.h_unroll,
+        design.tile.w_unroll,
+    )
+}
+
+/// Monte-Carlo-sample one FP16 layer: returns `(cycles, baseline_cycles)`
+/// scaled from the sampled window to the layer's true step count. Shared
+/// by [`run_workload`] and [`crate::mixed::run_mixed`]; `dists` overrides
+/// the pass's default `(activation, weight)` distribution pair.
+pub(crate) fn sampled_fp16_layer(
+    design: &SimDesign,
+    layer_index: usize,
+    steps: u64,
+    pass: Pass,
+    dists: Option<(Distribution, Distribution)>,
+    opts: &SimOptions,
+) -> (u64, u64) {
+    let sampled = (steps as usize).min(opts.sample_steps).max(1);
+    let seed = opts.seed ^ (layer_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut model = match dists {
+        None => CostModel::new(design.tile, design.w, design.software_precision, pass, seed),
+        Some(pair) => CostModel::with_distributions(
+            design.tile,
+            design.w,
+            design.software_precision,
+            pair,
+            seed,
+        ),
+    };
+    let costs = model.sample_steps(sampled);
+    let window_cycles = simulate_clusters(&costs.per_cluster, design.tile.buffer_depth);
+    // Scale the sampled window to the layer's true step count.
+    let cycles = (window_cycles as f64 * steps as f64 / sampled as f64).round() as u64;
+    (cycles, steps * u64::from(costs.baseline_per_step))
+}
+
 /// Simulate a workload on a design; returns per-layer and aggregate
 /// normalized execution times (the Fig 8 quantities).
 pub fn run_workload(design: &SimDesign, workload: &Workload, opts: &SimOptions) -> WorkloadResult {
-    let tile = design.tile;
+    run_workload_with(design, workload, opts, None)
+}
+
+/// [`run_workload`] with an optional `(activation, weight)` distribution
+/// override replacing the pass defaults.
+pub(crate) fn run_workload_with(
+    design: &SimDesign,
+    workload: &Workload,
+    opts: &SimOptions,
+    dists: Option<(Distribution, Distribution)>,
+) -> WorkloadResult {
     let mut layers = Vec::with_capacity(workload.layers.len());
     for (li, &(shape, multiplicity)) in workload.layers.iter().enumerate() {
-        let steps = shape.tile_steps(
-            tile.c_unroll,
-            tile.k_unroll * design.n_tiles,
-            tile.h_unroll,
-            tile.w_unroll,
-        );
-        let sampled = (steps as usize).min(opts.sample_steps).max(1);
-        let mut model = CostModel::new(
-            tile,
-            design.w,
-            design.software_precision,
-            workload.pass,
-            opts.seed ^ (li as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
-        let costs = model.sample_steps(sampled);
-        let window_cycles = simulate_clusters(&costs.per_cluster, tile.buffer_depth);
-        // Scale the sampled window to the layer's true step count.
-        let cycles = (window_cycles as f64 * steps as f64 / sampled as f64).round() as u64;
-        let baseline_cycles = steps * u64::from(costs.baseline_per_step);
+        let steps = layer_steps(design, &shape);
+        let (cycles, baseline_cycles) =
+            sampled_fp16_layer(design, li, steps, workload.pass, dists, opts);
         layers.push(LayerResult {
             shape,
             multiplicity,
@@ -95,6 +138,44 @@ pub fn run_workload(design: &SimDesign, workload: &Workload, opts: &SimOptions) 
     WorkloadResult {
         label: workload.label(),
         layers,
+    }
+}
+
+/// A fully-lowered scenario: everything the simulator needs to execute a
+/// workload, produced by the `mpipu::Scenario` builder's `lower()` and
+/// consumable directly for custom sweeps.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The accelerator design point.
+    pub design: SimDesign,
+    /// Monte-Carlo sampling options.
+    pub opts: SimOptions,
+    /// Optional `(activation, weight)` distribution override; `None`
+    /// samples the workload pass's default family.
+    pub dists: Option<(Distribution, Distribution)>,
+    /// Optional per-layer precision schedule; `None` runs uniform FP16.
+    pub schedule: Option<Schedule>,
+}
+
+impl Lowered {
+    /// Execute the lowered scenario on a workload.
+    ///
+    /// Uniform-FP16 scenarios report `fp_fraction = 1.0`; scheduled
+    /// scenarios report the FP16 share of baseline MAC work.
+    pub fn execute(&self, workload: &Workload) -> MixedResult {
+        match &self.schedule {
+            None => MixedResult {
+                result: run_workload_with(&self.design, workload, &self.opts, self.dists),
+                fp_fraction: 1.0,
+            },
+            Some(schedule) => run_mixed_with(
+                &self.design,
+                workload,
+                &schedule.materialize(workload),
+                &self.opts,
+                self.dists,
+            ),
+        }
     }
 }
 

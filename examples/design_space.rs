@@ -1,43 +1,29 @@
 //! Explore the accelerator design space: sweep adder-tree precision and
-//! cluster size, simulate the FP slowdown on ResNet-18, and print each
-//! design's efficiency — a miniature of the paper's Fig 10.
+//! cluster size through the `Scenario` builder, simulate the FP slowdown
+//! on ResNet-18, and print each design's efficiency — a miniature of the
+//! paper's Fig 10.
 //!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
 
-use mpipu::dnn::zoo::{resnet18, Pass};
-use mpipu::hw::DesignPoint;
-use mpipu::sim::{run_workload, SimDesign, SimOptions, TileConfig};
+use mpipu::{Scenario, Zoo};
 
 fn main() {
-    let opts = SimOptions {
-        sample_steps: 128,
-        seed: 7,
-    };
-    let fwd = resnet18(Pass::Forward);
-    let bwd = resnet18(Pass::Backward);
+    let base = Scenario::big_tile()
+        .workload(Zoo::ResNet18)
+        .sample_steps(128)
+        .seed(7);
 
     println!("16-input tile family, FP32 accumulation, ResNet-18 workloads\n");
     println!("design\tfwd_slowdown\tbwd_slowdown\tTOPS/mm2\tTFLOPS/mm2\tTFLOPS/W");
     for (w, cluster) in [(38u32, 64usize), (28, 64), (16, 64), (16, 1), (12, 1)] {
-        let tile = TileConfig::big().with_cluster_size(cluster);
-        let design = SimDesign {
-            tile,
-            w,
-            software_precision: 28,
-            n_tiles: 4,
-        };
-        let f = run_workload(&design, &fwd, &opts).normalized();
-        let b = run_workload(&design, &bwd, &opts).normalized();
+        let design = base.clone().w(w).cluster(cluster);
+        let f = design.run().normalized();
+        let b = design.clone().backward().run().normalized();
         // Fig 10 weighs the study cases; use the forward/backward mean here.
-        let slowdown = f64::midpoint(f, b).max(1.0);
-        let m = DesignPoint {
-            w,
-            cluster_size: cluster,
-            big: true,
-        }
-        .metrics(slowdown);
+        let slowdown = f64::midpoint(f, b);
+        let m = design.metrics(slowdown);
         let label = if w == 38 {
             "NO-OPT".to_string()
         } else {

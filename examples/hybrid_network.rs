@@ -1,46 +1,44 @@
 //! Hybrid mixed-precision inference: most layers INT4-quantized, the
 //! quantization-sensitive first/last layers kept in FP16 — the deployment
-//! the paper's introduction motivates. Shows how the per-layer split
-//! interacts with the MC-IPU adder-tree width.
+//! the paper's introduction motivates, expressed as `Scenario` chains
+//! with `Schedule` policies. Shows how the per-layer split interacts with
+//! the MC-IPU adder-tree width.
 //!
 //! ```sh
 //! cargo run --release --example hybrid_network
 //! ```
 
-use mpipu::dnn::zoo::{resnet18, Pass};
-use mpipu::sim::{first_last_fp16, run_mixed, LayerPrecision, SimDesign, SimOptions, TileConfig};
+use mpipu::sim::{LayerPrecision, Schedule};
+use mpipu::{Scenario, Zoo};
 
 fn main() {
-    let wl = resnet18(Pass::Forward);
-    let opts = SimOptions {
-        sample_steps: 128,
-        seed: 21,
-    };
+    let base = Scenario::small_tile()
+        .cluster(1)
+        .workload(Zoo::ResNet18)
+        .sample_steps(128)
+        .seed(21);
 
     println!("ResNet-18 forward on four small tiles, per-layer precision:\n");
     println!("assignment\tadder_w\ttotal_Mcycles\tfp_share\tvs_all_int4");
-    let all_int4: Vec<LayerPrecision> = vec![LayerPrecision::Int { ka: 1, kb: 1 }; wl.layers.len()];
-    let all_int8: Vec<LayerPrecision> = vec![LayerPrecision::Int { ka: 2, kb: 2 }; wl.layers.len()];
-    let hybrid = first_last_fp16(&wl);
-    let all_fp: Vec<LayerPrecision> = vec![LayerPrecision::Fp16; wl.layers.len()];
+    let schedules = [
+        (
+            "all-INT4",
+            Schedule::Uniform(LayerPrecision::Int { ka: 1, kb: 1 }),
+        ),
+        (
+            "all-INT8",
+            Schedule::Uniform(LayerPrecision::Int { ka: 2, kb: 2 }),
+        ),
+        ("hybrid (ends FP16)", Schedule::FirstLastFp16),
+        ("all-FP16", Schedule::Uniform(LayerPrecision::Fp16)),
+    ];
 
     let mut int4_cycles = 0;
-    for (label, assignment) in [
-        ("all-INT4", &all_int4),
-        ("all-INT8", &all_int8),
-        ("hybrid (ends FP16)", &hybrid),
-        ("all-FP16", &all_fp),
-    ] {
+    for (label, schedule) in &schedules {
         for w in [12u32, 28] {
-            let design = SimDesign {
-                tile: TileConfig::small().with_cluster_size(1),
-                w,
-                software_precision: 28,
-                n_tiles: 4,
-            };
-            let r = run_mixed(&design, &wl, assignment, &opts);
+            let r = base.clone().w(w).schedule(schedule.clone()).run();
             let cycles = r.result.total_cycles();
-            if label == "all-INT4" && w == 12 {
+            if *label == "all-INT4" && w == 12 {
                 int4_cycles = cycles;
             }
             println!(

@@ -1,7 +1,26 @@
 //! # `mpipu` — mixed-precision inner-product unit: emulation, simulation,
 //! and design-space evaluation
 //!
-//! Facade crate re-exporting the full workspace. See the individual crates:
+//! The front door is the [`Scenario`] builder: one fluent chain composes
+//! a design point (tile family, adder-tree precision, accumulator),
+//! a workload (model zoo, synthetic stack, custom layer table, optional
+//! mixed-precision schedule), the value distribution, seed, and sample
+//! scale, then lowers into the cycle-accurate simulator:
+//!
+//! ```
+//! use mpipu::{Scenario, Zoo};
+//!
+//! let slowdown = Scenario::big_tile()
+//!     .w(12)
+//!     .workload(Zoo::ResNet18)
+//!     .seed(7)
+//!     .sample_steps(16) // smoke scale for the doctest
+//!     .run()
+//!     .normalized();
+//! assert!(slowdown >= 1.0);
+//! ```
+//!
+//! The individual crates remain fully public for lower-level work:
 //!
 //! * [`fp`] — bit-level FP16/BF16/TF32 formats, signed magnitudes, nibble
 //!   decomposition, write-back rounding.
@@ -11,9 +30,13 @@
 //! * [`hw`] — analytical 7nm area/power model (Fig 7, Fig 10, Table 1).
 //! * [`dnn`] — DNN substrate: tensors, conv layers, model zoo, training.
 
+pub mod scenario;
+
 pub use mpipu_analysis as analysis;
 pub use mpipu_datapath as datapath;
 pub use mpipu_dnn as dnn;
 pub use mpipu_fp as fp;
 pub use mpipu_hw as hw;
 pub use mpipu_sim as sim;
+
+pub use scenario::{Scenario, Zoo};

@@ -13,7 +13,8 @@ use mpipu::dnn::zoo::{resnet18, Pass, Workload};
 use mpipu::fp::{Fp16, FpFormat};
 use mpipu::hw::tile_model::{TileBreakdown, TileHwConfig};
 use mpipu::hw::DesignPoint;
-use mpipu::sim::{run_workload, SimDesign, SimOptions, TileConfig};
+use mpipu::sim::{run_workload, LayerPrecision, Schedule, SimDesign, SimOptions, TileConfig};
+use mpipu::{Scenario, Zoo};
 
 /// End-to-end E1 (Fig 3): at the software precision the paper recommends,
 /// errors versus the FP32-CPU reference vanish for every distribution.
@@ -214,6 +215,84 @@ fn identity_product_roundtrips_every_finite_fp16() {
         let r = ipu.fp_ip(&[x], &[Fp16::ONE]);
         assert_eq!(r.fp16.to_f64(), x.to_f64(), "bits {bits:#06x}");
     }
+}
+
+/// The `Scenario` builder reproduces the Fig 8 orderings end to end —
+/// same physics as the hand-assembled path, one fluent chain.
+#[test]
+fn scenario_builder_reproduces_fig8_orderings() {
+    let base = Scenario::big_tile()
+        .workload(Zoo::ResNet18)
+        .sample_steps(64)
+        .seed(42);
+    let n12 = base.clone().w(12).run().normalized();
+    let n28 = base.clone().w(28).run().normalized();
+    assert!(n12 > n28, "{n12} vs {n28}");
+    let b16 = base.clone().w(16).backward().run().normalized();
+    let f16 = base.clone().w(16).run().normalized();
+    assert!(b16 > f16);
+    let c1 = base.clone().w(16).cluster(1).backward().run().normalized();
+    assert!(c1 < b16);
+    let baseline = base.w(38).run().normalized();
+    assert!((baseline - 1.0).abs() < 1e-9);
+}
+
+/// Scenario chains agree bit-for-bit with the explicit `SimDesign` path
+/// (the determinism contract the experiment ports rely on).
+#[test]
+fn scenario_builder_matches_explicit_design_bit_for_bit() {
+    let opts = SimOptions {
+        sample_steps: 48,
+        seed: 0xC0FFEE,
+    };
+    for w in [12u32, 16, 38] {
+        let direct = run_workload(
+            &SimDesign {
+                tile: TileConfig::big().with_cluster_size(4),
+                w,
+                software_precision: 28,
+                n_tiles: 4,
+            },
+            &resnet18(Pass::Backward),
+            &opts,
+        );
+        let via_builder = Scenario::big_tile()
+            .w(w)
+            .cluster(4)
+            .workload(Zoo::ResNet18)
+            .backward()
+            .sample_steps(48)
+            .seed(0xC0FFEE)
+            .run();
+        assert_eq!(via_builder.result.total_cycles(), direct.total_cycles());
+        assert_eq!(
+            via_builder.result.total_baseline_cycles(),
+            direct.total_baseline_cycles()
+        );
+    }
+}
+
+/// Mixed-precision schedules through the facade: the hybrid split sits
+/// between all-INT4 and all-FP16, and its FP16 share is the small one.
+#[test]
+fn scenario_schedules_order_correctly() {
+    let base = Scenario::small_tile()
+        .w(12)
+        .cluster(1)
+        .workload(Zoo::ResNet18)
+        .sample_steps(48)
+        .seed(3);
+    let int4 = base
+        .clone()
+        .schedule(Schedule::Uniform(LayerPrecision::Int { ka: 1, kb: 1 }))
+        .run();
+    let hybrid = base.clone().schedule(Schedule::FirstLastFp16).run();
+    let fp16 = base.schedule(Schedule::Uniform(LayerPrecision::Fp16)).run();
+    assert_eq!(int4.fp_fraction, 0.0);
+    assert_eq!(fp16.fp_fraction, 1.0);
+    assert!(hybrid.fp_fraction > 0.0 && hybrid.fp_fraction < 0.8);
+    assert!(int4.result.total_cycles() < hybrid.result.total_cycles());
+    assert!(hybrid.result.total_cycles() < fp16.result.total_cycles());
 }
 
 /// Hardware model sanity through the facade: monotone area in tree width.
