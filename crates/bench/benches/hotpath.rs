@@ -9,6 +9,7 @@
 //! `results/bench-baseline.json` (see the `bench_gate` binary).
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use mpipu::{Scenario, Zoo};
 use mpipu_analysis::dist::{Distribution, ExpSampler};
 use mpipu_bench::events::NullSink;
 use mpipu_bench::json::Json;
@@ -18,7 +19,7 @@ use mpipu_bench::suite::SMOKE_SCALE;
 use mpipu_datapath::Ehu;
 use mpipu_dnn::zoo::Pass;
 use mpipu_sim::cost::{reference::ReferenceCostModel, CostModel};
-use mpipu_sim::{simulate_clusters, TileConfig};
+use mpipu_sim::{simulate_clusters, Backend, TileConfig};
 
 /// Pre-sample `count` product-exponent vectors of width `n` (backward
 /// tensors: the widest alignment spread, the worst case for the sort).
@@ -101,6 +102,37 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// ISSUE 4 acceptance benchmark: a fig8-style precision sweep (5 widths
+/// × ResNet-18 fwd + bwd) through the Monte-Carlo backend at smoke scale
+/// versus the memoized analytic backend. The analytic path must be
+/// ≥ 50× faster (numbers recorded in README "Benchmarks").
+fn bench_fig8_sweep(c: &mut Criterion) {
+    fn sweep(base: &Scenario) -> f64 {
+        let mut total = 0.0;
+        for backward in [false, true] {
+            for &w in &[12u32, 16, 20, 24, 28] {
+                let s = base.clone().w(w);
+                let s = if backward { s.backward() } else { s };
+                total += s.run().normalized();
+            }
+        }
+        total
+    }
+    let mut g = c.benchmark_group("fig8_sweep");
+    // 10 design points, smoke-scale sampling window (the `--smoke` floor).
+    let mc = Scenario::small_tile()
+        .workload(Zoo::ResNet18)
+        .sample_steps(64)
+        .seed(1);
+    g.bench_function("mc_smoke", |b| b.iter(|| sweep(&mc)));
+    // The clones inside `sweep` share the base scenario's memoized
+    // backend, so steady-state iterations measure the sweep's cached
+    // arithmetic — exactly how a large design-space exploration runs.
+    let analytic = mc.clone().backend(Backend::MemoizedAnalytic);
+    g.bench_function("analytic_memoized", |b| b.iter(|| sweep(&analytic)));
+    g.finish();
+}
+
 /// Wall-clock of the full experiment registry at smoke scale (what CI's
 /// smoke step runs), without writing result files.
 fn bench_suite(c: &mut Criterion) {
@@ -111,7 +143,7 @@ fn bench_suite(c: &mut Criterion) {
                 threads: 0,
                 out_dir: None,
                 scale: SMOKE_SCALE,
-                seed: None,
+                ..RunOptions::default()
             };
             let outcomes = run_parallel(&registry.experiments(), &opts, &NullSink);
             assert!(outcomes.iter().all(|o| o.result.is_ok()));
@@ -125,6 +157,7 @@ criterion_group!(
     bench_ehu,
     bench_cost_model,
     bench_engine,
+    bench_fig8_sweep,
     bench_suite
 );
 

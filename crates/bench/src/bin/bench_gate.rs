@@ -20,6 +20,18 @@
 //! `--update-baseline` validates the fresh trajectory file and rewrites
 //! the committed baseline from it instead of comparing — the
 //! baseline-refresh workflow (see README "Benchmarks").
+//!
+//! A second mode cross-checks *result* documents between cost backends:
+//!
+//! ```text
+//! bench_gate --cross-check results/fig8a.json /tmp/analytic/fig8a.json
+//!            [--tolerance 0.10]
+//! ```
+//!
+//! compares every numeric table cell of the two experiment reports and
+//! fails when any relative difference exceeds the tolerance — CI runs
+//! it to pin the analytic backend against the committed Monte-Carlo
+//! results.
 
 use mpipu_bench::json::Json;
 use mpipu_bench::suite::flag_value;
@@ -49,8 +61,115 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(out)
 }
 
+/// Flatten an experiment-report JSON into `(table/row/col → value)`
+/// maps: numeric cells and text cells separately.
+#[allow(clippy::type_complexity)]
+fn load_report_cells(
+    path: &str,
+) -> Result<(BTreeMap<String, f64>, BTreeMap<String, String>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let tables = doc
+        .get("tables")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing tables array"))?;
+    let mut nums = BTreeMap::new();
+    let mut texts = BTreeMap::new();
+    for table in tables {
+        let title = table.get("title").and_then(Json::as_str).unwrap_or("?");
+        let columns = table.get("columns").and_then(Json::as_arr);
+        let rows = table
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}: table {title:?} has no rows"))?;
+        for (r, row) in rows.iter().enumerate() {
+            let cells = row
+                .as_arr()
+                .ok_or_else(|| format!("{path}: table {title:?} row {r} is not an array"))?;
+            for (c, cell) in cells.iter().enumerate() {
+                let col = columns
+                    .and_then(|cols| cols.get(c))
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| c.to_string());
+                let key = format!("{title}[{r}].{col}");
+                match (cell.as_f64(), cell.as_str()) {
+                    (Some(x), _) => {
+                        nums.insert(key, x);
+                    }
+                    (None, Some(s)) => {
+                        texts.insert(key, s.to_string());
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok((nums, texts))
+}
+
+/// Compare two experiment-result documents cell by cell; any relative
+/// numeric difference above `tolerance` (or any structural mismatch)
+/// fails.
+fn cross_check(a_path: &str, b_path: &str, tolerance: f64) -> Result<ExitCode, String> {
+    let (a_nums, a_texts) = load_report_cells(a_path)?;
+    let (b_nums, b_texts) = load_report_cells(b_path)?;
+    if a_nums.keys().ne(b_nums.keys()) || a_texts != b_texts {
+        return Err(format!(
+            "{a_path} and {b_path} have different table structure — not comparable"
+        ));
+    }
+    let mut failures = 0usize;
+    let mut worst = 0.0f64;
+    let mut worst_key = String::new();
+    for (key, &a) in &a_nums {
+        let b = b_nums[key];
+        let rel = (a - b).abs() / a.abs().max(b.abs()).max(1e-12);
+        if rel > worst {
+            worst = rel;
+            worst_key = key.clone();
+        }
+        if rel > tolerance {
+            failures += 1;
+            println!(
+                "{key:<60} {a:>12.5} vs {b:>12.5} {:>+7.1}% FAIL",
+                100.0 * rel
+            );
+        }
+    }
+    println!(
+        "[bench_gate] cross-check: {} cells compared, {failures} above {:.0}% \
+         (worst {:.2}% at {worst_key})",
+        a_nums.len(),
+        100.0 * tolerance,
+        100.0 * worst,
+    );
+    Ok(if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(a_path) = flag_value(&args, "cross-check") {
+        let a_index = args
+            .iter()
+            .position(|a| a == "--cross-check")
+            .expect("flag_value found it");
+        let b_path = args
+            .get(a_index + 2)
+            .filter(|p| !p.starts_with("--"))
+            .ok_or("--cross-check takes two result-file paths")?;
+        let tolerance = flag_value(&args, "tolerance")
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| "--tolerance takes a fraction (e.g. 0.10)".to_string())
+            })
+            .unwrap_or(Ok(0.10))?;
+        return cross_check(a_path, b_path, tolerance);
+    }
     let current_path = flag_value(&args, "current").unwrap_or("BENCH_v1.json");
     let baseline_path = flag_value(&args, "baseline").unwrap_or("results/bench-baseline.json");
     let parse_pct = |key: &str, default: f64| -> Result<f64, String> {

@@ -6,6 +6,8 @@
 //! suite [--smoke|--quick|--full]
 //!       [--threads N]          worker threads (default: one per CPU)
 //!       [--only a,b,c]         run a comma-separated subset
+//!       [--backend B]          cost backend: mc (default), analytic,
+//!                              memoized, memoized-analytic
 //!       [--out DIR]            results directory (default: results/)
 //!       [--seed N]             override seeds (per-experiment derived)
 //!       [--events FILE]        stream JSONL run events to FILE
@@ -15,12 +17,15 @@
 //! Without `--seed` every experiment runs its canonical paper seed, and
 //! the result JSONs are byte-identical across thread counts (CI enforces
 //! this). `--seed` derives an independent stream per experiment, so
-//! overridden runs are reproducible too.
+//! overridden runs are reproducible too. `--backend` routes the
+//! performance experiments through another cost-estimation backend
+//! (`analytic` is deterministic and seed-free; `memoized` is
+//! bit-identical to `mc` with repeated design points cached).
 
 use mpipu_bench::events::{JsonlSink, StderrSink, TeeSink};
 use mpipu_bench::registry::Registry;
 use mpipu_bench::runner::{run_parallel, RunOptions};
-use mpipu_bench::suite::{flag_value, scale_from, timing_json};
+use mpipu_bench::suite::{backend_from, flag_value, scale_from, timing_json};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -64,11 +69,16 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let backend = backend_from(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let opts = RunOptions {
         threads,
         out_dir: Some(PathBuf::from(flag_value(&args, "out").unwrap_or("results"))),
         scale,
         seed,
+        backend,
     };
 
     // Sinks: human-readable stderr stream, optionally teed with a

@@ -7,6 +7,8 @@ use crate::report::{Cell, Report, Table};
 use crate::runner::{Experiment, RunCtx};
 use mpipu::Scenario;
 use mpipu_dnn::zoo::Workload;
+use mpipu_sim::{Backend, CostBackend};
+use std::sync::Arc;
 
 /// Registry entry: runs the paper configuration at the context's scale.
 pub struct Fig10;
@@ -21,6 +23,7 @@ impl Experiment for Fig10 {
     fn run(&self, ctx: &RunCtx<'_>) -> Report {
         let mut cfg = Config::paper(ctx.scale);
         cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        cfg.backend = ctx.backend.clone();
         run(&cfg)
     }
 }
@@ -36,6 +39,8 @@ pub struct Config {
     pub seed: u64,
     /// Effective sample scale (recorded in the report).
     pub scale: f64,
+    /// Cost-estimation backend every design point flows through.
+    pub backend: Arc<dyn CostBackend>,
 }
 
 impl Config {
@@ -47,6 +52,7 @@ impl Config {
             precisions: vec![12, 16, 20, 24, 28],
             seed: 0xC0FFEE,
             scale: sample_steps as f64 / 256.0,
+            backend: Backend::MonteCarlo.instantiate(),
         }
     }
 }
@@ -81,7 +87,8 @@ pub fn run(cfg: &Config) -> Report {
             Scenario::small_tile()
         }
         .sample_steps(cfg.sample_steps)
-        .seed(cfg.seed);
+        .seed(cfg.seed)
+        .cost_backend(cfg.backend.clone());
         let mut table = Table::new(
             format!("{family}_family"),
             &[

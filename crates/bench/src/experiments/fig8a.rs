@@ -7,6 +7,8 @@ use crate::report::{Cell, Report, Table};
 use crate::runner::{Experiment, RunCtx};
 use mpipu::Scenario;
 use mpipu_dnn::zoo::Workload;
+use mpipu_sim::{Backend, CostBackend};
+use std::sync::Arc;
 
 /// Registry entry: runs the paper configuration at the context's scale.
 pub struct Fig8a;
@@ -21,6 +23,7 @@ impl Experiment for Fig8a {
     fn run(&self, ctx: &RunCtx<'_>) -> Report {
         let mut cfg = Config::paper(ctx.scale);
         cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        cfg.backend = ctx.backend.clone();
         run(&cfg)
     }
 }
@@ -40,6 +43,8 @@ pub struct Config {
     pub seed: u64,
     /// Effective sample scale (recorded in the report).
     pub scale: f64,
+    /// Cost-estimation backend every design point flows through.
+    pub backend: Arc<dyn CostBackend>,
 }
 
 impl Config {
@@ -53,6 +58,7 @@ impl Config {
             n_tiles: 4,
             seed: 0xC0FFEE,
             scale: sample_steps as f64 / 512.0,
+            backend: Backend::MonteCarlo.instantiate(),
         }
     }
 }
@@ -74,7 +80,8 @@ pub fn run(cfg: &Config) -> Report {
             .software_precision(cfg.software_precision)
             .n_tiles(cfg.n_tiles)
             .sample_steps(cfg.sample_steps)
-            .seed(cfg.seed);
+            .seed(cfg.seed)
+            .cost_backend(cfg.backend.clone());
         let mut columns = vec!["precision".to_string()];
         columns.extend(workloads.iter().map(|w| w.label()));
         let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();

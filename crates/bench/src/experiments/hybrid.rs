@@ -13,7 +13,8 @@ use super::scaled_by;
 use crate::report::{Cell, Report, Table};
 use crate::runner::{Experiment, RunCtx};
 use mpipu::{Scenario, Zoo};
-use mpipu_sim::{LayerPrecision, Schedule};
+use mpipu_sim::{Backend, CostBackend, LayerPrecision, Schedule};
+use std::sync::Arc;
 
 /// Registry entry: runs the paper-motivated configuration at the
 /// context's scale, streaming per-schedule progress events.
@@ -29,6 +30,7 @@ impl Experiment for Hybrid {
     fn run(&self, ctx: &RunCtx<'_>) -> Report {
         let mut cfg = Config::paper(ctx.scale);
         cfg.seed = ctx.seed_for(self.name(), cfg.seed);
+        cfg.backend = ctx.backend.clone();
         run(&cfg, ctx)
     }
 }
@@ -44,6 +46,8 @@ pub struct Config {
     pub seed: u64,
     /// Effective sample scale (recorded in the report).
     pub scale: f64,
+    /// Cost-estimation backend the FP16 layers flow through.
+    pub backend: Arc<dyn CostBackend>,
 }
 
 impl Config {
@@ -55,6 +59,7 @@ impl Config {
             precisions: vec![12, 16, 28],
             seed: 0x15B41D,
             scale: sample_steps as f64 / 256.0,
+            backend: Backend::MonteCarlo.instantiate(),
         }
     }
 }
@@ -88,7 +93,8 @@ pub fn run(cfg: &Config, ctx: &RunCtx<'_>) -> Report {
         .cluster(1)
         .workload(Zoo::ResNet18)
         .sample_steps(cfg.sample_steps)
-        .seed(cfg.seed);
+        .seed(cfg.seed)
+        .cost_backend(cfg.backend.clone());
 
     let mut table = Table::new(
         "schedule_vs_tree_width",

@@ -24,9 +24,11 @@
 //! `cargo run --release -p mpipu-bench --bin suite` runs the whole
 //! registry across a worker pool ([`runner::run_parallel`]) and writes
 //! one JSON document per experiment under `results/` (schema guarded by
-//! a golden-file test). Each experiment also has a standalone binary
-//! (`--bin fig3`, …) that prints the human-readable report; all binaries
-//! accept `--smoke`, `--quick`, and `--full` to scale sample counts.
+//! a golden-file test). `suite --only <name>` runs a single experiment
+//! (with `--text` for the human-readable report); `--smoke`, `--quick`,
+//! and `--full` scale sample counts, and `--backend
+//! {mc,analytic,memoized,memoized-analytic}` selects the cost-estimation
+//! backend the performance experiments flow through.
 //!
 //! The performance experiments compose their design points through the
 //! `mpipu::Scenario` builder (see the facade crate) rather than
@@ -41,4 +43,5 @@ pub mod json;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod suggest;
 pub mod suite;

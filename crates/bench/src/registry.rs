@@ -133,23 +133,11 @@ impl Registry {
             .collect())
     }
 
-    /// The registered name nearest to `name` by edit distance, when it is
-    /// close enough to be a plausible typo (distance ≤ half the query
-    /// length, and never more than 3). Distance ties prefer a name that
-    /// extends (or is extended by) the query — `fig8` suggests `fig8a`,
-    /// not `fig3`.
+    /// The registered name nearest to `name`, when it is close enough to
+    /// be a plausible typo — the shared [`crate::suggest::nearest`]
+    /// policy over the registry's names.
     pub fn suggest(&self, name: &str) -> Option<&str> {
-        let max_plausible = (name.len() / 2).clamp(1, 3);
-        self.entries
-            .iter()
-            .map(|e| {
-                let candidate = e.name();
-                let prefix_related = candidate.starts_with(name) || name.starts_with(candidate);
-                (edit_distance(name, candidate), !prefix_related, candidate)
-            })
-            .filter(|(d, _, _)| *d <= max_plausible)
-            .min_by_key(|(d, not_prefix, _)| (*d, *not_prefix))
-            .map(|(_, _, n)| n)
+        crate::suggest::nearest(name, self.entries.iter().map(|e| e.name()))
     }
 }
 
@@ -166,49 +154,23 @@ pub struct UnknownExperiment {
 
 impl fmt::Display for UnknownExperiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown experiment {:?}; valid names: {}",
-            self.name,
-            self.valid.join(", ")
-        )?;
-        if let Some(s) = &self.suggestion {
-            write!(f, " (did you mean {s:?}?)")?;
-        }
-        Ok(())
+        // One error template for every name-valued flag: the shared
+        // helper re-derives the suggestion from `valid` by the same
+        // policy that populated `self.suggestion`.
+        let valid: Vec<&str> = self.valid.iter().map(String::as_str).collect();
+        f.write_str(&crate::suggest::unknown_name_error(
+            "experiment",
+            &self.name,
+            &valid,
+        ))
     }
 }
 
 impl std::error::Error for UnknownExperiment {}
 
-/// Levenshtein distance — small inputs only (experiment names).
-fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[b.len()]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn edit_distance_basics() {
-        assert_eq!(edit_distance("fig8a", "fig8a"), 0);
-        assert_eq!(edit_distance("fig8", "fig8a"), 1);
-        assert_eq!(edit_distance("", "abc"), 3);
-        assert_eq!(edit_distance("kitten", "sitting"), 3);
-    }
 
     #[test]
     fn select_keeps_registry_order() {

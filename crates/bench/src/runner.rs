@@ -20,10 +20,11 @@
 
 use crate::events::{Event, Sink};
 use crate::report::Report;
+use mpipu_sim::{Backend, CostBackend};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// An experiment: a named, self-describing unit of work producing a
@@ -42,7 +43,8 @@ pub trait Experiment: Send + Sync {
 }
 
 /// Everything an experiment needs from its environment: sample scale,
-/// optional seed override, the worker-thread budget, and the event sink.
+/// optional seed override, the worker-thread budget, the cost-estimation
+/// backend, and the event sink.
 pub struct RunCtx<'a> {
     /// Sample-count scale (1.0 = paper scale).
     pub scale: f64,
@@ -56,17 +58,24 @@ pub struct RunCtx<'a> {
     /// budget (spawning `threads` threads of its own would oversubscribe
     /// the host `threads`-fold).
     pub threads: usize,
+    /// The cost-estimation backend the performance experiments route
+    /// their `Scenario`s through (`.cost_backend(ctx.backend.clone())`).
+    /// One instance is shared by every experiment of a run, so a
+    /// memoized backend pools its cache across the whole suite.
+    pub backend: Arc<dyn CostBackend>,
     /// Event sink for progress reporting.
     pub sink: &'a dyn Sink,
 }
 
 impl<'a> RunCtx<'a> {
-    /// A context at the given scale with no seed override.
+    /// A context at the given scale with no seed override and the
+    /// default Monte-Carlo backend.
     pub fn new(scale: f64, sink: &'a dyn Sink) -> Self {
         RunCtx {
             scale,
             seed: None,
             threads: 1,
+            backend: Backend::MonteCarlo.instantiate(),
             sink,
         }
     }
@@ -111,6 +120,9 @@ pub struct RunOptions {
     pub scale: f64,
     /// Optional seed override handed to every experiment.
     pub seed: Option<u64>,
+    /// Cost-estimation backend, instantiated once and shared by every
+    /// experiment of the run.
+    pub backend: Backend,
 }
 
 impl Default for RunOptions {
@@ -120,6 +132,7 @@ impl Default for RunOptions {
             out_dir: Some(PathBuf::from("results")),
             scale: 1.0,
             seed: None,
+            backend: Backend::MonteCarlo,
         }
     }
 }
@@ -150,6 +163,9 @@ pub fn run_parallel(
     }
     let total = experiments.len();
     let threads = effective_threads(opts.threads, total);
+    // One backend instance for the whole run: memoized backends pool
+    // their cache across experiments and worker threads.
+    let backend = opts.backend.instantiate();
     let t0 = Instant::now();
     sink.event(&Event::SuiteStarted {
         total,
@@ -167,7 +183,7 @@ pub fn run_parallel(
                 let Some(exp) = experiments.get(i).copied() else {
                     break;
                 };
-                let outcome = run_one(exp, i, total, threads, opts, sink);
+                let outcome = run_one(exp, i, total, threads, opts, &backend, sink);
                 outcomes.lock().unwrap()[i] = Some(outcome);
             });
         }
@@ -202,6 +218,7 @@ fn run_one(
     total: usize,
     threads: usize,
     opts: &RunOptions,
+    backend: &Arc<dyn CostBackend>,
     sink: &dyn Sink,
 ) -> RunOutcome {
     let name = exp.name().to_string();
@@ -214,6 +231,7 @@ fn run_one(
         scale: opts.scale,
         seed: opts.seed,
         threads,
+        backend: backend.clone(),
         sink,
     };
     let t0 = Instant::now();
@@ -308,7 +326,7 @@ mod tests {
             threads: 2,
             out_dir: None,
             scale: 0.5,
-            seed: None,
+            ..RunOptions::default()
         };
         let outcomes = run_parallel(&[&a, &b], &opts, &sink);
         assert_eq!(outcomes.len(), 2);
@@ -361,6 +379,7 @@ mod tests {
             out_dir: None,
             scale: 0.25,
             seed: Some(5),
+            ..RunOptions::default()
         };
         let outcomes = run_parallel(&[&probe], &opts, &NullSink);
         let report = outcomes[0].result.as_ref().unwrap();

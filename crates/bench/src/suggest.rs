@@ -1,0 +1,83 @@
+//! Nearest-match suggestions for name-valued CLI flags.
+//!
+//! One policy, shared by every flag that takes a name from a closed set
+//! (`--only` experiment selection, `--backend` backend selection, and
+//! any future enum-valued flag): reject unknown names with the valid
+//! list plus a "did you mean …?" hint when a plausible typo is close
+//! enough.
+
+/// Levenshtein distance — small inputs only (CLI names).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The candidate nearest to `name` by edit distance, when it is close
+/// enough to be a plausible typo (distance ≤ half the query length, and
+/// never more than 3). Distance ties prefer a candidate that extends
+/// (or is extended by) the query — `fig8` suggests `fig8a`, not `fig3`.
+pub fn nearest<'a, I>(name: &str, candidates: I) -> Option<&'a str>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let max_plausible = (name.len() / 2).clamp(1, 3);
+    candidates
+        .into_iter()
+        .map(|candidate| {
+            let prefix_related = candidate.starts_with(name) || name.starts_with(candidate);
+            (edit_distance(name, candidate), !prefix_related, candidate)
+        })
+        .filter(|(d, _, _)| *d <= max_plausible)
+        .min_by_key(|(d, not_prefix, _)| (*d, *not_prefix))
+        .map(|(_, _, candidate)| candidate)
+}
+
+/// Render the shared unknown-name error: `unknown <kind> "<name>";
+/// valid names: …` plus the nearest-match hint when one exists.
+pub fn unknown_name_error(kind: &str, name: &str, valid: &[&str]) -> String {
+    let mut msg = format!("unknown {kind} {name:?}; valid names: {}", valid.join(", "));
+    if let Some(s) = nearest(name, valid.iter().copied()) {
+        msg.push_str(&format!(" (did you mean {s:?}?)"));
+    }
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("fig8a", "fig8a"), 0);
+        assert_eq!(edit_distance("fig8", "fig8a"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn nearest_prefers_prefix_relatives_on_ties() {
+        assert_eq!(nearest("fig8", ["fig3", "fig8a", "fig9"]), Some("fig8a"));
+        assert_eq!(nearest("analytik", ["mc", "analytic"]), Some("analytic"));
+        assert_eq!(nearest("zzzzzzzz", ["mc", "analytic"]), None);
+    }
+
+    #[test]
+    fn unknown_name_error_renders_hint() {
+        let msg = unknown_name_error("backend", "analitic", &["mc", "analytic", "memoized"]);
+        assert!(msg.contains("valid names: mc, analytic, memoized"), "{msg}");
+        assert!(msg.contains("did you mean \"analytic\"?"), "{msg}");
+        let none = unknown_name_error("backend", "qqqqqqqq", &["mc"]);
+        assert!(!none.contains("did you mean"), "{none}");
+    }
+}

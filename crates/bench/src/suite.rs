@@ -1,16 +1,15 @@
-//! The shared CLI used by every binary.
+//! The shared CLI plumbing of the `suite` and `bench_gate` binaries.
 //!
 //! `bin/suite.rs` runs any subset of [`crate::registry::Registry::builtin`]
-//! in parallel; each per-figure binary (`fig3`, …) is a thin wrapper over
-//! [`cli_single`]. Experiment lookup, selection, and the registry itself
-//! live in [`crate::registry`] — this module only parses flags and wires
-//! sinks, so new scenarios never touch it.
+//! in parallel (`suite --only <name>` replaces the retired per-figure
+//! binaries). Experiment lookup, selection, and the registry itself live
+//! in [`crate::registry`] — this module only parses flags, so new
+//! scenarios never touch it.
 
-use crate::events::StderrSink;
 use crate::json::Json;
-use crate::registry::Registry;
-use crate::runner::{run_parallel, RunOptions, RunOutcome};
-use std::path::PathBuf;
+use crate::runner::RunOutcome;
+use crate::suggest::unknown_name_error;
+use mpipu_sim::Backend;
 use std::time::Duration;
 
 /// Sample scale used by `--smoke` (clamped upward by each config's
@@ -40,28 +39,14 @@ pub fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-/// Entry point for the per-figure binaries: run one registry experiment
-/// at the CLI-selected scale, print the human-readable report, and write
-/// the JSON result under `results/` (or `--out <dir>`).
-pub fn cli_single(name: &str) {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let registry = Registry::builtin();
-    let selected = registry.select(&[name]).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    });
-    let opts = RunOptions {
-        threads: 1,
-        out_dir: Some(PathBuf::from(flag_value(&args, "out").unwrap_or("results"))),
-        scale: scale_from(&args),
-        seed: None,
-    };
-    let sink = StderrSink {
-        print_reports: true,
-    };
-    let outcomes = run_parallel(&selected, &opts, &sink);
-    if outcomes.iter().any(|o| o.result.is_err()) {
-        std::process::exit(1);
+/// Parse `--backend <name>` (default: Monte-Carlo). Unknown names get
+/// the same valid-list + nearest-match error UX as `--only`.
+pub fn backend_from(args: &[String]) -> Result<Backend, String> {
+    match flag_value(args, "backend") {
+        None => Ok(Backend::MonteCarlo),
+        Some(name) => {
+            Backend::parse(name).ok_or_else(|| unknown_name_error("backend", name, &Backend::NAMES))
+        }
     }
 }
 
@@ -132,6 +117,23 @@ mod tests {
         assert_eq!(exps[0].get("name").and_then(Json::as_str), Some("fig3"));
         assert_eq!(exps[1].get("ok"), Some(&Json::Bool(false)));
         assert!(exps[0].get("wall_ms").and_then(Json::as_f64).unwrap() >= 12.0);
+    }
+
+    #[test]
+    fn backend_flag_parses_and_suggests() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(backend_from(&args(&[])), Ok(Backend::MonteCarlo));
+        assert_eq!(
+            backend_from(&args(&["--backend", "analytic"])),
+            Ok(Backend::Analytic)
+        );
+        assert_eq!(
+            backend_from(&args(&["--backend", "memoized-analytic"])),
+            Ok(Backend::MemoizedAnalytic)
+        );
+        let err = backend_from(&args(&["--backend", "analitic"])).unwrap_err();
+        assert!(err.contains("valid names: mc, analytic"), "{err}");
+        assert!(err.contains("did you mean \"analytic\"?"), "{err}");
     }
 
     #[test]

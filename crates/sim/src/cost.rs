@@ -43,8 +43,14 @@ pub struct StepCosts {
     pub baseline_per_step: u32,
 }
 
-/// The distribution pair (activations, weights) a pass samples from.
-pub(crate) fn pass_distributions(pass: Pass) -> (Distribution, Distribution) {
+/// Cycles a baseline (wide-tree, single-cycle-per-iteration) IPU spends
+/// per FP16 broadcast step: the 9 nibble iterations of §3.2.
+pub const BASELINE_CYCLES_PER_STEP: u32 = 9;
+
+/// The distribution pair (activations, weights) a pass samples from —
+/// the resolution every [`crate::backend::CostBackend`] query goes
+/// through when no explicit override is set.
+pub fn pass_distributions(pass: Pass) -> (Distribution, Distribution) {
     match pass {
         Pass::Forward => (Distribution::Resnet18Like, Distribution::WeightLike),
         Pass::Backward => (Distribution::BackwardLike, Distribution::WeightLike),
@@ -52,8 +58,9 @@ pub(crate) fn pass_distributions(pass: Pass) -> (Distribution, Distribution) {
 }
 
 /// The MC-IPU partition window (safe precision) for adder-tree width `w`
-/// under the given stage-4 software precision.
-pub(crate) fn safe_precision(w: u32, software_precision: u32) -> u32 {
+/// under the given stage-4 software precision. Shared by the sampling
+/// and analytic backends so both partition identically.
+pub fn safe_precision(w: u32, software_precision: u32) -> u32 {
     // w ≥ software precision ⇒ the plain approximate IPU covers the
     // requirement in one cycle (sp = software precision disables
     // partitioning); otherwise partition by the safe precision.
@@ -198,7 +205,7 @@ impl CostModel {
         }
         StepCosts {
             per_cluster,
-            baseline_per_step: 9,
+            baseline_per_step: BASELINE_CYCLES_PER_STEP,
         }
     }
 }
@@ -316,7 +323,7 @@ pub mod reference {
             }
             StepCosts {
                 per_cluster,
-                baseline_per_step: 9,
+                baseline_per_step: super::BASELINE_CYCLES_PER_STEP,
             }
         }
     }

@@ -72,9 +72,37 @@ pub fn simulate_clusters(costs: &[Vec<u32>], buffer_depth: usize) -> u64 {
     last.into_iter().max().unwrap()
 }
 
+/// Closed form of [`simulate_clusters`] for *uniform* streams — the form
+/// the analytic cost backend consumes expected step costs through.
+///
+/// When every cluster retires every step at the same per-step cost `c`,
+/// the FIFO recurrence degenerates: no cluster ever gates the broadcast
+/// ahead of its peers, so the total is `steps × max(c, 1)` (the `max`
+/// is the broadcast-bandwidth floor of one step per cycle). Exact for
+/// integer `c` (property-tested against [`simulate_clusters`]); for the
+/// analytic backend's fractional expected costs it is the expectation of
+/// the same identity.
+pub fn constant_stream_cycles(steps: u64, cost_per_step: f64) -> f64 {
+    steps as f64 * cost_per_step.max(1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn constant_stream_closed_form_matches_engine() {
+        for (clusters, steps, cost, depth) in
+            [(1usize, 50u64, 9u32, 4usize), (3, 80, 18, 1), (4, 33, 1, 8)]
+        {
+            let streams = vec![vec![cost; steps as usize]; clusters];
+            assert_eq!(
+                simulate_clusters(&streams, depth),
+                constant_stream_cycles(steps, f64::from(cost)) as u64,
+                "clusters={clusters} steps={steps} cost={cost} depth={depth}"
+            );
+        }
+    }
 
     #[test]
     fn single_cluster_is_sum_of_costs() {

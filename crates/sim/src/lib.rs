@@ -21,15 +21,19 @@
 //! depth, and the tile-level broadcast stalls when any FIFO is full —
 //! exactly the stall semantics of §3.3.
 //!
-//! Per-step alignment plans are sampled Monte-Carlo-style from the
+//! Per-step costs flow through a pluggable [`backend::CostBackend`]:
+//! the default [`backend::MonteCarlo`] samples alignment plans from the
 //! workload's value distributions (the paper samples real tensors; see
-//! `DESIGN.md` for the substitution), using the *same* EHU logic as the
-//! bit-accurate datapath. The simulator assumes an ideal memory hierarchy,
-//! as the paper does.
+//! `DESIGN.md` for the substitution) using the *same* EHU logic as the
+//! bit-accurate datapath; [`backend::Analytic`] computes the expected
+//! step cost in closed form from the exponent PMFs; and
+//! [`backend::Memoized`] caches either across sweeps. The simulator
+//! assumes an ideal memory hierarchy, as the paper does.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cost;
 pub mod engine;
 pub mod mixed;
@@ -37,8 +41,11 @@ pub mod result;
 pub mod run;
 pub mod tile;
 
-pub use cost::{step_costs_from_exps, CostModel, StepCosts};
-pub use engine::simulate_clusters;
+pub use backend::{
+    Analytic, Backend, CacheKey, CostBackend, CostQuery, Memoized, MonteCarlo, StepCost,
+};
+pub use cost::{step_costs_from_exps, CostModel, StepCosts, BASELINE_CYCLES_PER_STEP};
+pub use engine::{constant_stream_cycles, simulate_clusters};
 pub use mixed::{first_last_fp16, run_mixed, LayerPrecision, MixedResult, Schedule};
 pub use result::{LayerResult, WorkloadResult};
 pub use run::{run_workload, Lowered, SimDesign, SimOptions};

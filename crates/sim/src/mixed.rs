@@ -8,6 +8,7 @@
 //! where each layer carries its own precision assignment and reports the
 //! split and the blended execution time.
 
+use crate::backend::{CostBackend, MonteCarlo};
 use crate::result::{LayerResult, WorkloadResult};
 use crate::run::{layer_steps, sampled_fp16_layer, SimDesign, SimOptions};
 use mpipu_analysis::dist::Distribution;
@@ -116,17 +117,18 @@ pub fn run_mixed(
     assignment: &[LayerPrecision],
     opts: &SimOptions,
 ) -> MixedResult {
-    run_mixed_with(design, workload, assignment, opts, None)
+    run_mixed_with(design, workload, assignment, opts, None, &MonteCarlo)
 }
 
 /// [`run_mixed`] with an optional `(activation, weight)` distribution
-/// override for the FP16 layers.
+/// override for the FP16 layers, estimated through `backend`.
 pub(crate) fn run_mixed_with(
     design: &SimDesign,
     workload: &Workload,
     assignment: &[LayerPrecision],
     opts: &SimOptions,
     dists: Option<(Distribution, Distribution)>,
+    backend: &dyn CostBackend,
 ) -> MixedResult {
     assert_eq!(
         assignment.len(),
@@ -147,7 +149,7 @@ pub(crate) fn run_mixed_with(
                 (steps * per_step, steps * per_step)
             }
             LayerPrecision::Fp16 => {
-                sampled_fp16_layer(design, li, steps, workload.pass, dists, opts)
+                sampled_fp16_layer(design, li, steps, workload.pass, dists, opts, backend)
             }
         };
         if matches!(prec, LayerPrecision::Fp16) {
@@ -331,6 +333,7 @@ mod tests {
             opts: opts(),
             dists: None,
             schedule: Some(Schedule::FirstLastFp16),
+            backend: std::sync::Arc::new(MonteCarlo),
         };
         let via_schedule = lowered.execute(&wl);
         let explicit = run_mixed(&design(12), &wl, &first_last_fp16(&wl), &opts());
@@ -349,6 +352,7 @@ mod tests {
             opts: opts(),
             dists: None,
             schedule: None,
+            backend: std::sync::Arc::new(MonteCarlo),
         };
         let r = lowered.execute(&wl);
         let direct = crate::run::run_workload(&design(12), &wl, &opts());

@@ -1,18 +1,21 @@
-//! Top-level workload simulation: layers → sampled step costs → timing.
+//! Top-level workload simulation: layers → estimated step costs → timing.
 //!
 //! The entry points are [`run_workload`] (uniform FP16 execution) and
 //! [`crate::mixed::run_mixed`] (per-layer precision schedules); both lower
-//! through the same sampled-layer core. [`Lowered`] is the fully-resolved
-//! form the `mpipu::Scenario` builder produces: design point + Monte-Carlo
-//! options + optional distribution override + optional schedule.
+//! through the same per-layer core, which estimates every FP16 layer
+//! through a [`CostBackend`] (Monte-Carlo by default). [`Lowered`] is the
+//! fully-resolved form the `mpipu::Scenario` builder produces: design
+//! point + estimation options + cost backend + optional distribution
+//! override + optional schedule.
 
-use crate::cost::CostModel;
-use crate::engine::simulate_clusters;
+use crate::backend::{CostBackend, CostQuery, MonteCarlo};
+use crate::cost::{pass_distributions, BASELINE_CYCLES_PER_STEP};
 use crate::mixed::{run_mixed_with, MixedResult, Schedule};
 use crate::result::{LayerResult, WorkloadResult};
 use crate::tile::TileConfig;
 use mpipu_analysis::dist::Distribution;
 use mpipu_dnn::zoo::{Pass, Workload};
+use std::sync::Arc;
 
 /// A complete accelerator design point for the performance experiments.
 #[derive(Debug, Clone, Copy)]
@@ -77,10 +80,11 @@ pub(crate) fn layer_steps(design: &SimDesign, shape: &mpipu_dnn::shape::ConvShap
     )
 }
 
-/// Monte-Carlo-sample one FP16 layer: returns `(cycles, baseline_cycles)`
-/// scaled from the sampled window to the layer's true step count. Shared
-/// by [`run_workload`] and [`crate::mixed::run_mixed`]; `dists` overrides
-/// the pass's default `(activation, weight)` distribution pair.
+/// Estimate one FP16 layer through a cost backend: returns
+/// `(cycles, baseline_cycles)` scaled from the estimation window to the
+/// layer's true step count. Shared by [`run_workload`] and
+/// [`crate::mixed::run_mixed`]; `dists` overrides the pass's default
+/// `(activation, weight)` distribution pair.
 pub(crate) fn sampled_fp16_layer(
     design: &SimDesign,
     layer_index: usize,
@@ -88,45 +92,46 @@ pub(crate) fn sampled_fp16_layer(
     pass: Pass,
     dists: Option<(Distribution, Distribution)>,
     opts: &SimOptions,
+    backend: &dyn CostBackend,
 ) -> (u64, u64) {
     let sampled = (steps as usize).min(opts.sample_steps).max(1);
     let seed = opts.seed ^ (layer_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    let mut model = match dists {
-        None => CostModel::new(design.tile, design.w, design.software_precision, pass, seed),
-        Some(pair) => CostModel::with_distributions(
-            design.tile,
-            design.w,
-            design.software_precision,
-            pair,
-            seed,
-        ),
+    let query = CostQuery {
+        tile: design.tile,
+        w: design.w,
+        software_precision: design.software_precision,
+        dists: dists.unwrap_or_else(|| pass_distributions(pass)),
+        window: sampled,
+        seed,
     };
-    let costs = model.sample_steps(sampled);
-    let window_cycles = simulate_clusters(&costs.per_cluster, design.tile.buffer_depth);
-    // Scale the sampled window to the layer's true step count.
-    let cycles = (window_cycles as f64 * steps as f64 / sampled as f64).round() as u64;
-    (cycles, steps * u64::from(costs.baseline_per_step))
+    let window_cycles = backend.window_cycles(&query);
+    // Scale the estimation window to the layer's true step count.
+    let cycles = (window_cycles * steps as f64 / sampled as f64).round() as u64;
+    (cycles, steps * u64::from(BASELINE_CYCLES_PER_STEP))
 }
 
 /// Simulate a workload on a design; returns per-layer and aggregate
-/// normalized execution times (the Fig 8 quantities).
+/// normalized execution times (the Fig 8 quantities). Uses the default
+/// Monte-Carlo backend; route a [`Lowered`] through
+/// [`Lowered::execute`] to select another.
 pub fn run_workload(design: &SimDesign, workload: &Workload, opts: &SimOptions) -> WorkloadResult {
-    run_workload_with(design, workload, opts, None)
+    run_workload_with(design, workload, opts, None, &MonteCarlo)
 }
 
 /// [`run_workload`] with an optional `(activation, weight)` distribution
-/// override replacing the pass defaults.
+/// override replacing the pass defaults, estimated through `backend`.
 pub(crate) fn run_workload_with(
     design: &SimDesign,
     workload: &Workload,
     opts: &SimOptions,
     dists: Option<(Distribution, Distribution)>,
+    backend: &dyn CostBackend,
 ) -> WorkloadResult {
     let mut layers = Vec::with_capacity(workload.layers.len());
     for (li, &(shape, multiplicity)) in workload.layers.iter().enumerate() {
         let steps = layer_steps(design, &shape);
         let (cycles, baseline_cycles) =
-            sampled_fp16_layer(design, li, steps, workload.pass, dists, opts);
+            sampled_fp16_layer(design, li, steps, workload.pass, dists, opts, backend);
         layers.push(LayerResult {
             shape,
             multiplicity,
@@ -148,13 +153,16 @@ pub(crate) fn run_workload_with(
 pub struct Lowered {
     /// The accelerator design point.
     pub design: SimDesign,
-    /// Monte-Carlo sampling options.
+    /// Estimation options (window size, seed).
     pub opts: SimOptions,
     /// Optional `(activation, weight)` distribution override; `None`
     /// samples the workload pass's default family.
     pub dists: Option<(Distribution, Distribution)>,
     /// Optional per-layer precision schedule; `None` runs uniform FP16.
     pub schedule: Option<Schedule>,
+    /// The cost-estimation backend FP16 layers flow through. Cloning a
+    /// `Lowered` shares the backend (and so a memoized backend's cache).
+    pub backend: Arc<dyn CostBackend>,
 }
 
 impl Lowered {
@@ -165,7 +173,13 @@ impl Lowered {
     pub fn execute(&self, workload: &Workload) -> MixedResult {
         match &self.schedule {
             None => MixedResult {
-                result: run_workload_with(&self.design, workload, &self.opts, self.dists),
+                result: run_workload_with(
+                    &self.design,
+                    workload,
+                    &self.opts,
+                    self.dists,
+                    self.backend.as_ref(),
+                ),
                 fp_fraction: 1.0,
             },
             Some(schedule) => run_mixed_with(
@@ -174,6 +188,7 @@ impl Lowered {
                 &schedule.materialize(workload),
                 &self.opts,
                 self.dists,
+                self.backend.as_ref(),
             ),
         }
     }

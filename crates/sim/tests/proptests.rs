@@ -1,4 +1,5 @@
-//! Property-based invariants of the timing engine and cost model.
+//! Property-based invariants of the timing engine, cost model, and the
+//! analytic cost backend.
 
 use mpipu_dnn::zoo::Pass;
 use mpipu_sim::{simulate_clusters, CostModel, TileConfig};
@@ -82,6 +83,73 @@ proptest! {
                     "cost {} exceeds {} partitions", c, max_partitions);
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ISSUE 4: the analytic backend's expected step cost is *exact* for
+    /// single-IPU clusters (IPU lanes draw independent operands in the
+    /// Monte-Carlo model too), so the MC sample mean must land within CLT
+    /// distance — 6σ/√N, with σ from the analytic law itself — of the
+    /// closed form for arbitrary tile geometry, adder width, accumulator
+    /// precision, and distribution family (both passes' default pairs
+    /// plus the three parametric families).
+    #[test]
+    fn analytic_expected_step_cost_matches_monte_carlo_mean(
+        c_unroll in 2usize..=16,
+        k_unroll in 1usize..=4,
+        h_unroll in 1usize..=2,
+        w_unroll in 1usize..=2,
+        w in 10u32..=30,
+        fp32 in any::<bool>(),
+        dist_sel in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        use mpipu_analysis::dist::Distribution;
+        use mpipu_sim::{cost, StepCost};
+
+        let software_precision = if fp32 { 28 } else { 16 };
+        let dists = match dist_sel {
+            0 => cost::pass_distributions(Pass::Forward),
+            1 => cost::pass_distributions(Pass::Backward),
+            2 => (
+                Distribution::Uniform { scale: 3.0 },
+                Distribution::Uniform { scale: 0.5 },
+            ),
+            3 => (
+                Distribution::Normal { std: 2.0 },
+                Distribution::Laplace { b: 0.7 },
+            ),
+            _ => (
+                Distribution::Laplace { b: 1.5 },
+                Distribution::Normal { std: 0.1 },
+            ),
+        };
+        let tile = TileConfig {
+            c_unroll,
+            k_unroll,
+            h_unroll,
+            w_unroll,
+            cluster_size: 1,
+            buffer_depth: 4,
+            weight_buffer_depth: 9,
+        };
+        let step = StepCost::new(&tile, w, software_precision, dists);
+        let steps = 300;
+        let mut model =
+            CostModel::with_distributions(tile, w, software_precision, dists, seed);
+        let flat: Vec<u32> = model.sample_steps(steps).per_cluster.concat();
+        let mc = flat.iter().map(|&c| f64::from(c)).sum::<f64>() / flat.len() as f64;
+        // Per-step costs are correlated *across* IPUs (shared operand
+        // vectors), so only the step count is credited as sample size.
+        let tol = 6.0 * (step.cluster_variance() / steps as f64).sqrt() + 1e-9;
+        prop_assert!(
+            (mc - step.cluster_mean()).abs() <= tol,
+            "tile {:?} w {} swp {} dists {:?}: MC mean {} vs analytic {} (tol {})",
+            tile, w, software_precision, dists, mc, step.cluster_mean(), tol
+        );
     }
 }
 

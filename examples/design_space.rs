@@ -3,17 +3,28 @@
 //! on ResNet-18, and print each design's efficiency — a miniature of the
 //! paper's Fig 10.
 //!
+//! Pass `--analytic` to run the sweep through the closed-form cost
+//! backend instead of Monte-Carlo sampling — same table, no RNG,
+//! orders of magnitude faster (this is how a production-scale explorer
+//! would grid a much larger space).
+//!
 //! ```sh
-//! cargo run --release --example design_space
+//! cargo run --release --example design_space [-- --analytic]
 //! ```
 
-use mpipu::{Scenario, Zoo};
+use mpipu::{Backend, Scenario, Zoo};
 
 fn main() {
+    let analytic = std::env::args().any(|a| a == "--analytic");
     let base = Scenario::big_tile()
         .workload(Zoo::ResNet18)
         .sample_steps(128)
-        .seed(7);
+        .seed(7)
+        .backend(if analytic {
+            Backend::MemoizedAnalytic
+        } else {
+            Backend::MonteCarlo
+        });
 
     println!("16-input tile family, FP32 accumulation, ResNet-18 workloads\n");
     println!("design\tfwd_slowdown\tbwd_slowdown\tTOPS/mm2\tTFLOPS/mm2\tTFLOPS/W");

@@ -39,4 +39,5 @@ pub use mpipu_fp as fp;
 pub use mpipu_hw as hw;
 pub use mpipu_sim as sim;
 
+pub use mpipu_sim::{Backend, CostBackend};
 pub use scenario::{Scenario, Zoo};

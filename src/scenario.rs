@@ -47,7 +47,10 @@ use mpipu_analysis::dist::Distribution;
 use mpipu_datapath::AccFormat;
 use mpipu_dnn::zoo::{inception_v3, resnet18, resnet50, synthetic_stack, Pass, Workload};
 use mpipu_hw::{DesignMetrics, DesignPoint};
-use mpipu_sim::{Lowered, MixedResult, Schedule, SimDesign, SimOptions, TileConfig};
+use mpipu_sim::{
+    Backend, CostBackend, Lowered, MixedResult, Schedule, SimDesign, SimOptions, TileConfig,
+};
+use std::sync::Arc;
 
 /// Model-zoo workloads a scenario can name directly (each resolved with
 /// the scenario's [`Pass`]).
@@ -93,6 +96,7 @@ pub struct Scenario {
     dists: Option<(Distribution, Distribution)>,
     sample_steps: usize,
     seed: u64,
+    backend: Arc<dyn CostBackend>,
 }
 
 /// Paper-default Monte-Carlo steps sampled per layer.
@@ -114,6 +118,7 @@ impl Scenario {
             dists: None,
             sample_steps: DEFAULT_SAMPLE_STEPS,
             seed: 0xC0FFEE,
+            backend: Backend::MonteCarlo.instantiate(),
         }
     }
 
@@ -218,6 +223,42 @@ impl Scenario {
         self
     }
 
+    /// Select the cost-estimation backend by name: Monte-Carlo sampling
+    /// (the default), closed-form analytic expectations, or memoized
+    /// variants of either.
+    ///
+    /// ```
+    /// use mpipu::{Backend, Scenario, Zoo};
+    ///
+    /// let analytic = Scenario::small_tile()
+    ///     .w(12)
+    ///     .workload(Zoo::ResNet18)
+    ///     .backend(Backend::Analytic)
+    ///     .run()
+    ///     .normalized();
+    /// let sampled = Scenario::small_tile()
+    ///     .w(12)
+    ///     .workload(Zoo::ResNet18)
+    ///     .sample_steps(128)
+    ///     .run()
+    ///     .normalized();
+    /// assert!((analytic - sampled).abs() / sampled < 0.15);
+    /// ```
+    pub fn backend(mut self, backend: Backend) -> Scenario {
+        self.backend = backend.instantiate();
+        self
+    }
+
+    /// Supply a cost-estimation backend instance directly — the open
+    /// end of the seam: custom estimators, or a shared
+    /// [`mpipu_sim::Memoized`] whose cache several scenario chains pool
+    /// (cloned `Scenario`s already share their backend, so a sweep built
+    /// from one base chain pools automatically).
+    pub fn cost_backend(mut self, backend: Arc<dyn CostBackend>) -> Scenario {
+        self.backend = backend;
+        self
+    }
+
     /// Set the alignment-plan sampler seed.
     pub fn seed(mut self, seed: u64) -> Scenario {
         self.seed = seed;
@@ -259,7 +300,8 @@ impl Scenario {
     }
 
     /// Lower into the simulator's fully-resolved form (design point +
-    /// options + distribution override + schedule) without executing.
+    /// options + backend + distribution override + schedule) without
+    /// executing.
     pub fn lower(&self) -> Lowered {
         Lowered {
             design: self.design(),
@@ -269,6 +311,7 @@ impl Scenario {
             },
             dists: self.dists,
             schedule: self.schedule.clone(),
+            backend: self.backend.clone(),
         }
     }
 
@@ -400,6 +443,32 @@ mod tests {
             wide > narrow,
             "wide-dynamic-range operands must stall more: {wide} vs {narrow}"
         );
+    }
+
+    #[test]
+    fn analytic_backend_tracks_monte_carlo_through_the_builder() {
+        let base = Scenario::small_tile().w(12).workload(Zoo::ResNet18);
+        let mc = quick(base.clone()).run().normalized();
+        let analytic = base.backend(Backend::Analytic).run().normalized();
+        assert!(
+            (analytic - mc).abs() / mc < 0.15,
+            "analytic {analytic} vs MC {mc}"
+        );
+    }
+
+    #[test]
+    fn cloned_scenarios_share_a_memoized_backend() {
+        let memo = Arc::new(mpipu_sim::Memoized::new(Arc::new(mpipu_sim::Analytic)));
+        let base = quick(Scenario::small_tile().workload(Zoo::ResNet18))
+            .cost_backend(memo.clone() as Arc<dyn CostBackend>);
+        let a = base.clone().w(12).run().normalized();
+        let b = base.clone().w(12).run().normalized();
+        assert_eq!(a, b);
+        assert!(memo.hits() > 0, "second sweep point must hit the cache");
+        // A different design point misses (and is then cached too).
+        let misses_before = memo.misses();
+        base.w(16).run();
+        assert!(memo.misses() > misses_before);
     }
 
     #[test]
