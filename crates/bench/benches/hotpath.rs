@@ -12,9 +12,10 @@ use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use mpipu::{Scenario, Zoo};
 use mpipu_analysis::dist::{Distribution, ExpSampler};
 use mpipu_bench::events::NullSink;
+use mpipu_bench::experiments::frontier;
 use mpipu_bench::json::Json;
 use mpipu_bench::registry::Registry;
-use mpipu_bench::runner::{run_parallel, RunOptions};
+use mpipu_bench::runner::{run_parallel, RunCtx, RunOptions};
 use mpipu_bench::suite::SMOKE_SCALE;
 use mpipu_datapath::Ehu;
 use mpipu_dnn::zoo::Pass;
@@ -133,6 +134,29 @@ fn bench_fig8_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+/// ISSUE 5 acceptance benchmark: the full `frontier` design-space sweep
+/// (≥ 10⁴ points through the exploration engine on a memoized-analytic
+/// backend, Pareto + top-k folds) — the acceptance bound is < 5 s, so
+/// per-iteration time here must stay in the sub-second range.
+fn bench_frontier_sweep(c: &mut Criterion) {
+    let cfg = frontier::Config::paper(SMOKE_SCALE);
+    let points = frontier::space(&cfg).len();
+    let mut g = c.benchmark_group("frontier_sweep");
+    g.throughput(Throughput::Elements(points));
+    g.bench_function("analytic_memoized_full_grid", |b| {
+        b.iter(|| {
+            // A fresh config per iteration: the cold cache *is* the
+            // workload being measured (steady-state hits were covered by
+            // fig8_sweep above).
+            let cfg = frontier::Config::paper(SMOKE_SCALE);
+            let report = frontier::run(&cfg, &RunCtx::new(cfg.scale, &NullSink));
+            assert!(!report.tables.is_empty());
+            report.tables.len()
+        })
+    });
+    g.finish();
+}
+
 /// Wall-clock of the full experiment registry at smoke scale (what CI's
 /// smoke step runs), without writing result files.
 fn bench_suite(c: &mut Criterion) {
@@ -158,6 +182,7 @@ criterion_group!(
     bench_cost_model,
     bench_engine,
     bench_fig8_sweep,
+    bench_frontier_sweep,
     bench_suite
 );
 

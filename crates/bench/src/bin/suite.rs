@@ -24,7 +24,7 @@
 
 use mpipu_bench::events::{JsonlSink, StderrSink, TeeSink};
 use mpipu_bench::registry::Registry;
-use mpipu_bench::runner::{run_parallel, RunOptions};
+use mpipu_bench::runner::{run_on_backend, RunOptions};
 use mpipu_bench::suite::{backend_from, flag_value, scale_from, timing_json};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -95,12 +95,15 @@ fn main() {
         (JsonlSink::new(std::io::BufWriter::new(file)), path)
     });
     let t0 = Instant::now();
+    // Instantiate the backend here (not inside the runner) so its cache
+    // counters are readable after the run for `--text` output.
+    let shared_backend = opts.backend.instantiate();
     let outcomes = match &jsonl_sink {
         Some((jsonl, _)) => {
             let tee = TeeSink::new(vec![&stderr_sink, jsonl]);
-            run_parallel(&experiments, &opts, &tee)
+            run_on_backend(&experiments, &opts, &shared_backend, &tee)
         }
-        None => run_parallel(&experiments, &opts, &stderr_sink),
+        None => run_on_backend(&experiments, &opts, &shared_backend, &stderr_sink),
     };
     if let Some((jsonl, path)) = jsonl_sink {
         // Flush explicitly: the failure path below leaves via
@@ -120,6 +123,18 @@ fn main() {
             if let Ok(report) = &outcome.result {
                 print!("{}", report.render_text());
             }
+        }
+        // Memoizing backends close the text output with their dedup
+        // counters (scheduling-dependent, so never part of result files).
+        if let Some(stats) = shared_backend.cache_stats() {
+            println!(
+                "# backend {}({}): {} hits / {} misses, {} cached design points",
+                shared_backend.name(),
+                stats.inner,
+                stats.hits,
+                stats.misses,
+                stats.entries
+            );
         }
     }
 

@@ -66,6 +66,24 @@ pub enum Event<'a> {
         /// Where the result JSON landed, when written.
         json_path: Option<&'a Path>,
     },
+    /// The run's shared cost backend memoizes, and these are its final
+    /// cache counters (emitted once, after the last experiment and
+    /// before [`Event::SuiteFinished`]). Counters are
+    /// scheduling-dependent under concurrency — racing workers may both
+    /// miss the same key — so they are surfaced here and via
+    /// `suite --text`, never written into deterministic result files.
+    BackendStats {
+        /// The caching backend's name (`memoized`).
+        backend: &'a str,
+        /// The wrapped backend's name (`mc`, `analytic`, …).
+        inner: &'a str,
+        /// Queries served from the cache.
+        hits: u64,
+        /// Queries computed by the inner backend.
+        misses: u64,
+        /// Distinct design points cached.
+        entries: usize,
+    },
     /// Every experiment finished; the pool is joined.
     SuiteFinished {
         /// Experiments that succeeded.
@@ -131,6 +149,20 @@ impl Event<'_> {
                         .unwrap_or(Json::Null),
                 ),
             ]),
+            Event::BackendStats {
+                backend,
+                inner,
+                hits,
+                misses,
+                entries,
+            } => Json::obj([
+                ("event", Json::str("backend_stats")),
+                ("backend", Json::str(backend)),
+                ("inner", Json::str(inner)),
+                ("hits", Json::from(hits)),
+                ("misses", Json::from(misses)),
+                ("entries", Json::from(entries)),
+            ]),
             Event::SuiteFinished { ok, failed, wall } => Json::obj([
                 ("event", Json::str("suite_finished")),
                 ("ok", Json::from(ok)),
@@ -172,6 +204,18 @@ impl Sink for StderrSink {
             Event::SuiteStarted { .. }
             | Event::ExperimentStarted { .. }
             | Event::SuiteFinished { .. } => {}
+            Event::BackendStats {
+                backend,
+                inner,
+                hits,
+                misses,
+                entries,
+            } => {
+                eprintln!(
+                    "[suite] backend {backend}({inner}): {hits} hits / {misses} misses, \
+                     {entries} cached design points"
+                );
+            }
             Event::Progress { name, message } => {
                 eprintln!("[suite] {name:<9} … {message}");
             }
@@ -287,6 +331,7 @@ impl Sink for CollectSink {
             Event::ExperimentFinished { name, error, .. } => {
                 ("experiment_finished", Some(name), Some(error.is_none()))
             }
+            Event::BackendStats { backend, .. } => ("backend_stats", Some(backend), None),
             Event::SuiteFinished { failed, .. } => ("suite_finished", None, Some(failed == 0)),
         };
         self.events
@@ -333,6 +378,35 @@ mod tests {
         // Each event serializes to one parseable line.
         assert!(Json::parse(&doc.to_string_compact()).is_ok());
         assert!(!doc.to_string_compact().contains('\n'));
+    }
+
+    #[test]
+    fn backend_stats_event_shape() {
+        let stats = Event::BackendStats {
+            backend: "memoized",
+            inner: "analytic",
+            hits: 120,
+            misses: 8,
+            entries: 8,
+        };
+        let doc = stats.to_json();
+        assert_eq!(
+            doc.get("event").and_then(Json::as_str),
+            Some("backend_stats")
+        );
+        assert_eq!(doc.get("backend").and_then(Json::as_str), Some("memoized"));
+        assert_eq!(doc.get("inner").and_then(Json::as_str), Some("analytic"));
+        assert_eq!(doc.get("hits").and_then(Json::as_f64), Some(120.0));
+        assert_eq!(doc.get("misses").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(doc.get("entries").and_then(Json::as_f64), Some(8.0));
+        assert!(Json::parse(&doc.to_string_compact()).is_ok());
+
+        let collect = CollectSink::new();
+        collect.event(&stats);
+        let got = collect.take();
+        assert_eq!(got[0].kind, "backend_stats");
+        assert_eq!(got[0].name.as_deref(), Some("memoized"));
+        assert_eq!(got[0].ok, None);
     }
 
     #[test]

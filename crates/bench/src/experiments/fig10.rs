@@ -7,6 +7,7 @@ use crate::report::{Cell, Report, Table};
 use crate::runner::{Experiment, RunCtx};
 use mpipu::Scenario;
 use mpipu_dnn::zoo::Workload;
+use mpipu_explore::{Axis, Collect, NullSweepSink, ParamSpace, PointEval, SweepEngine};
 use mpipu_sim::{Backend, CostBackend};
 use std::sync::Arc;
 
@@ -57,21 +58,23 @@ impl Config {
     }
 }
 
-/// Workload-average FP slowdown (normalized execution time weighted by
-/// baseline cycles) for one design point.
-fn fp_slowdown(scenario: &Scenario) -> f64 {
-    let mut cycles = 0u64;
-    let mut base = 0u64;
-    for wl in Workload::paper_study_cases() {
-        let r = scenario.clone().custom_workload(wl).run();
-        cycles += r.result.total_cycles();
-        base += r.result.total_baseline_cycles();
-    }
+/// Workload-average FP slowdown of one design point: normalized
+/// execution time weighted by baseline cycles, summed over the study
+/// cases (one engine evaluation per workload, grouped here).
+fn fp_slowdown(per_workload: &[PointEval]) -> f64 {
+    let cycles: u64 = per_workload.iter().map(|e| e.cycles).sum();
+    let base: u64 = per_workload.iter().map(|e| e.baseline_cycles).sum();
     (cycles as f64 / base as f64).max(1.0)
 }
 
-/// Evaluate every `(precision, cluster)` design point of both families.
+/// Evaluate every `(precision, cluster)` design point of both families —
+/// declared as a `precision × cluster × workload` [`ParamSpace`] per
+/// family (plus a one-design NO-OPT space), evaluated through the
+/// exploration engine, and aggregated over the workload axis.
 pub fn run(cfg: &Config) -> Report {
+    let workloads = Workload::paper_study_cases();
+    let n_wl = workloads.len();
+    let engine = SweepEngine::new().backend(cfg.backend.clone());
     let mut report = Report::new(
         "fig10",
         "design-space trade-offs (each point: (precision, cluster))",
@@ -87,8 +90,20 @@ pub fn run(cfg: &Config) -> Report {
             Scenario::small_tile()
         }
         .sample_steps(cfg.sample_steps)
-        .seed(cfg.seed)
-        .cost_backend(cfg.backend.clone());
+        .seed(cfg.seed);
+        let clusters = vec![1usize, 4, k];
+        let space = |ws: Vec<u32>, cs: Vec<usize>| {
+            ParamSpace::new(base.clone())
+                .axis(Axis::w(ws))
+                .axis(Axis::cluster(cs))
+                .axis(Axis::workloads(workloads.clone()))
+        };
+        let no_opt = engine.run(&space(vec![38], vec![k]), Collect::new(), &NullSweepSink);
+        let evals = engine.run(
+            &space(cfg.precisions.clone(), clusters.clone()),
+            Collect::new(),
+            &NullSweepSink,
+        );
         let mut table = Table::new(
             format!("{family}_family"),
             &[
@@ -100,16 +115,17 @@ pub fn run(cfg: &Config) -> Report {
                 "fp_slowdown",
             ],
         );
-        let mut points: Vec<(String, u32, usize)> = vec![("NO-OPT".to_string(), 38, k)];
-        for &w in &cfg.precisions {
-            for &c in &[1usize, 4, k] {
-                points.push((format!("({w},{c})"), w, c));
+        let mut points: Vec<(String, u32, usize, &[PointEval])> =
+            vec![("NO-OPT".to_string(), 38, k, &no_opt[..])];
+        for (wi, &w) in cfg.precisions.iter().enumerate() {
+            for (ci, &c) in clusters.iter().enumerate() {
+                let at = (wi * clusters.len() + ci) * n_wl;
+                points.push((format!("({w},{c})"), w, c, &evals[at..at + n_wl]));
             }
         }
-        for (label, w, c) in points {
-            let scenario = base.clone().w(w).cluster(c);
-            let sd = fp_slowdown(&scenario);
-            let m = scenario.metrics(sd);
+        for (label, w, c, per_workload) in points {
+            let sd = fp_slowdown(per_workload);
+            let m = base.clone().w(w).cluster(c).metrics(sd);
             table.push_row(vec![
                 Cell::Text(label),
                 m.int_tops_per_mm2.into(),

@@ -7,6 +7,7 @@ use crate::report::{Cell, Report, Table};
 use crate::runner::{Experiment, RunCtx};
 use mpipu::Scenario;
 use mpipu_dnn::zoo::Workload;
+use mpipu_explore::{Axis, Collect, NullSweepSink, ParamSpace, SweepEngine};
 use mpipu_sim::{Backend, CostBackend};
 use std::sync::Arc;
 
@@ -63,9 +64,12 @@ impl Config {
     }
 }
 
-/// Sweep precision for both tile families over the paper's study cases.
+/// Sweep precision for both tile families over the paper's study cases —
+/// declared as a two-axis [`ParamSpace`] (`precision × workload`) per
+/// family and evaluated through the exploration engine.
 pub fn run(cfg: &Config) -> Report {
     let workloads = Workload::paper_study_cases();
+    let engine = SweepEngine::new().backend(cfg.backend.clone());
     let mut report = Report::new(
         "fig8a",
         "normalized execution time vs MC-IPU precision",
@@ -76,21 +80,23 @@ pub fn run(cfg: &Config) -> Report {
         ("8-input_vs_baseline1", Scenario::small_tile()),
         ("16-input_vs_baseline2", Scenario::big_tile()),
     ] {
-        let base = base
-            .software_precision(cfg.software_precision)
-            .n_tiles(cfg.n_tiles)
-            .sample_steps(cfg.sample_steps)
-            .seed(cfg.seed)
-            .cost_backend(cfg.backend.clone());
+        let space = ParamSpace::new(
+            base.software_precision(cfg.software_precision)
+                .n_tiles(cfg.n_tiles)
+                .sample_steps(cfg.sample_steps)
+                .seed(cfg.seed),
+        )
+        .axis(Axis::w(cfg.precisions.clone()))
+        .axis(Axis::workloads(workloads.clone()));
+        let evals = engine.run(&space, Collect::new(), &NullSweepSink);
         let mut columns = vec!["precision".to_string()];
         columns.extend(workloads.iter().map(|w| w.label()));
         let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
         let mut table = Table::new(family, &col_refs);
-        for &p in &cfg.precisions {
+        for (pi, &p) in cfg.precisions.iter().enumerate() {
             let mut row: Vec<Cell> = vec![p.into()];
-            for wl in &workloads {
-                let scenario = base.clone().w(p).custom_workload(wl.clone());
-                row.push(scenario.run().normalized().into());
+            for wi in 0..workloads.len() {
+                row.push(evals[pi * workloads.len() + wi].normalized.into());
             }
             table.push_row(row);
         }

@@ -6,6 +6,7 @@ use crate::report::{Cell, Report, Table};
 use crate::runner::{Experiment, RunCtx};
 use mpipu::Scenario;
 use mpipu_dnn::zoo::Workload;
+use mpipu_explore::{Axis, Collect, NullSweepSink, ParamSpace, SweepEngine};
 use mpipu_sim::{Backend, CostBackend};
 use std::sync::Arc;
 
@@ -62,9 +63,12 @@ impl Config {
     }
 }
 
-/// Sweep cluster size for both tile families over the study cases.
+/// Sweep cluster size for both tile families over the study cases —
+/// declared as a `cluster × workload` [`ParamSpace`] per family and
+/// evaluated through the exploration engine.
 pub fn run(cfg: &Config) -> Report {
     let workloads = Workload::paper_study_cases();
+    let engine = SweepEngine::new().backend(cfg.backend.clone());
     let mut report = Report::new(
         "fig8b",
         format!(
@@ -86,22 +90,24 @@ pub fn run(cfg: &Config) -> Report {
             vec![1usize, 2, 4, 8, 16],
         ),
     ] {
-        let base = base
-            .w(cfg.w)
-            .software_precision(cfg.software_precision)
-            .n_tiles(cfg.n_tiles)
-            .sample_steps(cfg.sample_steps)
-            .seed(cfg.seed)
-            .cost_backend(cfg.backend.clone());
+        let space = ParamSpace::new(
+            base.w(cfg.w)
+                .software_precision(cfg.software_precision)
+                .n_tiles(cfg.n_tiles)
+                .sample_steps(cfg.sample_steps)
+                .seed(cfg.seed),
+        )
+        .axis(Axis::cluster(sizes.clone()))
+        .axis(Axis::workloads(workloads.clone()));
+        let evals = engine.run(&space, Collect::new(), &NullSweepSink);
         let mut columns = vec!["cluster_size".to_string()];
         columns.extend(workloads.iter().map(|w| w.label()));
         let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
         let mut table = Table::new(family, &col_refs);
-        for &c in &sizes {
+        for (ci, &c) in sizes.iter().enumerate() {
             let mut row: Vec<Cell> = vec![c.into()];
-            for wl in &workloads {
-                let scenario = base.clone().cluster(c).custom_workload(wl.clone());
-                row.push(scenario.run().normalized().into());
+            for wi in 0..workloads.len() {
+                row.push(evals[ci * workloads.len() + wi].normalized.into());
             }
             table.push_row(row);
         }

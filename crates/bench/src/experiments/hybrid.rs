@@ -13,6 +13,7 @@ use super::scaled_by;
 use crate::report::{Cell, Report, Table};
 use crate::runner::{Experiment, RunCtx};
 use mpipu::{Scenario, Zoo};
+use mpipu_explore::{Axis, Collect, FnSink, ParamSpace, SweepEngine, SweepEvent};
 use mpipu_sim::{Backend, CostBackend, LayerPrecision, Schedule};
 use std::sync::Arc;
 
@@ -81,7 +82,9 @@ fn schedules() -> Vec<(&'static str, Schedule)> {
 }
 
 /// Execute every (schedule × adder-tree width) cell on the paper's
-/// deployment design point (small tiles, cluster size 1).
+/// deployment design point (small tiles, cluster size 1) — declared as a
+/// `schedule × w` [`ParamSpace`] and evaluated through the exploration
+/// engine, with per-schedule chunk progress streamed to the run context.
 pub fn run(cfg: &Config, ctx: &RunCtx<'_>) -> Report {
     let mut report = Report::new(
         "hybrid",
@@ -89,12 +92,29 @@ pub fn run(cfg: &Config, ctx: &RunCtx<'_>) -> Report {
         cfg.seed,
         cfg.scale,
     );
-    let base = Scenario::small_tile()
-        .cluster(1)
-        .workload(Zoo::ResNet18)
-        .sample_steps(cfg.sample_steps)
-        .seed(cfg.seed)
-        .cost_backend(cfg.backend.clone());
+    let schedules = schedules();
+    let space = ParamSpace::new(
+        Scenario::small_tile()
+            .cluster(1)
+            .workload(Zoo::ResNet18)
+            .sample_steps(cfg.sample_steps)
+            .seed(cfg.seed),
+    )
+    .axis(Axis::schedule(
+        schedules.iter().map(|(_, s)| s.clone()).collect(),
+    ))
+    .axis(Axis::w(cfg.precisions.clone()));
+
+    // One chunk per schedule row, so progress events narrate schedules.
+    let sink = FnSink(|e: &SweepEvent<'_>| {
+        if let SweepEvent::ChunkFinished { chunk, .. } = e {
+            ctx.progress("hybrid", &format!("schedule {}", schedules[*chunk].0));
+        }
+    });
+    let evals = SweepEngine::new()
+        .backend(cfg.backend.clone())
+        .chunk_size(cfg.precisions.len())
+        .run(&space, Collect::new(), &sink);
 
     let mut table = Table::new(
         "schedule_vs_tree_width",
@@ -107,25 +127,23 @@ pub fn run(cfg: &Config, ctx: &RunCtx<'_>) -> Report {
         ],
     );
     // The all-INT4 reference is width-invariant (INT layers never touch
-    // the adder tree), so one run serves every cell.
-    let int4_cycles = base
-        .clone()
-        .w(cfg.precisions[0])
-        .schedule(Schedule::Uniform(LayerPrecision::Int { ka: 1, kb: 1 }))
-        .run()
-        .result
-        .total_cycles();
-    for (label, schedule) in schedules() {
-        ctx.progress("hybrid", &format!("schedule {label}"));
-        for &w in &cfg.precisions {
-            let r = base.clone().w(w).schedule(schedule.clone()).run();
-            let cycles = r.result.total_cycles();
+    // the adder tree), so one grid cell serves every row — looked up by
+    // label so reordering schedules() cannot silently shift the
+    // denominator.
+    let int4_row = schedules
+        .iter()
+        .position(|(label, _)| *label == "all-int4")
+        .expect("schedules() must include the all-int4 reference");
+    let int4_cycles = evals[int4_row * cfg.precisions.len()].cycles;
+    for (si, (label, _)) in schedules.iter().enumerate() {
+        for (wi, &w) in cfg.precisions.iter().enumerate() {
+            let e = &evals[si * cfg.precisions.len() + wi];
             table.push_row(vec![
-                Cell::from(label),
+                Cell::from(*label),
                 w.into(),
-                (cycles as f64 / 1e6).into(),
-                r.fp_fraction.into(),
-                (cycles as f64 / int4_cycles as f64).into(),
+                (e.cycles as f64 / 1e6).into(),
+                e.fp_fraction.into(),
+                (e.cycles as f64 / int4_cycles as f64).into(),
             ]);
         }
     }

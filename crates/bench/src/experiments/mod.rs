@@ -14,6 +14,7 @@ pub mod fig7;
 pub mod fig8a;
 pub mod fig8b;
 pub mod fig9;
+pub mod frontier;
 pub mod hybrid;
 pub mod table1;
 

@@ -35,7 +35,7 @@
 //! ```
 
 use crate::experiments::{
-    ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, hybrid, table1,
+    ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, frontier, hybrid, table1,
 };
 use crate::runner::Experiment;
 use std::fmt;
@@ -54,7 +54,8 @@ impl Registry {
     }
 
     /// Every builtin experiment, in presentation order: the nine paper
-    /// artifacts plus the `hybrid` mixed-precision scenario.
+    /// artifacts plus the `hybrid` mixed-precision scenario and the
+    /// `frontier` design-space sweep.
     pub fn builtin() -> Registry {
         let mut r = Registry::empty();
         r.register(Box::new(fig3::Fig3))
@@ -66,7 +67,8 @@ impl Registry {
             .register(Box::new(fig10::Fig10))
             .register(Box::new(table1::Table1))
             .register(Box::new(ablation::Ablation))
-            .register(Box::new(hybrid::Hybrid));
+            .register(Box::new(hybrid::Hybrid))
+            .register(Box::new(frontier::Frontier));
         r
     }
 

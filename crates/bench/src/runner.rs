@@ -157,15 +157,27 @@ pub fn run_parallel(
     opts: &RunOptions,
     sink: &dyn Sink,
 ) -> Vec<RunOutcome> {
+    // One backend instance for the whole run: memoized backends pool
+    // their cache across experiments and worker threads.
+    run_on_backend(experiments, opts, &opts.backend.instantiate(), sink)
+}
+
+/// [`run_parallel`] on a caller-instantiated backend — the form for
+/// callers that want to inspect the backend afterwards (the suite binary
+/// reads its [`mpipu_sim::CacheStats`] for `--text` output). Ignores
+/// `opts.backend`.
+pub fn run_on_backend(
+    experiments: &[&dyn Experiment],
+    opts: &RunOptions,
+    backend: &Arc<dyn CostBackend>,
+    sink: &dyn Sink,
+) -> Vec<RunOutcome> {
     if let Some(dir) = &opts.out_dir {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| panic!("cannot create results dir {}: {e}", dir.display()));
     }
     let total = experiments.len();
     let threads = effective_threads(opts.threads, total);
-    // One backend instance for the whole run: memoized backends pool
-    // their cache across experiments and worker threads.
-    let backend = opts.backend.instantiate();
     let t0 = Instant::now();
     sink.event(&Event::SuiteStarted {
         total,
@@ -183,7 +195,7 @@ pub fn run_parallel(
                 let Some(exp) = experiments.get(i).copied() else {
                     break;
                 };
-                let outcome = run_one(exp, i, total, threads, opts, &backend, sink);
+                let outcome = run_one(exp, i, total, threads, opts, backend, sink);
                 outcomes.lock().unwrap()[i] = Some(outcome);
             });
         }
@@ -195,6 +207,17 @@ pub fn run_parallel(
         .into_iter()
         .map(|o| o.expect("worker pool completed every slot"))
         .collect();
+    // Surface the shared backend's cache effectiveness once, after every
+    // experiment has stopped querying it.
+    if let Some(stats) = backend.cache_stats() {
+        sink.event(&Event::BackendStats {
+            backend: backend.name(),
+            inner: stats.inner,
+            hits: stats.hits,
+            misses: stats.misses,
+            entries: stats.entries,
+        });
+    }
     let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
     sink.event(&Event::SuiteFinished {
         ok: outcomes.len() - failed,
@@ -350,6 +373,46 @@ mod tests {
             2,
             "both probes emit progress"
         );
+    }
+
+    #[test]
+    fn memoizing_runs_emit_backend_stats_before_suite_finished() {
+        let probe = Probe {
+            name: "delta",
+            fail: false,
+        };
+        let sink = CollectSink::new();
+        let opts = RunOptions {
+            threads: 1,
+            out_dir: None,
+            backend: Backend::MemoizedAnalytic,
+            ..RunOptions::default()
+        };
+        run_parallel(&[&probe], &opts, &sink);
+        let events = sink.take();
+        let stats_at = events
+            .iter()
+            .position(|e| e.kind == "backend_stats")
+            .expect("memoized backend reports stats");
+        assert_eq!(events[stats_at].name.as_deref(), Some("memoized"));
+        assert_eq!(
+            events.last().unwrap().kind,
+            "suite_finished",
+            "stats precede the suite summary"
+        );
+
+        // Plain backends stay silent.
+        let sink = CollectSink::new();
+        run_parallel(
+            &[&probe],
+            &RunOptions {
+                threads: 1,
+                out_dir: None,
+                ..RunOptions::default()
+            },
+            &sink,
+        );
+        assert!(sink.take().iter().all(|e| e.kind != "backend_stats"));
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! The streaming sweep engine.
+//!
+//! [`SweepEngine::run`] evaluates every point of a [`ParamSpace`] (or a
+//! sampled subset) across a scoped-thread worker pool and folds the
+//! results incrementally through a [`Fold`] — the grid is never
+//! materialized, so a million-point sweep costs the fold's state, not
+//! the grid's.
+//!
+//! ## Determinism
+//!
+//! Workers pull fixed-size chunks of consecutive design ids from an
+//! atomic counter and evaluate them independently; finished chunks pass
+//! through a reorder buffer that folds them strictly in chunk order.
+//! Every point evaluation is a deterministic function of its scenario
+//! (backends are deterministic in their cache key), so the fold observes
+//! an identical sequence — and produces byte-identical output — no
+//! matter how many threads run the sweep. CI diffs suite results across
+//! thread counts to hold this contract.
+//!
+//! ## Backend sharing
+//!
+//! [`SweepEngine::backend`] routes every point through one shared
+//! `Arc<dyn CostBackend>`. With a memoized backend this is where sweep
+//! dedup happens: overlapping points (same tile/w/precision/dists — and
+//! for the analytic backend, any seed) collapse into cache hits, which
+//! is what makes 10⁴⁺-point explorations cheap. The engine reports the
+//! final counters through [`SweepEvent::BackendStats`].
+
+use crate::events::{SweepEvent, SweepSink};
+use crate::space::{DesignId, ParamSpace};
+use mpipu_hw::DesignMetrics;
+use mpipu_sim::CostBackend;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One evaluated design point — the record folds consume. Deliberately a
+/// summary (not the per-layer result): a sweep folds millions of these.
+#[derive(Debug, Clone)]
+pub struct PointEval {
+    /// Rank in the swept space.
+    pub id: DesignId,
+    /// Per-axis value indices, in axis declaration order.
+    pub coords: Vec<usize>,
+    /// Per-axis value labels, in axis declaration order.
+    pub labels: Vec<String>,
+    /// Total workload cycles.
+    pub cycles: u64,
+    /// Total baseline (38-bit tree) cycles.
+    pub baseline_cycles: u64,
+    /// `cycles / baseline_cycles` — the paper's normalized execution
+    /// time (≥ 1 clamping is left to consumers).
+    pub normalized: f64,
+    /// FP16 share of baseline MAC work (1.0 for unscheduled scenarios).
+    pub fp_fraction: f64,
+    /// Area/power efficiency of the design at this slowdown.
+    pub metrics: DesignMetrics,
+}
+
+/// An incremental consumer of sweep results. The engine calls
+/// [`Fold::accept`] once per point, in [`DesignId`]-sequence order, then
+/// [`Fold::finish`] exactly once.
+pub trait Fold {
+    /// What the fold produces.
+    type Output;
+
+    /// Observe one evaluated point.
+    fn accept(&mut self, eval: &PointEval);
+
+    /// Produce the result after the last point.
+    fn finish(self) -> Self::Output;
+}
+
+/// Two folds over one sweep, each observing every point (compose further
+/// by nesting tuples).
+impl<A: Fold, B: Fold> Fold for (A, B) {
+    type Output = (A::Output, B::Output);
+
+    fn accept(&mut self, eval: &PointEval) {
+        self.0.accept(eval);
+        self.1.accept(eval);
+    }
+
+    fn finish(self) -> Self::Output {
+        (self.0.finish(), self.1.finish())
+    }
+}
+
+/// Collects every evaluation (in fold order). For small sweeps only —
+/// this is exactly the grid materialization the engine otherwise avoids.
+#[derive(Debug, Default)]
+pub struct Collect {
+    evals: Vec<PointEval>,
+}
+
+impl Collect {
+    /// An empty collector.
+    pub fn new() -> Collect {
+        Collect::default()
+    }
+}
+
+impl Fold for Collect {
+    type Output = Vec<PointEval>;
+
+    fn accept(&mut self, eval: &PointEval) {
+        self.evals.push(eval.clone());
+    }
+
+    fn finish(self) -> Self::Output {
+        self.evals
+    }
+}
+
+/// Counts evaluated points (the cheapest possible fold).
+#[derive(Debug, Default)]
+pub struct Count(u64);
+
+impl Count {
+    /// A zeroed counter.
+    pub fn new() -> Count {
+        Count::default()
+    }
+}
+
+impl Fold for Count {
+    type Output = u64;
+
+    fn accept(&mut self, _eval: &PointEval) {
+        self.0 += 1;
+    }
+
+    fn finish(self) -> Self::Output {
+        self.0
+    }
+}
+
+/// The streaming, chunked, scoped-thread sweep runner.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    threads: usize,
+    chunk_size: usize,
+    backend: Option<Arc<dyn CostBackend>>,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        SweepEngine::new()
+    }
+}
+
+impl SweepEngine {
+    /// A single-threaded engine with a 256-point chunk size and no
+    /// backend override (each scenario keeps its own backend).
+    pub fn new() -> SweepEngine {
+        SweepEngine {
+            threads: 1,
+            chunk_size: 256,
+            backend: None,
+        }
+    }
+
+    /// Set the worker-thread count (0 ⇒ one per available CPU).
+    pub fn threads(mut self, n: usize) -> SweepEngine {
+        self.threads = n;
+        self
+    }
+
+    /// Set the chunk size (floored at 1). Chunks are the unit of work
+    /// distribution *and* of progress reporting.
+    pub fn chunk_size(mut self, n: usize) -> SweepEngine {
+        self.chunk_size = n.max(1);
+        self
+    }
+
+    /// Route every swept scenario through one shared cost backend (the
+    /// sweep-dedup seam — pass a memoized backend here).
+    pub fn backend(mut self, backend: Arc<dyn CostBackend>) -> SweepEngine {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sweep the full cartesian product, folding in id order.
+    pub fn run<F: Fold + Send>(
+        &self,
+        space: &ParamSpace,
+        fold: F,
+        sink: &dyn SweepSink,
+    ) -> F::Output
+    where
+        F::Output: Send,
+    {
+        self.drive(space, space.len(), DesignId, fold, sink)
+    }
+
+    /// Sweep an explicit id list (e.g. a filtered or externally-ordered
+    /// subset), folding in list order.
+    pub fn run_ids<F: Fold + Send>(
+        &self,
+        space: &ParamSpace,
+        ids: &[DesignId],
+        fold: F,
+        sink: &dyn SweepSink,
+    ) -> F::Output
+    where
+        F::Output: Send,
+    {
+        self.drive(
+            space,
+            ids.len() as u64,
+            |rank| ids[rank as usize],
+            fold,
+            sink,
+        )
+    }
+
+    /// Sweep `count` uniformly sampled points (seeded, with replacement
+    /// — see [`ParamSpace::sample_ids`]), folding in draw order.
+    pub fn run_sampled<F: Fold + Send>(
+        &self,
+        space: &ParamSpace,
+        count: usize,
+        seed: u64,
+        fold: F,
+        sink: &dyn SweepSink,
+    ) -> F::Output
+    where
+        F::Output: Send,
+    {
+        self.run_ids(space, &space.sample_ids(count, seed), fold, sink)
+    }
+
+    fn drive<F: Fold + Send>(
+        &self,
+        space: &ParamSpace,
+        total: u64,
+        id_of: impl Fn(u64) -> DesignId + Sync,
+        fold: F,
+        sink: &dyn SweepSink,
+    ) -> F::Output
+    where
+        F::Output: Send,
+    {
+        let threads = effective_threads(self.threads, total, self.chunk_size);
+        let chunk = self.chunk_size as u64;
+        let chunks = total.div_ceil(chunk) as usize;
+        sink.event(&SweepEvent::Started {
+            points: total,
+            chunks,
+            threads,
+        });
+        let t0 = Instant::now();
+
+        struct Merge<F> {
+            next: usize,
+            pending: BTreeMap<usize, Vec<PointEval>>,
+            fold: F,
+            done: u64,
+        }
+        let merge = Mutex::new(Merge {
+            next: 0,
+            pending: BTreeMap::new(),
+            fold,
+            done: 0,
+        });
+        let next_chunk = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks {
+                        break;
+                    }
+                    let lo = c as u64 * chunk;
+                    let hi = total.min(lo + chunk);
+                    let evals: Vec<PointEval> = (lo..hi)
+                        .map(|rank| self.evaluate_id(space, id_of(rank)))
+                        .collect();
+                    // Fold strictly in chunk order: park out-of-order
+                    // chunks, drain the contiguous prefix. The buffer
+                    // holds at most ~`threads` chunks.
+                    let mut guard = merge.lock().expect("merge state poisoned");
+                    let m = &mut *guard;
+                    m.pending.insert(c, evals);
+                    while let Some(ready) = m.pending.remove(&m.next) {
+                        for eval in &ready {
+                            m.fold.accept(eval);
+                        }
+                        m.done += ready.len() as u64;
+                        sink.event(&SweepEvent::ChunkFinished {
+                            chunk: m.next,
+                            chunks,
+                            points_done: m.done,
+                            points: total,
+                        });
+                        m.next += 1;
+                    }
+                });
+            }
+        });
+
+        if let Some(backend) = &self.backend {
+            if let Some(stats) = backend.cache_stats() {
+                sink.event(&SweepEvent::BackendStats {
+                    backend: backend.name(),
+                    inner: stats.inner,
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    entries: stats.entries,
+                });
+            }
+        }
+        sink.event(&SweepEvent::Finished {
+            points: total,
+            wall: t0.elapsed(),
+        });
+        let merge = merge.into_inner().expect("merge state poisoned");
+        debug_assert_eq!(merge.done, total, "every chunk folded");
+        merge.fold.finish()
+    }
+
+    /// Evaluate one design point (the per-point hot path).
+    pub fn evaluate(&self, space: &ParamSpace, id: DesignId) -> Option<PointEval> {
+        (id.0 < space.len()).then(|| self.evaluate_id(space, id))
+    }
+
+    fn evaluate_id(&self, space: &ParamSpace, id: DesignId) -> PointEval {
+        let spec = space.point(id).expect("design id in range");
+        let scenario = match &self.backend {
+            Some(b) => spec.scenario.cost_backend(b.clone()),
+            None => spec.scenario,
+        };
+        let r = scenario.run();
+        let normalized = r.normalized();
+        PointEval {
+            id,
+            coords: spec.coords,
+            labels: spec.labels,
+            cycles: r.result.total_cycles(),
+            baseline_cycles: r.result.total_baseline_cycles(),
+            normalized,
+            fp_fraction: r.fp_fraction,
+            metrics: scenario.metrics(normalized),
+        }
+    }
+}
+
+fn effective_threads(requested: usize, total: u64, chunk_size: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n = if requested == 0 { hw } else { requested };
+    // More threads than chunks would idle immediately.
+    let chunks = total.div_ceil(chunk_size.max(1) as u64);
+    n.clamp(1, chunks.clamp(1, 1024) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+    use crate::events::{FnSink, NullSweepSink};
+    use mpipu::{Backend, Scenario, Zoo};
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(
+            Scenario::small_tile()
+                .workload(Zoo::ResNet18)
+                .sample_steps(16)
+                .backend(Backend::Analytic),
+        )
+        .axis(Axis::w(vec![12, 16, 20, 24]))
+        .axis(Axis::cluster(vec![1, 4]))
+    }
+
+    fn collect(engine: &SweepEngine) -> Vec<PointEval> {
+        engine.run(&space(), Collect::new(), &NullSweepSink)
+    }
+
+    #[test]
+    fn collect_is_in_id_order_and_complete() {
+        let evals = collect(&SweepEngine::new().chunk_size(3));
+        assert_eq!(evals.len(), 8);
+        let ids: Vec<u64> = evals.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+        assert!(evals.iter().all(|e| e.normalized >= 1.0));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_folded_sequence() {
+        let one = collect(&SweepEngine::new().threads(1).chunk_size(2));
+        let many = collect(&SweepEngine::new().threads(8).chunk_size(2));
+        assert_eq!(one.len(), many.len());
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.normalized.to_bits(), b.normalized.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunk_events_fire_in_order_with_monotone_progress() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        let sink = FnSink(|e: &SweepEvent<'_>| {
+            if let SweepEvent::ChunkFinished {
+                chunk, points_done, ..
+            } = e
+            {
+                seen.lock().unwrap().push((*chunk, *points_done));
+            }
+        });
+        SweepEngine::new()
+            .threads(4)
+            .chunk_size(2)
+            .run(&space(), Count::new(), &sink);
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 4, "8 points / chunk 2");
+        assert_eq!(
+            seen,
+            vec![(0, 2), (1, 4), (2, 6), (3, 8)],
+            "in order, monotone"
+        );
+    }
+
+    #[test]
+    fn shared_memoized_backend_dedupes_and_reports_stats() {
+        use std::sync::Mutex;
+        let memo = Backend::MemoizedAnalytic.instantiate();
+        let stats = Mutex::new(None);
+        let sink = FnSink(|e: &SweepEvent<'_>| {
+            if let SweepEvent::BackendStats { hits, misses, .. } = e {
+                *stats.lock().unwrap() = Some((*hits, *misses));
+            }
+        });
+        let n = SweepEngine::new()
+            .backend(memo)
+            .run(&space(), Count::new(), &sink);
+        assert_eq!(n, 8);
+        let (hits, misses) = stats.into_inner().unwrap().expect("stats event");
+        // The analytic key is seed-blind and layer-blind, so a whole
+        // workload's layers dedupe per design point.
+        assert!(
+            hits > misses,
+            "sweep must dedupe: {hits} hits, {misses} misses"
+        );
+    }
+
+    #[test]
+    fn sampled_sweep_is_reproducible() {
+        let engine = SweepEngine::new().threads(2).chunk_size(4);
+        let a = engine.run_sampled(&space(), 16, 9, Collect::new(), &NullSweepSink);
+        let b = engine.run_sampled(&space(), 16, 9, Collect::new(), &NullSweepSink);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.cycles, y.cycles);
+        }
+    }
+
+    #[test]
+    fn tuple_fold_feeds_both() {
+        let (n, evals) =
+            SweepEngine::new().run(&space(), (Count::new(), Collect::new()), &NullSweepSink);
+        assert_eq!(n, 8);
+        assert_eq!(evals.len(), 8);
+    }
+
+    #[test]
+    fn evaluate_single_point_matches_sweep() {
+        let engine = SweepEngine::new();
+        let evals = collect(&engine);
+        let solo = engine.evaluate(&space(), DesignId(3)).unwrap();
+        assert_eq!(solo.cycles, evals[3].cycles);
+        assert!(engine.evaluate(&space(), DesignId(99)).is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Streaming sweep progress events.
+//!
+//! The engine publishes one [`SweepEvent`] per lifecycle transition and
+//! per finished chunk, so a million-point sweep is observable while it
+//! runs. Consumers implement [`SweepSink`] (or wrap a closure in
+//! [`FnSink`]); the experiment suite adapts these to its own run-event
+//! stream.
+//!
+//! Chunk events fire in chunk order (the engine folds chunks through a
+//! reorder buffer), so `points_done` is monotone even under concurrency.
+//! Backend cache counters are scheduling-dependent and belong only here,
+//! never in deterministic result files.
+
+use std::time::Duration;
+
+/// One sweep lifecycle event.
+#[derive(Debug, Clone, Copy)]
+pub enum SweepEvent<'a> {
+    /// The engine accepted a space and is starting its worker pool.
+    Started {
+        /// Design points to evaluate.
+        points: u64,
+        /// Chunks the points are split into.
+        chunks: usize,
+        /// Worker threads evaluating chunks.
+        threads: usize,
+    },
+    /// A chunk was evaluated and folded (fires in chunk order).
+    ChunkFinished {
+        /// Chunk index (0-based, ascending).
+        chunk: usize,
+        /// Total chunks.
+        chunks: usize,
+        /// Points folded so far (monotone).
+        points_done: u64,
+        /// Total points.
+        points: u64,
+    },
+    /// The shared backend's cache counters after the sweep (only when
+    /// the engine's backend memoizes). Counts are scheduling-dependent
+    /// under concurrency.
+    BackendStats {
+        /// The caching backend's name.
+        backend: &'a str,
+        /// The wrapped backend's name.
+        inner: &'a str,
+        /// Queries served from the cache.
+        hits: u64,
+        /// Queries computed by the inner backend.
+        misses: u64,
+        /// Distinct design points cached.
+        entries: usize,
+    },
+    /// Every point is folded; the pool is joined.
+    Finished {
+        /// Points evaluated.
+        points: u64,
+        /// Wall-clock duration of the sweep.
+        wall: Duration,
+    },
+}
+
+/// A consumer of sweep events. Implementations must tolerate concurrent
+/// calls (chunks finish on worker threads).
+pub trait SweepSink: Sync {
+    /// Receive one event.
+    fn event(&self, event: &SweepEvent<'_>);
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSweepSink;
+
+impl SweepSink for NullSweepSink {
+    fn event(&self, _event: &SweepEvent<'_>) {}
+}
+
+/// Adapts a closure into a sink — the one-liner bridge into other event
+/// systems (the suite wraps `ctx.progress` this way).
+pub struct FnSink<F: Fn(&SweepEvent<'_>) + Sync>(pub F);
+
+impl<F: Fn(&SweepEvent<'_>) + Sync> SweepSink for FnSink<F> {
+    fn event(&self, event: &SweepEvent<'_>) {
+        (self.0)(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn fn_sink_forwards() {
+        let seen = Mutex::new(Vec::new());
+        let sink = FnSink(|e: &SweepEvent<'_>| {
+            if let SweepEvent::ChunkFinished { chunk, .. } = e {
+                seen.lock().unwrap().push(*chunk);
+            }
+        });
+        sink.event(&SweepEvent::Started {
+            points: 4,
+            chunks: 2,
+            threads: 1,
+        });
+        sink.event(&SweepEvent::ChunkFinished {
+            chunk: 0,
+            chunks: 2,
+            points_done: 2,
+            points: 4,
+        });
+        assert_eq!(*seen.lock().unwrap(), vec![0]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Exact Pareto-frontier and top-k folds over sweep evaluations.
+//!
+//! Dominance is strict: point `a` dominates `b` when `a` is at least as
+//! good on every objective and strictly better on one (objectives are
+//! compared in keyed, smaller-is-better form — see
+//! [`crate::Objective::keyed`]). Points with *exactly equal* objective
+//! vectors are collapsed to the first one folded; since the engine folds
+//! in [`DesignId`] order, that representative is the lowest-id design,
+//! which keeps frontier output canonical and permutation-invariant.
+
+use crate::engine::{Fold, PointEval};
+use crate::objective::Objective;
+use crate::space::DesignId;
+
+/// One design on the Pareto frontier (or in a top-k selection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// The design's id in the swept space.
+    pub id: DesignId,
+    /// The design's per-axis labels.
+    pub labels: Vec<String>,
+    /// Objective values in the fold's objective order, *original* sense
+    /// (not keyed).
+    pub values: Vec<f64>,
+}
+
+/// `a` strictly dominates `b` (both in keyed, minimize form).
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// The exact Pareto frontier of a point set in keyed (minimize) form:
+/// indices of the non-dominated points, in input order, with exact
+/// duplicates collapsed to their first occurrence.
+///
+/// O(n·f) where `f` is the frontier size — fine for the frontiers real
+/// sweeps produce; the incremental [`ParetoFold`] has the same core.
+pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut front: Vec<usize> = Vec::new();
+    for (i, candidate) in points.iter().enumerate() {
+        if front
+            .iter()
+            .any(|&j| dominates(&points[j], candidate) || points[j] == *candidate)
+        {
+            continue;
+        }
+        front.retain(|&j| !dominates(candidate, &points[j]));
+        front.push(i);
+    }
+    front
+}
+
+/// Incremental exact Pareto-frontier fold over the given objectives.
+#[derive(Debug)]
+pub struct ParetoFold {
+    objectives: Vec<Objective>,
+    /// `(keyed values, frontier point)` for every currently
+    /// non-dominated design.
+    front: Vec<(Vec<f64>, FrontierPoint)>,
+    seen: u64,
+}
+
+impl ParetoFold {
+    /// A fold over one or more objectives.
+    ///
+    /// # Panics
+    /// Panics on an empty objective list.
+    pub fn new(objectives: Vec<Objective>) -> ParetoFold {
+        assert!(!objectives.is_empty(), "pareto fold needs objectives");
+        ParetoFold {
+            objectives,
+            front: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// The objectives this fold ranks by, in column order.
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// Points folded so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl Fold for ParetoFold {
+    /// The frontier, sorted by [`DesignId`] (canonical order).
+    type Output = Vec<FrontierPoint>;
+
+    fn accept(&mut self, eval: &PointEval) {
+        self.seen += 1;
+        let keyed: Vec<f64> = self.objectives.iter().map(|o| o.keyed(eval)).collect();
+        if self
+            .front
+            .iter()
+            .any(|(k, _)| dominates(k, &keyed) || *k == keyed)
+        {
+            return;
+        }
+        self.front.retain(|(k, _)| !dominates(&keyed, k));
+        let values = self.objectives.iter().map(|o| o.value(eval)).collect();
+        self.front.push((
+            keyed,
+            FrontierPoint {
+                id: eval.id,
+                labels: eval.labels.clone(),
+                values,
+            },
+        ));
+    }
+
+    fn finish(self) -> Self::Output {
+        let mut out: Vec<FrontierPoint> = self.front.into_iter().map(|(_, p)| p).collect();
+        out.sort_by_key(|p| p.id);
+        out
+    }
+}
+
+/// Keeps the `k` best points by one objective (keyed order, ties broken
+/// by lowest [`DesignId`] for determinism).
+#[derive(Debug)]
+pub struct TopK {
+    objective: Objective,
+    k: usize,
+    /// Sorted ascending by `(keyed value, id)`.
+    best: Vec<(f64, FrontierPoint)>,
+}
+
+impl TopK {
+    /// Keep the `k` best designs by `objective`.
+    ///
+    /// # Panics
+    /// Panics when `k` is zero.
+    pub fn new(objective: Objective, k: usize) -> TopK {
+        assert!(k > 0, "top-k selection needs k >= 1");
+        TopK {
+            objective,
+            k,
+            best: Vec::with_capacity(k + 1),
+        }
+    }
+}
+
+impl Fold for TopK {
+    /// Best-first (then lowest-id) selection, length ≤ k.
+    type Output = Vec<FrontierPoint>;
+
+    fn accept(&mut self, eval: &PointEval) {
+        let keyed = self.objective.keyed(eval);
+        if self.best.len() == self.k {
+            let (worst, worst_point) = self.best.last().expect("k >= 1");
+            if keyed > *worst || (keyed == *worst && eval.id >= worst_point.id) {
+                return;
+            }
+        }
+        let point = FrontierPoint {
+            id: eval.id,
+            labels: eval.labels.clone(),
+            values: vec![self.objective.value(eval)],
+        };
+        let at = self
+            .best
+            .partition_point(|(v, p)| *v < keyed || (*v == keyed && p.id < point.id));
+        self.best.insert(at, (keyed, point));
+        self.best.truncate(self.k);
+    }
+
+    fn finish(self) -> Self::Output {
+        self.best.into_iter().map(|(_, p)| p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{objectives, Sense};
+    use mpipu_hw::DesignMetrics;
+
+    fn eval(id: u64, normalized: f64, tops: f64) -> PointEval {
+        PointEval {
+            id: DesignId(id),
+            coords: vec![id as usize],
+            labels: vec![format!("p{id}")],
+            cycles: (normalized * 1000.0) as u64,
+            baseline_cycles: 1000,
+            normalized,
+            fp_fraction: 1.0,
+            metrics: DesignMetrics {
+                int_tops_per_mm2: tops,
+                int_tops_per_w: tops,
+                fp_tflops_per_mm2: tops,
+                fp_tflops_per_w: tops,
+            },
+        }
+    }
+
+    fn fold_all(points: &[PointEval]) -> Vec<FrontierPoint> {
+        let mut fold = ParetoFold::new(vec![objectives::FP_SLOWDOWN, objectives::INT_TOPS_PER_MM2]);
+        for p in points {
+            fold.accept(p);
+        }
+        fold.finish()
+    }
+
+    #[test]
+    fn dominated_points_are_dropped_and_trade_offs_kept() {
+        // (slowdown min, tops max): a=(1.0, 10) b=(2.0, 20) trade off;
+        // c=(2.5, 15) is dominated by b; d=(1.0, 10) duplicates a.
+        let front = fold_all(&[
+            eval(0, 1.0, 10.0),
+            eval(1, 2.0, 20.0),
+            eval(2, 2.5, 15.0),
+            eval(3, 1.0, 10.0),
+        ]);
+        let ids: Vec<u64> = front.iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(front[0].values, vec![1.0, 10.0], "original sense kept");
+    }
+
+    #[test]
+    fn later_better_point_evicts_earlier_ones() {
+        let front = fold_all(&[
+            eval(0, 2.0, 10.0),
+            eval(1, 1.5, 10.0),
+            eval(2, 1.0, 10.0), // dominates both
+        ]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].id, DesignId(2));
+    }
+
+    #[test]
+    fn pareto_front_helper_minimizes() {
+        let pts = vec![
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![2.0, 2.0], // dominated
+            vec![1.0, 2.0], // duplicate
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+        assert_eq!(pareto_front(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn single_objective_frontier_is_the_min_set() {
+        let mut fold = ParetoFold::new(vec![objectives::FP_SLOWDOWN]);
+        for p in [eval(0, 1.5, 0.0), eval(1, 1.2, 0.0), eval(2, 1.9, 0.0)] {
+            fold.accept(&p);
+        }
+        let front = fold.finish();
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].id, DesignId(1));
+    }
+
+    #[test]
+    fn top_k_keeps_best_with_deterministic_ties() {
+        let mut top = TopK::new(objectives::FP_SLOWDOWN, 2);
+        for p in [
+            eval(5, 1.3, 0.0),
+            eval(1, 1.1, 0.0),
+            eval(4, 1.1, 0.0), // ties id 1; higher id loses
+            eval(2, 1.2, 0.0),
+        ] {
+            top.accept(&p);
+        }
+        let best = top.finish();
+        let ids: Vec<u64> = best.iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![1, 4]);
+        assert_eq!(best[0].values, vec![1.1]);
+    }
+
+    #[test]
+    fn top_k_maximizing_objective() {
+        let mut top = TopK::new(objectives::INT_TOPS_PER_MM2, 2);
+        for p in [eval(0, 1.0, 5.0), eval(1, 1.0, 9.0), eval(2, 1.0, 7.0)] {
+            top.accept(&p);
+        }
+        let ids: Vec<u64> = top.finish().iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![1, 2], "best first");
+    }
+
+    #[test]
+    fn custom_objective_senses_compose() {
+        const CHEAP: crate::Objective =
+            crate::Objective::new("baseline", Sense::Minimize, |e| e.baseline_cycles as f64);
+        let mut fold = ParetoFold::new(vec![CHEAP]);
+        fold.accept(&eval(0, 1.0, 1.0));
+        assert_eq!(fold.seen(), 1);
+        assert_eq!(fold.finish().len(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! [`ParamSpace`]: a base scenario plus typed axes, with a stable
+//! [`DesignId`] per cartesian-product point.
+//!
+//! The id is the point's mixed-radix rank with the *first* declared axis
+//! most significant (row-major: the last axis varies fastest), so ids are
+//! stable properties of the declared space — independent of iteration
+//! order, thread scheduling, and sampling. Folding sweep results in id
+//! order is what makes every engine output byte-deterministic.
+
+use crate::axis::Axis;
+use mpipu::Scenario;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Stable identifier of one design point within its [`ParamSpace`]: the
+/// row-major rank in the cartesian product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DesignId(pub u64);
+
+/// One fully-resolved design point: its id, per-axis coordinates and
+/// labels, and the scenario chain ready to run.
+#[derive(Debug, Clone)]
+pub struct DesignPointSpec {
+    /// Rank in the space's cartesian product.
+    pub id: DesignId,
+    /// Per-axis value indices, in axis declaration order.
+    pub coords: Vec<usize>,
+    /// Per-axis value labels, in axis declaration order.
+    pub labels: Vec<String>,
+    /// The base scenario with every axis value applied.
+    pub scenario: Scenario,
+}
+
+/// A typed parameter space: a base [`Scenario`] refined by a list of
+/// [`Axis`] values, enumerating `∏ axis.len()` design points.
+#[derive(Debug, Clone)]
+pub struct ParamSpace {
+    base: Scenario,
+    axes: Vec<Axis>,
+}
+
+impl ParamSpace {
+    /// A space containing exactly the base scenario (no axes yet).
+    pub fn new(base: Scenario) -> ParamSpace {
+        ParamSpace {
+            base,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Add an axis (builder style). Axes apply to the base scenario in
+    /// declaration order; the first axis is the id's most significant
+    /// digit.
+    ///
+    /// # Panics
+    /// Panics on an empty axis (it would collapse the space to nothing).
+    pub fn axis(mut self, axis: Axis) -> ParamSpace {
+        assert!(!axis.is_empty(), "axis {:?} has no values", axis.name());
+        self.axes.push(axis);
+        self
+    }
+
+    /// The declared axes, in order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// The axis names, in order (report column headers).
+    pub fn axis_names(&self) -> Vec<&'static str> {
+        self.axes.iter().map(Axis::name).collect()
+    }
+
+    /// Number of design points in the cartesian product.
+    pub fn len(&self) -> u64 {
+        self.axes.iter().map(|a| a.len() as u64).product()
+    }
+
+    /// Whether the space is empty (never: axes are non-empty and an
+    /// axis-free space still holds the base point).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decode an id into per-axis coordinates (`None` when out of range).
+    pub fn coords(&self, id: DesignId) -> Option<Vec<usize>> {
+        if id.0 >= self.len() {
+            return None;
+        }
+        let mut rank = id.0;
+        let mut coords = vec![0usize; self.axes.len()];
+        for (slot, axis) in coords.iter_mut().zip(&self.axes).rev() {
+            let n = axis.len() as u64;
+            *slot = (rank % n) as usize;
+            rank /= n;
+        }
+        Some(coords)
+    }
+
+    /// Resolve an id into a fully-applied design point (`None` when out
+    /// of range).
+    pub fn point(&self, id: DesignId) -> Option<DesignPointSpec> {
+        let coords = self.coords(id)?;
+        let mut scenario = self.base.clone();
+        let mut labels = Vec::with_capacity(self.axes.len());
+        for (axis, &i) in self.axes.iter().zip(&coords) {
+            labels.push(axis.label(i));
+            scenario = axis.apply(i, scenario);
+        }
+        Some(DesignPointSpec {
+            id,
+            coords,
+            labels,
+            scenario,
+        })
+    }
+
+    /// Iterate the full cartesian product in id order.
+    pub fn iter(&self) -> impl Iterator<Item = DesignPointSpec> + '_ {
+        (0..self.len()).map(|r| self.point(DesignId(r)).expect("rank in range"))
+    }
+
+    /// Draw `count` design ids uniformly at random (with replacement —
+    /// a memoized backend dedupes repeated evaluation anyway), seeded and
+    /// therefore reproducible.
+    pub fn sample_ids(&self, count: usize, seed: u64) -> Vec<DesignId> {
+        let total = self.len();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| DesignId(rng.gen_range(0..total)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::WorkloadSel;
+    use mpipu::Zoo;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(Scenario::small_tile().sample_steps(16))
+            .axis(Axis::w(vec![12, 16, 20]))
+            .axis(Axis::cluster(vec![1, 4]))
+    }
+
+    #[test]
+    fn len_is_the_axis_product_and_axisless_space_is_one_point() {
+        assert_eq!(space().len(), 6);
+        let solo = ParamSpace::new(Scenario::small_tile());
+        assert_eq!(solo.len(), 1);
+        let p = solo.point(DesignId(0)).unwrap();
+        assert!(p.coords.is_empty() && p.labels.is_empty());
+        assert!(solo.point(DesignId(1)).is_none());
+    }
+
+    #[test]
+    fn coords_decode_row_major() {
+        let s = space();
+        // id = w_index * 2 + cluster_index.
+        assert_eq!(s.coords(DesignId(0)).unwrap(), vec![0, 0]);
+        assert_eq!(s.coords(DesignId(1)).unwrap(), vec![0, 1]);
+        assert_eq!(s.coords(DesignId(2)).unwrap(), vec![1, 0]);
+        assert_eq!(s.coords(DesignId(5)).unwrap(), vec![2, 1]);
+        assert_eq!(s.coords(DesignId(6)), None);
+    }
+
+    #[test]
+    fn points_apply_axes_in_order() {
+        let s = space();
+        let p = s.point(DesignId(3)).unwrap(); // w=16, cluster=4
+        assert_eq!(p.labels, vec!["16".to_string(), "4".to_string()]);
+        assert_eq!(p.scenario.design().w, 16);
+        assert_eq!(p.scenario.design().tile.cluster_size, 4);
+    }
+
+    #[test]
+    fn iter_visits_every_point_once_in_id_order() {
+        let s = space();
+        let ids: Vec<u64> = s.iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_in_range() {
+        let s = ParamSpace::new(Scenario::small_tile())
+            .axis(Axis::w(vec![12, 16]))
+            .axis(Axis::workload(vec![WorkloadSel::Zoo(Zoo::ResNet18)]));
+        let a = s.sample_ids(32, 7);
+        let b = s.sample_ids(32, 7);
+        assert_eq!(a, b, "same seed, same draw");
+        assert!(a.iter().all(|id| id.0 < s.len()));
+        let c = s.sample_ids(32, 8);
+        assert_ne!(a, c, "different seed, different draw");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no values")]
+    fn empty_axis_is_rejected() {
+        ParamSpace::new(Scenario::small_tile()).axis(Axis::w(vec![]));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the Pareto fold: the frontier is a subset of the
+//! input, contains no dominated point, and is invariant under input
+//! permutation.
+
+use mpipu_explore::{pareto_front, FrontierPoint, Objective, ParetoFold, PointEval, Sense};
+use mpipu_explore::{DesignId, Fold};
+use mpipu_hw::DesignMetrics;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `a` strictly dominates `b` under minimization — an independent
+/// re-statement of the library's dominance rule.
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+}
+
+/// Quantize to a small value lattice so duplicates and exact ties occur
+/// often (the interesting cases for canonicalization).
+fn lattice(x: f64) -> f64 {
+    (x * 4.0).round() / 4.0
+}
+
+fn points_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..4, prop::collection::vec(0.0f64..4.0, 0..40)).prop_map(|(dim, flat)| {
+        flat.chunks_exact(dim)
+            .map(|c| c.iter().copied().map(lattice).collect())
+            .collect()
+    })
+}
+
+fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Run the two objective columns of a point list through [`ParetoFold`]
+/// (ids follow input order, so permutations get different ids — which
+/// the canonical frontier must not care about).
+fn fold_points(points: &[Vec<f64>]) -> Vec<FrontierPoint> {
+    const OBJS: [Objective; 3] = [
+        Objective::new("o0", Sense::Minimize, |e: &PointEval| {
+            e.metrics.int_tops_per_mm2
+        }),
+        Objective::new("o1", Sense::Minimize, |e: &PointEval| {
+            e.metrics.int_tops_per_w
+        }),
+        Objective::new("o2", Sense::Minimize, |e: &PointEval| {
+            e.metrics.fp_tflops_per_mm2
+        }),
+    ];
+    let dim = points.first().map_or(1, Vec::len);
+    let mut fold = ParetoFold::new(OBJS[..dim].to_vec());
+    for (i, p) in points.iter().enumerate() {
+        let get = |k: usize| p.get(k).copied().unwrap_or(0.0);
+        fold.accept(&PointEval {
+            id: DesignId(i as u64),
+            coords: vec![i],
+            labels: vec![format!("{i}")],
+            cycles: 1,
+            baseline_cycles: 1,
+            normalized: 1.0,
+            fp_fraction: 1.0,
+            metrics: DesignMetrics {
+                int_tops_per_mm2: get(0),
+                int_tops_per_w: get(1),
+                fp_tflops_per_mm2: get(2),
+                fp_tflops_per_w: 0.0,
+            },
+        });
+    }
+    fold.finish()
+}
+
+/// Canonical view of a frontier: the sorted multiset of value vectors
+/// (bit-exact — the lattice keeps values representable).
+fn canon(front: &[FrontierPoint]) -> Vec<Vec<u64>> {
+    let mut rows: Vec<Vec<u64>> = front
+        .iter()
+        .map(|p| p.values.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frontier_is_a_subset_with_no_dominated_point(
+        points in points_strategy(),
+    ) {
+        let front = fold_points(&points);
+        prop_assert!(front.len() <= points.len());
+        for p in &front {
+            // Subset: the frontier point's values are the input point's
+            // values at its id.
+            let original = &points[p.id.0 as usize];
+            prop_assert_eq!(&p.values, original);
+            // No input point dominates a frontier point.
+            for q in &points {
+                prop_assert!(
+                    !dominates(q, &p.values),
+                    "{:?} dominates frontier point {:?}", q, p.values
+                );
+            }
+        }
+        // Completeness: every non-dominated distinct value vector is on
+        // the frontier.
+        let expected = pareto_front(&points);
+        prop_assert_eq!(front.len(), expected.len());
+    }
+
+    #[test]
+    fn frontier_is_permutation_invariant(
+        points in points_strategy(),
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let base = fold_points(&points);
+        let perm = fold_points(&shuffled(&points, seed));
+        prop_assert_eq!(canon(&base), canon(&perm));
+    }
+
+    #[test]
+    fn incremental_fold_matches_batch_helper(
+        points in points_strategy(),
+    ) {
+        let fold_values = canon(&fold_points(&points));
+        let mut batch: Vec<Vec<u64>> = pareto_front(&points)
+            .into_iter()
+            .map(|i| points[i].iter().map(|v| v.to_bits()).collect())
+            .collect();
+        batch.sort();
+        prop_assert_eq!(fold_values, batch);
+    }
+}

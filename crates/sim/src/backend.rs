@@ -88,6 +88,31 @@ pub trait CostBackend: fmt::Debug + Send + Sync {
     fn cache_key(&self, q: &CostQuery) -> CacheKey {
         CacheKey::new(self.name(), q, true)
     }
+
+    /// Memoization counters, when this backend (or a layer inside it)
+    /// caches — `None` for plain backends. Lets sweep runners and the
+    /// suite surface cache effectiveness without downcasting through the
+    /// object-safe seam.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+}
+
+/// A memoizing backend's observable cache state (see
+/// [`CostBackend::cache_stats`]). Counters are scheduling-dependent under
+/// concurrency (racing threads may both miss the same key), so they
+/// belong in progress events and logs, never in deterministic result
+/// files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// The caching backend's inner backend name (`mc`, `analytic`, …).
+    pub inner: &'static str,
+    /// Queries served from the cache.
+    pub hits: u64,
+    /// Queries computed by the inner backend.
+    pub misses: u64,
+    /// Distinct design points currently cached.
+    pub entries: usize,
 }
 
 /// A hashable digest of a [`CostQuery`] (plus the answering backend's
@@ -579,6 +604,15 @@ impl CostBackend for Memoized {
     fn cache_key(&self, q: &CostQuery) -> CacheKey {
         self.inner.cache_key(q)
     }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(CacheStats {
+            inner: self.inner.name(),
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.len(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -789,6 +823,19 @@ mod tests {
         // both layers agree on one key per design point.
         assert_eq!(memo.len(), 1);
         assert_eq!(inner.len(), 1);
+    }
+
+    #[test]
+    fn cache_stats_expose_memoization_and_stay_none_elsewhere() {
+        assert_eq!(MonteCarlo.cache_stats(), None);
+        assert_eq!(Analytic.cache_stats(), None);
+        let memo = Memoized::new(Arc::new(Analytic));
+        let q = query(TileConfig::small(), 12, Pass::Forward, 1);
+        memo.window_cycles(&q);
+        memo.window_cycles(&q);
+        let stats = memo.cache_stats().expect("memoized backends report stats");
+        assert_eq!(stats.inner, "analytic");
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
     }
 
     #[test]

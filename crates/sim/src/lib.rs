@@ -42,11 +42,11 @@ pub mod run;
 pub mod tile;
 
 pub use backend::{
-    Analytic, Backend, CacheKey, CostBackend, CostQuery, Memoized, MonteCarlo, StepCost,
+    Analytic, Backend, CacheKey, CacheStats, CostBackend, CostQuery, Memoized, MonteCarlo, StepCost,
 };
 pub use cost::{step_costs_from_exps, CostModel, StepCosts, BASELINE_CYCLES_PER_STEP};
 pub use engine::{constant_stream_cycles, simulate_clusters};
-pub use mixed::{first_last_fp16, run_mixed, LayerPrecision, MixedResult, Schedule};
+pub use mixed::{first_last_fp16, run_mixed, LayerPrecision, MixedResult, Schedule, ScheduleError};
 pub use result::{LayerResult, WorkloadResult};
 pub use run::{run_workload, Lowered, SimDesign, SimOptions};
 pub use tile::TileConfig;

@@ -56,24 +56,39 @@ pub enum Schedule {
 }
 
 impl Schedule {
+    /// Resolve the policy into one [`LayerPrecision`] per workload layer,
+    /// reporting a [`Schedule::Custom`] length mismatch as an error
+    /// instead of panicking — the form sweep engines and builders that
+    /// validate user input should call.
+    pub fn try_materialize(
+        &self,
+        workload: &Workload,
+    ) -> Result<Vec<LayerPrecision>, ScheduleError> {
+        match self {
+            Schedule::Uniform(p) => Ok(vec![*p; workload.layers.len()]),
+            Schedule::FirstLastFp16 => Ok(first_last_fp16(workload)),
+            Schedule::Custom(assignment) => {
+                if assignment.len() != workload.layers.len() {
+                    return Err(ScheduleError {
+                        got: assignment.len(),
+                        expected: workload.layers.len(),
+                        workload: workload.label(),
+                    });
+                }
+                Ok(assignment.clone())
+            }
+        }
+    }
+
     /// Resolve the policy into one [`LayerPrecision`] per workload layer.
     ///
     /// # Panics
     /// Panics if a [`Schedule::Custom`] assignment length does not match
-    /// the workload's layer count.
+    /// the workload's layer count; [`Schedule::try_materialize`] is the
+    /// non-panicking form.
     pub fn materialize(&self, workload: &Workload) -> Vec<LayerPrecision> {
-        match self {
-            Schedule::Uniform(p) => vec![*p; workload.layers.len()],
-            Schedule::FirstLastFp16 => first_last_fp16(workload),
-            Schedule::Custom(assignment) => {
-                assert_eq!(
-                    assignment.len(),
-                    workload.layers.len(),
-                    "one precision per layer required"
-                );
-                assignment.clone()
-            }
-        }
+        self.try_materialize(workload)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Label for reports: `uniform-int4x4`, `first-last-fp16`, `custom`.
@@ -85,6 +100,31 @@ impl Schedule {
         }
     }
 }
+
+/// A [`Schedule::Custom`] assignment did not match its workload's layer
+/// count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// Layer precisions the custom schedule assigns.
+    pub got: usize,
+    /// Layers the workload actually has.
+    pub expected: usize,
+    /// The workload's label, for the error message.
+    pub workload: String,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "one precision per layer required: custom schedule assigns {} \
+             layer precision(s) but workload {:?} has {} layers",
+            self.got, self.workload, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// Outcome of a mixed-precision run.
 #[derive(Debug, Clone)]
@@ -323,6 +363,39 @@ mod tests {
     #[should_panic(expected = "one precision per layer")]
     fn custom_schedule_length_mismatch_panics() {
         Schedule::Custom(vec![LayerPrecision::Fp16]).materialize(&resnet18(Pass::Forward));
+    }
+
+    #[test]
+    fn try_materialize_reports_mismatch_as_error() {
+        let wl = resnet18(Pass::Forward);
+        let err = Schedule::Custom(vec![LayerPrecision::Fp16])
+            .try_materialize(&wl)
+            .unwrap_err();
+        assert_eq!(err.got, 1);
+        assert_eq!(err.expected, wl.layers.len());
+        assert_eq!(err.workload, wl.label());
+        let msg = err.to_string();
+        assert!(msg.contains("one precision per layer"), "{msg}");
+        assert!(msg.contains(&wl.label()), "{msg}");
+        assert!(
+            msg.contains(&wl.layers.len().to_string()) && msg.contains("assigns 1"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn try_materialize_matches_materialize_when_valid() {
+        let wl = resnet18(Pass::Forward);
+        for schedule in [
+            Schedule::Uniform(LayerPrecision::Fp16),
+            Schedule::FirstLastFp16,
+            Schedule::Custom(first_last_fp16(&wl)),
+        ] {
+            assert_eq!(
+                schedule.try_materialize(&wl).unwrap(),
+                schedule.materialize(&wl)
+            );
+        }
     }
 
     #[test]

@@ -48,7 +48,8 @@ use mpipu_datapath::AccFormat;
 use mpipu_dnn::zoo::{inception_v3, resnet18, resnet50, synthetic_stack, Pass, Workload};
 use mpipu_hw::{DesignMetrics, DesignPoint};
 use mpipu_sim::{
-    Backend, CostBackend, Lowered, MixedResult, Schedule, SimDesign, SimOptions, TileConfig,
+    Backend, CostBackend, Lowered, MixedResult, Schedule, ScheduleError, SimDesign, SimOptions,
+    TileConfig,
 };
 use std::sync::Arc;
 
@@ -136,6 +137,16 @@ impl Scenario {
     /// for the hardware model when it unrolls ≥ 16 input channels.
     pub fn tile(tile: TileConfig) -> Scenario {
         Scenario::with_tile(tile, tile.c_unroll >= 16)
+    }
+
+    /// Replace the tile geometry mid-chain, keeping every other setting —
+    /// the form parameter sweeps over tile families use. The new tile
+    /// carries its own cluster size and buffer depth, so apply
+    /// [`Scenario::cluster`] / [`Scenario::buffer_depth`] *after* this.
+    pub fn tile_config(mut self, tile: TileConfig) -> Scenario {
+        self.tile = tile;
+        self.big = tile.c_unroll >= 16;
+        self
     }
 
     /// Set the MC-IPU adder-tree precision `w`.
@@ -299,10 +310,10 @@ impl Scenario {
         }
     }
 
-    /// Lower into the simulator's fully-resolved form (design point +
-    /// options + backend + distribution override + schedule) without
-    /// executing.
-    pub fn lower(&self) -> Lowered {
+    /// The lowered form without schedule validation (shared by
+    /// [`Scenario::try_lower`] and [`Scenario::run`], which validates
+    /// implicitly when the schedule materializes against the workload).
+    fn lowered_unchecked(&self) -> Lowered {
         Lowered {
             design: self.design(),
             opts: SimOptions {
@@ -315,9 +326,34 @@ impl Scenario {
         }
     }
 
-    /// Execute the scenario: lower it and simulate the resolved workload.
+    /// Lower into the simulator's fully-resolved form, reporting an
+    /// invalid scenario (a [`Schedule::Custom`] whose length does not
+    /// match the resolved workload's layer count) as an error instead of
+    /// deferring the failure to execution time.
+    pub fn try_lower(&self) -> Result<Lowered, ScheduleError> {
+        if let Some(schedule @ Schedule::Custom(_)) = &self.schedule {
+            schedule.try_materialize(&self.resolve_workload())?;
+        }
+        Ok(self.lowered_unchecked())
+    }
+
+    /// Lower into the simulator's fully-resolved form (design point +
+    /// options + backend + distribution override + schedule) without
+    /// executing.
+    ///
+    /// # Panics
+    /// Panics if the scenario is invalid (see [`Scenario::try_lower`]).
+    pub fn lower(&self) -> Lowered {
+        self.try_lower()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// Execute the scenario: lower it and simulate the resolved
+    /// workload. Resolves the workload once — an invalid custom schedule
+    /// still fails with the [`ScheduleError`] message when it
+    /// materializes against that workload.
     pub fn run(&self) -> MixedResult {
-        self.lower().execute(&self.resolve_workload())
+        self.lowered_unchecked().execute(&self.resolve_workload())
     }
 
     /// The hardware-model design point `(w, cluster, family)`.
@@ -469,6 +505,43 @@ mod tests {
         let misses_before = memo.misses();
         base.w(16).run();
         assert!(memo.misses() > misses_before);
+    }
+
+    #[test]
+    fn try_lower_rejects_mismatched_custom_schedules() {
+        use mpipu_sim::LayerPrecision;
+        let bad = Scenario::small_tile()
+            .workload(Zoo::ResNet18)
+            .schedule(Schedule::Custom(vec![LayerPrecision::Fp16; 3]));
+        let err = bad.try_lower().unwrap_err();
+        assert_eq!(err.got, 3);
+        assert!(err.expected > 3);
+        assert!(err.workload.contains("resnet18"), "{}", err.workload);
+        // Valid schedules still lower.
+        assert!(Scenario::small_tile()
+            .schedule(Schedule::FirstLastFp16)
+            .try_lower()
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario: one precision per layer")]
+    fn lower_panics_with_the_schedule_error_message() {
+        use mpipu_sim::LayerPrecision;
+        Scenario::small_tile()
+            .workload(Zoo::ResNet18)
+            .schedule(Schedule::Custom(vec![LayerPrecision::Fp16]))
+            .lower();
+    }
+
+    #[test]
+    fn tile_config_replaces_geometry_and_family() {
+        let s = Scenario::small_tile().w(12).tile_config(TileConfig::big());
+        assert!(s.design_point().big);
+        assert_eq!(s.design().tile, TileConfig::big());
+        assert_eq!(s.design().w, 12, "other settings survive the swap");
+        let back = s.tile_config(TileConfig::small());
+        assert!(!back.design_point().big);
     }
 
     #[test]
