@@ -7,15 +7,21 @@
 //! ```text
 //! bench_gate --current BENCH_v1.json --baseline results/bench-baseline.json
 //!            [--warn-pct 10] [--fail-pct 25]
+//!            [--require NAME[=MAX_NS]]...
 //!            [--update-baseline]
 //! ```
 //!
 //! A benchmark slower than baseline by more than `--warn-pct` prints a
 //! warning; more than `--fail-pct` fails the gate. Benchmarks present in
 //! only one of the two files are reported but never fail the gate (the
-//! suite is allowed to grow). CI machines differ, so the thresholds are
-//! deliberately loose — the gate catches step-function regressions, not
-//! single-digit drift.
+//! suite is allowed to grow) — except names listed via `--require`,
+//! which *must* appear in the current trajectory (and, with `=MAX_NS`,
+//! stay under an absolute per-iteration bound; CI uses this to hold the
+//! batched frontier sweep's hard time budget). CI machines differ, so
+//! the relative thresholds are deliberately loose — the gate catches
+//! step-function regressions, not single-digit drift. Every offending
+//! benchmark is reported before the gate exits nonzero; nothing stops
+//! at the first failure.
 //!
 //! `--update-baseline` validates the fresh trajectory file and rewrites
 //! the committed baseline from it instead of comparing — the
@@ -108,15 +114,51 @@ fn load_report_cells(
     Ok((nums, texts))
 }
 
+/// Every structural difference between two flattened reports: cells
+/// present on one side only, and text cells whose contents disagree.
+/// Empty means the reports are comparable cell by cell.
+fn structure_mismatches(
+    a_nums: &BTreeMap<String, f64>,
+    b_nums: &BTreeMap<String, f64>,
+    a_texts: &BTreeMap<String, String>,
+    b_texts: &BTreeMap<String, String>,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    for key in a_nums.keys().filter(|k| !b_nums.contains_key(*k)) {
+        lines.push(format!("{key}: numeric cell missing on the right"));
+    }
+    for key in b_nums.keys().filter(|k| !a_nums.contains_key(*k)) {
+        lines.push(format!("{key}: numeric cell missing on the left"));
+    }
+    for (key, a) in a_texts {
+        match b_texts.get(key) {
+            None => lines.push(format!("{key}: text cell missing on the right")),
+            Some(b) if a != b => lines.push(format!("{key}: text differs: {a:?} vs {b:?}")),
+            Some(_) => {}
+        }
+    }
+    for key in b_texts.keys().filter(|k| !a_texts.contains_key(*k)) {
+        lines.push(format!("{key}: text cell missing on the left"));
+    }
+    lines
+}
+
 /// Compare two experiment-result documents cell by cell; any relative
 /// numeric difference above `tolerance` (or any structural mismatch)
 /// fails.
 fn cross_check(a_path: &str, b_path: &str, tolerance: f64) -> Result<ExitCode, String> {
     let (a_nums, a_texts) = load_report_cells(a_path)?;
     let (b_nums, b_texts) = load_report_cells(b_path)?;
-    if a_nums.keys().ne(b_nums.keys()) || a_texts != b_texts {
+    let mismatches = structure_mismatches(&a_nums, &b_nums, &a_texts, &b_texts);
+    if !mismatches.is_empty() {
+        // Report *every* structural divergence, not just the fact of
+        // one: a renamed column shows up as one missing + one extra key,
+        // and seeing both sides at once is what makes it diagnosable.
         return Err(format!(
-            "{a_path} and {b_path} have different table structure — not comparable"
+            "{a_path} and {b_path} have different table structure — not comparable \
+             ({} mismatch(es)):\n  {}",
+            mismatches.len(),
+            mismatches.join("\n  ")
         ));
     }
     let mut failures = 0usize;
@@ -182,6 +224,11 @@ fn run() -> Result<ExitCode, String> {
     };
     let warn_pct = parse_pct("warn-pct", 10.0)?;
     let fail_pct = parse_pct("fail-pct", 25.0)?;
+    let requires = args
+        .windows(2)
+        .filter(|w| w[0] == "--require")
+        .map(|w| parse_require(&w[1]))
+        .collect::<Result<Vec<_>, _>>()?;
 
     if args.iter().any(|a| a == "--update-baseline") {
         // Refresh the committed baseline from the fresh trajectory.
@@ -237,6 +284,11 @@ fn run() -> Result<ExitCode, String> {
     for name in current.keys().filter(|n| !baseline.contains_key(*n)) {
         println!("{name:<42} new benchmark (no baseline)");
     }
+    let require_failures = check_requires(&requires, &current);
+    for line in &require_failures {
+        println!("{line}");
+    }
+    failures += require_failures.len();
     println!(
         "[bench_gate] {} compared, {warnings} warning(s) (>{warn_pct}%), {failures} failure(s) (>{fail_pct}%)",
         baseline.len()
@@ -248,6 +300,40 @@ fn run() -> Result<ExitCode, String> {
     })
 }
 
+/// Parse one `--require` operand: `NAME` or `NAME=MAX_NS`.
+fn parse_require(spec: &str) -> Result<(String, Option<f64>), String> {
+    match spec.split_once('=') {
+        None => Ok((spec.to_string(), None)),
+        Some((name, max)) => {
+            let max = max
+                .parse::<f64>()
+                .map_err(|_| format!("--require {name}=...: bad ns bound {max:?}"))?;
+            Ok((name.to_string(), Some(max)))
+        }
+    }
+}
+
+/// FAIL lines for every `--require` entry the current trajectory
+/// misses or exceeds (all of them — the gate never stops early).
+fn check_requires(
+    requires: &[(String, Option<f64>)],
+    current: &BTreeMap<String, f64>,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (name, max) in requires {
+        match (current.get(name), max) {
+            (None, _) => lines.push(format!(
+                "{name:<42} required benchmark missing in current FAIL"
+            )),
+            (Some(&cur), Some(max)) if cur > *max => lines.push(format!(
+                "{name:<42} {cur:>12.1} ns exceeds required bound {max:.1} ns FAIL"
+            )),
+            _ => {}
+        }
+    }
+    lines
+}
+
 fn main() -> ExitCode {
     match run() {
         Ok(code) => code,
@@ -255,5 +341,79 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nums(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn texts(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn structure_mismatches_enumerate_every_divergence() {
+        // One renamed numeric column (missing both ways), one numeric
+        // cell only on the left, one changed text cell, one text cell
+        // only on the right — all five must be reported at once.
+        let a_nums = nums(&[("t[0].old", 1.0), ("t[0].shared", 2.0), ("t[1].left", 3.0)]);
+        let b_nums = nums(&[("t[0].new", 1.0), ("t[0].shared", 2.0)]);
+        let a_texts = texts(&[("t[0].label", "alpha")]);
+        let b_texts = texts(&[("t[0].label", "beta"), ("t[1].extra", "x")]);
+        let lines = structure_mismatches(&a_nums, &b_nums, &a_texts, &b_texts);
+        assert_eq!(lines.len(), 5, "{lines:?}");
+        let all = lines.join("\n");
+        for needle in [
+            "t[0].old: numeric cell missing on the right",
+            "t[0].new: numeric cell missing on the left",
+            "t[1].left: numeric cell missing on the right",
+            "t[0].label: text differs: \"alpha\" vs \"beta\"",
+            "t[1].extra: text cell missing on the left",
+        ] {
+            assert!(all.contains(needle), "missing {needle:?} in {all}");
+        }
+    }
+
+    #[test]
+    fn structure_mismatches_empty_for_identical_structure() {
+        let n = nums(&[("t[0].a", 1.0)]);
+        let t = texts(&[("t[0].b", "x")]);
+        // Numeric *values* may differ — that's the tolerance check's
+        // job, not a structural mismatch.
+        let n2 = nums(&[("t[0].a", 9.0)]);
+        assert!(structure_mismatches(&n, &n2, &t, &t).is_empty());
+    }
+
+    #[test]
+    fn require_spec_parses_name_and_optional_bound() {
+        assert_eq!(parse_require("a/b").unwrap(), ("a/b".to_string(), None));
+        assert_eq!(
+            parse_require("a/b=10000000").unwrap(),
+            ("a/b".to_string(), Some(10_000_000.0))
+        );
+        assert!(parse_require("a/b=fast").is_err());
+    }
+
+    #[test]
+    fn require_checks_report_every_miss_and_bound_violation() {
+        let current = nums(&[("present/fast", 5.0e6), ("present/slow", 2.0e7)]);
+        let requires = vec![
+            ("present/fast".to_string(), Some(1.0e7)), // under bound: ok
+            ("present/slow".to_string(), Some(1.0e7)), // over bound
+            ("present/slow".to_string(), None),        // present, unbounded: ok
+            ("absent/gone".to_string(), None),         // missing
+        ];
+        let lines = check_requires(&requires, &current);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("present/slow") && lines[0].contains("exceeds"));
+        assert!(lines[1].contains("absent/gone") && lines[1].contains("missing"));
     }
 }

@@ -7,7 +7,8 @@
 //!       [--threads N]          worker threads (default: one per CPU)
 //!       [--only a,b,c]         run a comma-separated subset
 //!       [--backend B]          cost backend: mc (default), analytic,
-//!                              memoized, memoized-analytic
+//!                              analytic-batched, memoized,
+//!                              memoized-analytic
 //!       [--out DIR]            results directory (default: results/)
 //!       [--seed N]             override seeds (per-experiment derived)
 //!       [--events FILE]        stream JSONL run events to FILE
@@ -79,6 +80,7 @@ fn main() {
         scale,
         seed,
         backend,
+        backend_explicit: flag_value(&args, "backend").is_some(),
     };
 
     // Sinks: human-readable stderr stream, optionally teed with a

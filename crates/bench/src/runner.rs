@@ -63,6 +63,12 @@ pub struct RunCtx<'a> {
     /// One instance is shared by every experiment of a run, so a
     /// memoized backend pools its cache across the whole suite.
     pub backend: Arc<dyn CostBackend>,
+    /// Whether the run's backend was chosen *explicitly* (the suite's
+    /// `--backend` flag) rather than defaulted. Experiments that pick
+    /// their own backend for tractability (`frontier` sweeps its 10⁴⁺
+    /// grid through the batched analytic backend) honor an explicit
+    /// choice and ignore the default.
+    pub backend_explicit: bool,
     /// Event sink for progress reporting.
     pub sink: &'a dyn Sink,
 }
@@ -76,6 +82,7 @@ impl<'a> RunCtx<'a> {
             seed: None,
             threads: 1,
             backend: Backend::MonteCarlo.instantiate(),
+            backend_explicit: false,
             sink,
         }
     }
@@ -123,6 +130,9 @@ pub struct RunOptions {
     /// Cost-estimation backend, instantiated once and shared by every
     /// experiment of the run.
     pub backend: Backend,
+    /// Whether `backend` was chosen explicitly (CLI `--backend`) rather
+    /// than defaulted — forwarded to [`RunCtx::backend_explicit`].
+    pub backend_explicit: bool,
 }
 
 impl Default for RunOptions {
@@ -133,6 +143,7 @@ impl Default for RunOptions {
             scale: 1.0,
             seed: None,
             backend: Backend::MonteCarlo,
+            backend_explicit: false,
         }
     }
 }
@@ -255,6 +266,7 @@ fn run_one(
         seed: opts.seed,
         threads,
         backend: backend.clone(),
+        backend_explicit: opts.backend_explicit,
         sink,
     };
     let t0 = Instant::now();

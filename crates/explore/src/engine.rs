@@ -35,6 +35,60 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// One point's per-axis value indices, viewed into a slab shared by its
+/// whole evaluation chunk — cloning or dropping a [`PointEval`] must not
+/// touch the heap (a sweep folds millions and discards almost all).
+#[derive(Debug, Clone)]
+pub struct Coords {
+    slab: Arc<[usize]>,
+    start: usize,
+    len: usize,
+}
+
+impl Coords {
+    /// The coordinates as a slice, in axis declaration order.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.slab[self.start..self.start + self.len]
+    }
+
+    /// A view of `points` consecutive coordinate rows sharing one slab
+    /// (the slab fast path's layout; `slab.len() == points * axes`).
+    pub(crate) fn rows(slab: Arc<[usize]>, points: usize) -> impl Iterator<Item = Coords> {
+        let axes = slab.len().checked_div(points).unwrap_or(0);
+        (0..points).map(move |i| Coords {
+            slab: slab.clone(),
+            start: i * axes,
+            len: axes,
+        })
+    }
+}
+
+impl From<Vec<usize>> for Coords {
+    fn from(v: Vec<usize>) -> Coords {
+        Coords {
+            len: v.len(),
+            slab: v.into(),
+            start: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for Coords {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Coords {
+    fn eq(&self, other: &Coords) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Coords {}
+
 /// One evaluated design point — the record folds consume. Deliberately a
 /// summary (not the per-layer result): a sweep folds millions of these.
 #[derive(Debug, Clone)]
@@ -42,9 +96,13 @@ pub struct PointEval {
     /// Rank in the swept space.
     pub id: DesignId,
     /// Per-axis value indices, in axis declaration order.
-    pub coords: Vec<usize>,
-    /// Per-axis value labels, in axis declaration order.
-    pub labels: Vec<String>,
+    pub coords: Coords,
+    /// The run's shared axis-value label table (`table[axis][value]`,
+    /// see [`ParamSpace::label_table`]); the point's own labels are
+    /// `table[a][coords[a]]` — [`PointEval::labels`] spells that out.
+    /// One `Arc` clone per point instead of a materialized label vector:
+    /// a sweep folds millions of these and most are discarded unread.
+    pub label_table: Arc<Vec<Vec<Arc<str>>>>,
     /// Total workload cycles.
     pub cycles: u64,
     /// Total baseline (38-bit tree) cycles.
@@ -56,6 +114,21 @@ pub struct PointEval {
     pub fp_fraction: f64,
     /// Area/power efficiency of the design at this slowdown.
     pub metrics: DesignMetrics,
+}
+
+impl PointEval {
+    /// One axis value's label.
+    pub fn label(&self, axis: usize) -> &str {
+        &self.label_table[axis][self.coords[axis]]
+    }
+
+    /// The point's per-axis labels, in axis declaration order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> + '_ {
+        self.coords
+            .iter()
+            .enumerate()
+            .map(|(a, &c)| &*self.label_table[a][c])
+    }
 }
 
 /// An incremental consumer of sweep results. The engine calls
@@ -182,6 +255,14 @@ impl SweepEngine {
     }
 
     /// Sweep the full cartesian product, folding in id order.
+    ///
+    /// Schedule-free spaces take the *slab* fast path: each chunk's
+    /// points are gathered into one [`CostBackend::estimate_batch`]
+    /// call, so a batched backend prices a whole axis-contiguous slab
+    /// at once. Results are bit-identical to the scalar per-point path
+    /// (which [`SweepEngine::run_ids`] always uses — the reference the
+    /// property tests compare against), and the fold still observes
+    /// points strictly in id order at any thread count.
     pub fn run<F: Fold + Send>(
         &self,
         space: &ParamSpace,
@@ -191,6 +272,14 @@ impl SweepEngine {
     where
         F::Output: Send,
     {
+        if let Some(plan) = crate::slab::SlabPlan::try_new(space, self.backend.as_ref()) {
+            return self.drive_chunks(
+                space.len(),
+                |lo, hi| plan.evaluate_chunk(lo, hi),
+                fold,
+                sink,
+            );
+        }
         self.drive(space, space.len(), DesignId, fold, sink)
     }
 
@@ -231,11 +320,40 @@ impl SweepEngine {
         self.run_ids(space, &space.sample_ids(count, seed), fold, sink)
     }
 
+    /// Scalar (point-at-a-time) chunk evaluation.
     fn drive<F: Fold + Send>(
         &self,
         space: &ParamSpace,
         total: u64,
         id_of: impl Fn(u64) -> DesignId + Sync,
+        fold: F,
+        sink: &dyn SweepSink,
+    ) -> F::Output
+    where
+        F::Output: Send,
+    {
+        let labels = space.label_table();
+        self.drive_chunks(
+            total,
+            |lo, hi| {
+                (lo..hi)
+                    .map(|rank| self.evaluate_id(space, id_of(rank), &labels))
+                    .collect()
+            },
+            fold,
+            sink,
+        )
+    }
+
+    /// The shared chunked driver: workers pull `[lo, hi)` rank ranges
+    /// from an atomic counter, evaluate them through `eval_chunk`
+    /// (scalar or slab), and a reorder buffer folds finished chunks
+    /// strictly in chunk order — the byte-determinism contract is
+    /// enforced here, independent of the evaluation strategy.
+    fn drive_chunks<F: Fold + Send>(
+        &self,
+        total: u64,
+        eval_chunk: impl Fn(u64, u64) -> Vec<PointEval> + Sync,
         fold: F,
         sink: &dyn SweepSink,
     ) -> F::Output
@@ -275,9 +393,7 @@ impl SweepEngine {
                     }
                     let lo = c as u64 * chunk;
                     let hi = total.min(lo + chunk);
-                    let evals: Vec<PointEval> = (lo..hi)
-                        .map(|rank| self.evaluate_id(space, id_of(rank)))
-                        .collect();
+                    let evals = eval_chunk(lo, hi);
                     // Fold strictly in chunk order: park out-of-order
                     // chunks, drain the contiguous prefix. The buffer
                     // holds at most ~`threads` chunks.
@@ -323,10 +439,15 @@ impl SweepEngine {
 
     /// Evaluate one design point (the per-point hot path).
     pub fn evaluate(&self, space: &ParamSpace, id: DesignId) -> Option<PointEval> {
-        (id.0 < space.len()).then(|| self.evaluate_id(space, id))
+        (id.0 < space.len()).then(|| self.evaluate_id(space, id, &space.label_table()))
     }
 
-    fn evaluate_id(&self, space: &ParamSpace, id: DesignId) -> PointEval {
+    fn evaluate_id(
+        &self,
+        space: &ParamSpace,
+        id: DesignId,
+        labels: &Arc<Vec<Vec<Arc<str>>>>,
+    ) -> PointEval {
         let spec = space.point(id).expect("design id in range");
         let scenario = match &self.backend {
             Some(b) => spec.scenario.cost_backend(b.clone()),
@@ -336,8 +457,8 @@ impl SweepEngine {
         let normalized = r.normalized();
         PointEval {
             id,
-            coords: spec.coords,
-            labels: spec.labels,
+            coords: spec.coords.into(),
+            label_table: labels.clone(),
             cycles: r.result.total_cycles(),
             baseline_cycles: r.result.total_baseline_cycles(),
             normalized,
@@ -440,11 +561,14 @@ mod tests {
             .run(&space(), Count::new(), &sink);
         assert_eq!(n, 8);
         let (hits, misses) = stats.into_inner().unwrap().expect("stats event");
-        // The analytic key is seed-blind and layer-blind, so a whole
-        // workload's layers dedupe per design point.
-        assert!(
-            hits > misses,
-            "sweep must dedupe: {hits} hits, {misses} misses"
+        // The memoized key is seed-blind, so the slab gather collapses a
+        // workload's same-window layers into one query per design point
+        // *before* the cache sees them: the cache records exactly one
+        // miss per distinct design and no redundant layer traffic.
+        assert_eq!(
+            (hits, misses),
+            (0, 8),
+            "slab pre-dedup must leave one query per design point"
         );
     }
 
@@ -466,6 +590,65 @@ mod tests {
             SweepEngine::new().run(&space(), (Count::new(), Collect::new()), &NullSweepSink);
         assert_eq!(n, 8);
         assert_eq!(evals.len(), 8);
+    }
+
+    #[test]
+    fn slab_fast_path_matches_scalar_reference_and_reports_stats() {
+        use std::sync::Mutex;
+        let stats = Mutex::new(None);
+        let sink = FnSink(|e: &SweepEvent<'_>| {
+            if let SweepEvent::BackendStats {
+                backend,
+                hits,
+                misses,
+                ..
+            } = e
+            {
+                *stats.lock().unwrap() = Some((backend.to_string(), *hits, *misses));
+            }
+        });
+        let engine = SweepEngine::new()
+            .backend(Backend::AnalyticBatched.instantiate())
+            .chunk_size(3);
+        let slab = engine.run(&space(), Collect::new(), &sink);
+        let ids: Vec<DesignId> = (0..8).map(DesignId).collect();
+        let scalar = engine.run_ids(&space(), &ids, Collect::new(), &NullSweepSink);
+        assert_eq!(slab.len(), scalar.len());
+        for (a, b) in slab.iter().zip(&scalar) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.labels().collect::<Vec<_>>(),
+                b.labels().collect::<Vec<_>>()
+            );
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.baseline_cycles, b.baseline_cycles);
+            assert_eq!(a.normalized.to_bits(), b.normalized.to_bits());
+            assert_eq!(
+                a.metrics.fp_tflops_per_w.to_bits(),
+                b.metrics.fp_tflops_per_w.to_bits()
+            );
+        }
+        let (backend, hits, misses) = stats.into_inner().unwrap().expect("stats event");
+        assert_eq!(backend, "analytic-batched");
+        // 8 designs over 4 w values share 4 DP classes (cluster size
+        // scales after the DP): every class is computed exactly once.
+        assert_eq!(hits + misses, 8, "one collapsed query per point");
+        assert!(
+            misses < 8,
+            "slab sweep must share DP classes: {hits} hits, {misses} misses"
+        );
+    }
+
+    #[test]
+    fn scheduled_spaces_fall_back_to_the_scalar_path() {
+        use mpipu_sim::Schedule;
+        let space = space().axis(Axis::schedule(vec![Schedule::FirstLastFp16]));
+        let evals = SweepEngine::new().run(&space, Collect::new(), &NullSweepSink);
+        assert_eq!(evals.len(), 8);
+        assert!(
+            evals.iter().all(|e| e.fp_fraction < 1.0),
+            "scheduled points must report their FP16 share"
+        );
     }
 
     #[test]

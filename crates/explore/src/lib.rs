@@ -54,6 +54,7 @@ pub mod engine;
 pub mod events;
 pub mod objective;
 pub mod pareto;
+mod slab;
 pub mod space;
 
 pub use axis::{grid_u32, log2_range, Axis, TileChoice, WorkloadSel};

@@ -107,8 +107,8 @@ mod tests {
     fn eval(normalized: f64, tops: f64) -> PointEval {
         PointEval {
             id: DesignId(0),
-            coords: vec![],
-            labels: vec![],
+            coords: Vec::new().into(),
+            label_table: std::sync::Arc::new(vec![]),
             cycles: 100,
             baseline_cycles: 80,
             normalized,

@@ -67,6 +67,9 @@ pub struct ParetoFold {
     /// `(keyed values, frontier point)` for every currently
     /// non-dominated design.
     front: Vec<(Vec<f64>, FrontierPoint)>,
+    /// Reused keyed-values buffer — most points are dominated and
+    /// rejected, so the per-point vector never hits the heap for them.
+    scratch: Vec<f64>,
     seen: u64,
 }
 
@@ -80,6 +83,7 @@ impl ParetoFold {
         ParetoFold {
             objectives,
             front: Vec::new(),
+            scratch: Vec::new(),
             seen: 0,
         }
     }
@@ -101,21 +105,24 @@ impl Fold for ParetoFold {
 
     fn accept(&mut self, eval: &PointEval) {
         self.seen += 1;
-        let keyed: Vec<f64> = self.objectives.iter().map(|o| o.keyed(eval)).collect();
+        self.scratch.clear();
+        self.scratch
+            .extend(self.objectives.iter().map(|o| o.keyed(eval)));
+        let keyed = &self.scratch;
         if self
             .front
             .iter()
-            .any(|(k, _)| dominates(k, &keyed) || *k == keyed)
+            .any(|(k, _)| dominates(k, keyed) || k == keyed)
         {
             return;
         }
-        self.front.retain(|(k, _)| !dominates(&keyed, k));
+        self.front.retain(|(k, _)| !dominates(keyed, k));
         let values = self.objectives.iter().map(|o| o.value(eval)).collect();
         self.front.push((
-            keyed,
+            keyed.clone(),
             FrontierPoint {
                 id: eval.id,
-                labels: eval.labels.clone(),
+                labels: eval.labels().map(str::to_string).collect(),
                 values,
             },
         ));
@@ -167,7 +174,7 @@ impl Fold for TopK {
         }
         let point = FrontierPoint {
             id: eval.id,
-            labels: eval.labels.clone(),
+            labels: eval.labels().map(str::to_string).collect(),
             values: vec![self.objective.value(eval)],
         };
         let at = self
@@ -189,10 +196,13 @@ mod tests {
     use mpipu_hw::DesignMetrics;
 
     fn eval(id: u64, normalized: f64, tops: f64) -> PointEval {
+        use std::sync::Arc;
         PointEval {
             id: DesignId(id),
-            coords: vec![id as usize],
-            labels: vec![format!("p{id}")],
+            coords: vec![id as usize].into(),
+            label_table: Arc::new(vec![(0..=id)
+                .map(|i| Arc::from(format!("p{i}").as_str()))
+                .collect()]),
             cycles: (normalized * 1000.0) as u64,
             baseline_cycles: 1000,
             normalized,

@@ -1,0 +1,504 @@
+//! The sweep engine's slab fast path: evaluate an axis-contiguous chunk
+//! of a [`ParamSpace`] as one batched backend call.
+//!
+//! [`SlabPlan::try_new`] checks that a space is slab-eligible (no
+//! precision schedules — scheduled points mix INT and FP layers and keep
+//! the scalar path) and hoists everything rank-independent: per-axis
+//! label tables, the shared cost backend, and whether that backend is
+//! *seed-blind* (its [`CostQuery`] cache key ignores the sampling seed,
+//! as the analytic backends' do — probed through the public
+//! `cache_key` contract, never by downcasting).
+//!
+//! [`SlabPlan::evaluate_chunk`] then walks one chunk of consecutive
+//! design ids with a mixed-radix odometer — reapplying only the axes
+//! whose coordinate changed, via the same [`Axis::apply`] the scalar
+//! path uses — and splits evaluation into three passes:
+//!
+//! 1. **Gather** — resolve each point's workload/geometry to a cached
+//!    [`LayerTable`] (per-layer step counts, sampling windows, seeds,
+//!    and the baseline total, exactly as the scalar simulator derives
+//!    them) and append its cost queries to one slab. For seed-blind
+//!    backends, layers sharing a sampling window collapse into a single
+//!    query per point.
+//! 2. **Estimate** — a single [`CostBackend::estimate_batch`] call over
+//!    the whole chunk's slab.
+//! 3. **Scatter** — rebuild every [`PointEval`] with the scalar path's
+//!    exact arithmetic: per-layer `(window_cycles · steps / sampled)`
+//!    rounding in the same op order, u64 totals in layer order, and
+//!    metrics through the hoisted [`MetricsFactors`].
+//!
+//! Bit-identity with [`SweepEngine::run_ids`]'s scalar evaluation is the
+//! contract (property-tested in `tests/proptests.rs`); the slab path
+//! changes how often shared math runs, never the math itself.
+
+use crate::axis::Axis;
+use crate::engine::PointEval;
+use crate::space::{DesignId, ParamSpace};
+use mpipu::Scenario;
+use mpipu_analysis::dist::Distribution;
+use mpipu_dnn::zoo::Workload;
+use mpipu_hw::MetricsFactors;
+use mpipu_sim::cost::pass_distributions;
+use mpipu_sim::{
+    layer_steps, CostBackend, CostQuery, SimDesign, SimOptions, BASELINE_CYCLES_PER_STEP,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One scatter-pass memo slot: `(table index, qbase cycle bits)` key
+/// mapped to the `(total cycles, normalized)` it produced.
+type TotalsMemoSlot = Option<(usize, u64, (u64, f64))>;
+
+/// Everything rank-independent about one slab-evaluated sweep.
+pub(crate) struct SlabPlan<'s> {
+    space: &'s ParamSpace,
+    backend: Arc<dyn CostBackend>,
+    /// Whether the backend's cache key ignores the seed — the license to
+    /// collapse same-window queries within a point.
+    seed_blind: bool,
+    /// `labels[axis][value]`, shared into every [`PointEval`].
+    labels: Arc<Vec<Vec<Arc<str>>>>,
+    /// Axes whose coordinate changes the resolved workload
+    /// ([`Axis::Workload`] / [`Axis::Pass`]).
+    wl_axes: Vec<usize>,
+    opts: SimOptions,
+}
+
+impl<'s> SlabPlan<'s> {
+    /// Plan a slab sweep, or `None` when the space needs the scalar
+    /// path (a schedule anywhere, or an invalid base scenario).
+    pub(crate) fn try_new(
+        space: &'s ParamSpace,
+        override_backend: Option<&Arc<dyn CostBackend>>,
+    ) -> Option<SlabPlan<'s>> {
+        if space.axes().iter().any(|a| matches!(a, Axis::Schedule(_))) {
+            return None;
+        }
+        let lowered = space.base().try_lower().ok()?;
+        if lowered.schedule.is_some() {
+            return None;
+        }
+        let backend = override_backend
+            .cloned()
+            .unwrap_or_else(|| lowered.backend.clone());
+        let probe = CostQuery {
+            tile: lowered.design.tile,
+            w: lowered.design.w,
+            software_precision: lowered.design.software_precision,
+            dists: lowered
+                .dists
+                .unwrap_or_else(|| pass_distributions(mpipu_dnn::zoo::Pass::Forward)),
+            window: 1,
+            seed: 0,
+        };
+        let seed_blind =
+            backend.cache_key(&probe) == backend.cache_key(&CostQuery { seed: 1, ..probe });
+        let labels = space.label_table();
+        let wl_axes = space
+            .axes()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a, Axis::Workload(_) | Axis::Pass(_)))
+            .map(|(i, _)| i)
+            .collect();
+        Some(SlabPlan {
+            space,
+            backend,
+            seed_blind,
+            labels,
+            wl_axes,
+            opts: lowered.opts,
+        })
+    }
+
+    /// Evaluate design ids `lo..hi` (the engine's chunk unit) through
+    /// the three-pass slab pipeline.
+    pub(crate) fn evaluate_chunk(&self, lo: u64, hi: u64) -> Vec<PointEval> {
+        Worker::new(self).chunk(lo, hi)
+    }
+}
+
+/// One layer's slab bookkeeping: which query slot prices it and the
+/// scalar path's exact scaling constants.
+struct SlabLayer {
+    /// Index into the owning [`LayerTable`]'s query slots.
+    slot: usize,
+    steps_f: f64,
+    sampled_f: f64,
+    /// Layer multiplicity, pre-widened for the u64 total.
+    weight: u64,
+}
+
+/// Per-(workload, tile geometry, n_tiles) evaluation skeleton — every
+/// design-point quantity that does not depend on `w`, precision,
+/// clustering, buffering, or distributions.
+struct LayerTable {
+    layers: Vec<SlabLayer>,
+    /// Distinct query slots as `(window, seed)`. Seed-blind backends
+    /// share one slot per distinct window; seed-sensitive backends get
+    /// one slot per layer, reproducing the scalar query stream exactly.
+    slots: Vec<(usize, u64)>,
+    total_baseline: u64,
+}
+
+impl LayerTable {
+    fn build(
+        design: &SimDesign,
+        workload: &Workload,
+        opts: &SimOptions,
+        seed_blind: bool,
+    ) -> LayerTable {
+        let mut layers = Vec::with_capacity(workload.layers.len());
+        let mut slots: Vec<(usize, u64)> = Vec::new();
+        let mut total_baseline = 0u64;
+        for (li, &(shape, multiplicity)) in workload.layers.iter().enumerate() {
+            let steps = layer_steps(design, &shape);
+            let sampled = (steps as usize).min(opts.sample_steps).max(1);
+            let seed = opts.seed ^ (li as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let slot = if seed_blind {
+                match slots.iter().position(|&(w, _)| w == sampled) {
+                    Some(s) => s,
+                    None => {
+                        slots.push((sampled, seed));
+                        slots.len() - 1
+                    }
+                }
+            } else {
+                slots.push((sampled, seed));
+                slots.len() - 1
+            };
+            layers.push(SlabLayer {
+                slot,
+                steps_f: steps as f64,
+                sampled_f: sampled as f64,
+                weight: multiplicity as u64,
+            });
+            total_baseline += steps * u64::from(BASELINE_CYCLES_PER_STEP) * multiplicity as u64;
+        }
+        LayerTable {
+            layers,
+            slots,
+            total_baseline,
+        }
+    }
+}
+
+/// One point's fully-derived evaluation inputs — reused verbatim when a
+/// step only moves an axis that cannot change them.
+#[derive(Clone, Copy)]
+struct Derived {
+    design: SimDesign,
+    table: usize,
+    factors: MetricsFactors,
+    dists: (Distribution, Distribution),
+}
+
+/// A gathered-but-not-yet-priced design point (its coordinates live in
+/// the chunk's shared coordinate slab).
+struct Pending {
+    table: usize,
+    factors: MetricsFactors,
+    /// This point's first query in the chunk slab.
+    qbase: usize,
+}
+
+/// Per-chunk evaluator: the odometer plus value caches. Fresh per chunk
+/// (caches refill from a handful of axis values; the expensive math
+/// lives behind the shared backend's own caches).
+struct Worker<'p, 's> {
+    plan: &'p SlabPlan<'s>,
+    workloads: Vec<(Vec<usize>, Arc<Workload>)>,
+    tables: Vec<((usize, [usize; 5]), LayerTable)>,
+    factors: HashMap<(u32, usize, bool), MetricsFactors>,
+}
+
+impl<'p, 's> Worker<'p, 's> {
+    fn new(plan: &'p SlabPlan<'s>) -> Worker<'p, 's> {
+        Worker {
+            plan,
+            workloads: Vec::new(),
+            tables: Vec::new(),
+            factors: HashMap::new(),
+        }
+    }
+
+    fn workload_id(&mut self, coords: &[usize], scenario: &Scenario) -> usize {
+        if self.plan.wl_axes.is_empty() {
+            // No workload/pass axes: every point shares one workload.
+            if self.workloads.is_empty() {
+                self.workloads
+                    .push((Vec::new(), Arc::new(scenario.resolve_workload())));
+            }
+            return 0;
+        }
+        let key: Vec<usize> = self.plan.wl_axes.iter().map(|&i| coords[i]).collect();
+        match self.workloads.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                self.workloads
+                    .push((key, Arc::new(scenario.resolve_workload())));
+                self.workloads.len() - 1
+            }
+        }
+    }
+
+    fn table_id(&mut self, wid: usize, design: &SimDesign) -> usize {
+        let key = (
+            wid,
+            [
+                design.tile.c_unroll,
+                design.tile.k_unroll,
+                design.tile.h_unroll,
+                design.tile.w_unroll,
+                design.n_tiles,
+            ],
+        );
+        match self.tables.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                let table = LayerTable::build(
+                    design,
+                    &self.workloads[wid].1,
+                    &self.plan.opts,
+                    self.plan.seed_blind,
+                );
+                self.tables.push((key, table));
+                self.tables.len() - 1
+            }
+        }
+    }
+
+    fn chunk(mut self, lo: u64, hi: u64) -> Vec<PointEval> {
+        let plan = self.plan;
+        let axes = plan.space.axes();
+        let n = axes.len();
+        let mut coords = plan
+            .space
+            .coords(DesignId(lo))
+            .expect("slab chunk start in range");
+
+        // Axes whose values touch exactly one field of the derived
+        // evaluation inputs: a distribution override swaps `dists`, a
+        // buffer-depth move rewrites `tile.buffer_depth` (`layer_steps`,
+        // the table key, and the metrics factors are all blind to both).
+        // For the contiguous *tail* of such axes, every point patches
+        // the value onto `Derived` directly — writing the very value
+        // `Axis::apply` would have pushed through the scenario — so the
+        // odometer never has to apply or reapply a fast-tail axis.
+        enum FastAxis<'a> {
+            Dists(&'a [(Distribution, Distribution)]),
+            Buffer(&'a [usize]),
+        }
+        let mut fast_lo = n;
+        let mut fast_tail: Vec<FastAxis<'_>> = Vec::new();
+        while fast_lo > 0 {
+            match &axes[fast_lo - 1] {
+                Axis::Distributions(v) => fast_tail.push(FastAxis::Dists(v)),
+                Axis::BufferDepth(v) => fast_tail.push(FastAxis::Buffer(v)),
+                _ => break,
+            }
+            fast_lo -= 1;
+        }
+        fast_tail.reverse(); // fast_tail[i - fast_lo] pairs with axes[i]
+
+        // states[i] = base with axes[..i] applied — the odometer only
+        // rebuilds the suffix whose coordinates changed, and the fast
+        // tail never enters the scenario at all.
+        let mut states: Vec<Scenario> = Vec::with_capacity(fast_lo + 1);
+        states.push(plan.space.base().clone());
+        for i in 0..fast_lo {
+            let next = axes[i].apply(coords[i], states[i].clone());
+            states.push(next);
+        }
+
+        // Pass 1 — gather. No per-point `try_lower`: the plan already
+        // proved the space schedule-free, and no axis can touch the
+        // sampling options, so `Scenario::design` plus the distribution
+        // override is the whole lowering.
+        // Seed-blind single-window points gather one query each, so the
+        // chunk's point count is almost always the exact slab length.
+        let mut queries: Vec<CostQuery> = Vec::with_capacity((hi - lo) as usize);
+        let mut pending: Vec<Pending> = Vec::with_capacity((hi - lo) as usize);
+        // All points' coordinates, row-major in one slab the chunk's
+        // `PointEval`s share — no per-point coordinate allocation.
+        let mut coord_slab: Vec<usize> = Vec::with_capacity((hi - lo) as usize * n);
+        let mut derived: Option<Derived> = None;
+        let mut last_table: Option<((usize, [usize; 5]), usize)> = None;
+        let mut last_factors: Option<((u32, usize, bool), MetricsFactors)> = None;
+        // First axis whose coordinate changed since the previous point
+        // (everything, for the chunk's first point).
+        let mut changed = 0usize;
+        for rank in lo..hi {
+            let d = match derived {
+                Some(mut d) if changed >= fast_lo => {
+                    for i in changed..n {
+                        match fast_tail[i - fast_lo] {
+                            FastAxis::Dists(v) => d.dists = v[coords[i]],
+                            FastAxis::Buffer(v) => d.design.tile.buffer_depth = v[coords[i]],
+                        }
+                    }
+                    derived = Some(d);
+                    d
+                }
+                _ => {
+                    let scenario = &states[fast_lo];
+                    let design = scenario.design();
+                    let wid = self.workload_id(&coords, scenario);
+                    let dists: (Distribution, Distribution) = scenario
+                        .distribution_override()
+                        .unwrap_or_else(|| pass_distributions(self.workloads[wid].1.pass));
+                    let tkey = (
+                        wid,
+                        [
+                            design.tile.c_unroll,
+                            design.tile.k_unroll,
+                            design.tile.h_unroll,
+                            design.tile.w_unroll,
+                            design.n_tiles,
+                        ],
+                    );
+                    let table = match last_table {
+                        Some((k, t)) if k == tkey => t,
+                        _ => {
+                            let t = self.table_id(wid, &design);
+                            last_table = Some((tkey, t));
+                            t
+                        }
+                    };
+                    let dp = scenario.design_point();
+                    let fkey = (dp.w, dp.cluster_size, dp.big);
+                    let factors = match last_factors {
+                        Some((k, f)) if k == fkey => f,
+                        _ => {
+                            let f = *self
+                                .factors
+                                .entry(fkey)
+                                .or_insert_with(|| dp.metrics_factors());
+                            last_factors = Some((fkey, f));
+                            f
+                        }
+                    };
+                    let mut d = Derived {
+                        design,
+                        table,
+                        factors,
+                        dists,
+                    };
+                    // `states` stops at `fast_lo`: stamp the fast-tail
+                    // axes' current values the same way a fast step does.
+                    for i in fast_lo..n {
+                        match fast_tail[i - fast_lo] {
+                            FastAxis::Dists(v) => d.dists = v[coords[i]],
+                            FastAxis::Buffer(v) => d.design.tile.buffer_depth = v[coords[i]],
+                        }
+                    }
+                    derived = Some(d);
+                    d
+                }
+            };
+            let qbase = queries.len();
+            for &(window, seed) in &self.tables[d.table].1.slots {
+                queries.push(CostQuery {
+                    tile: d.design.tile,
+                    w: d.design.w,
+                    software_precision: d.design.software_precision,
+                    dists: d.dists,
+                    window,
+                    seed,
+                });
+            }
+            coord_slab.extend_from_slice(&coords);
+            pending.push(Pending {
+                table: d.table,
+                factors: d.factors,
+                qbase,
+            });
+
+            if rank + 1 < hi {
+                // Advance the mixed-radix odometer (last axis fastest)
+                // and reapply only the changed suffix. A move within the
+                // fast tail skips the reapply entirely: the next point
+                // patches `Derived` instead of reading `states[n]`, and
+                // any later wider step rebuilds the stale suffix from
+                // the still-valid prefix.
+                let mut j = n;
+                while j > 0 {
+                    j -= 1;
+                    coords[j] += 1;
+                    if coords[j] < axes[j].len() {
+                        break;
+                    }
+                    coords[j] = 0;
+                }
+                changed = j;
+                if j < fast_lo {
+                    for i in j..fast_lo {
+                        states[i + 1] = axes[i].apply(coords[i], states[i].clone());
+                    }
+                }
+            }
+        }
+
+        // Pass 2 — one batched estimate for the whole chunk.
+        let mut cycles = vec![0.0f64; queries.len()];
+        plan.backend.estimate_batch(&queries, &mut cycles);
+
+        // Pass 3 — scatter back into PointEvals with the scalar
+        // arithmetic, op for op. The layer total is a pure function of
+        // (table, per-slot cycles); buffer-depth and n-tiles moves leave
+        // the cycles untouched, so the query stream revisits the same
+        // few inputs back to back — a two-deep memo (the stream
+        // alternates fwd/bwd distributions) skips the layer loop for
+        // all but the first sighting of each value.
+        let mut totals: [TotalsMemoSlot; 2] = [None, None];
+        let points = pending.len();
+        let coord_rows = crate::engine::Coords::rows(coord_slab.into(), points);
+        pending
+            .into_iter()
+            .zip(coord_rows)
+            .enumerate()
+            .map(|(i, (p, coords))| {
+                let table = &self.tables[p.table].1;
+                let key = (p.table, cycles[p.qbase].to_bits());
+                let memoable = table.slots.len() == 1;
+                let hit = if !memoable {
+                    None
+                } else if matches!(totals[0], Some((t, b, _)) if (t, b) == key) {
+                    totals[0].map(|(_, _, r)| r)
+                } else if matches!(totals[1], Some((t, b, _)) if (t, b) == key) {
+                    totals.swap(0, 1);
+                    totals[0].map(|(_, _, r)| r)
+                } else {
+                    None
+                };
+                let (total, normalized) = hit.unwrap_or_else(|| {
+                    let mut total = 0u64;
+                    for l in &table.layers {
+                        let window_cycles = cycles[p.qbase + l.slot];
+                        // Scale the estimation window to the layer's true
+                        // step count — identical op order to the scalar
+                        // simulator, then the same u64 multiplicity total.
+                        let layer_cycles = (window_cycles * l.steps_f / l.sampled_f).round() as u64;
+                        total += layer_cycles * l.weight;
+                    }
+                    let normalized = total as f64 / table.total_baseline.max(1) as f64;
+                    if memoable {
+                        totals.swap(0, 1);
+                        totals[0] = Some((key.0, key.1, (total, normalized)));
+                    }
+                    (total, normalized)
+                });
+                PointEval {
+                    id: DesignId(lo + i as u64),
+                    coords,
+                    label_table: plan.labels.clone(),
+                    cycles: total,
+                    baseline_cycles: table.total_baseline,
+                    normalized,
+                    fp_fraction: 1.0,
+                    metrics: p.factors.at(normalized.max(1.0)),
+                }
+            })
+            .collect()
+    }
+}

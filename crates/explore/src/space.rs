@@ -11,6 +11,7 @@ use crate::axis::Axis;
 use mpipu::Scenario;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Stable identifier of one design point within its [`ParamSpace`]: the
 /// row-major rank in the cartesian product.
@@ -60,6 +61,11 @@ impl ParamSpace {
         self
     }
 
+    /// The base scenario the axes refine.
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
     /// The declared axes, in order.
     pub fn axes(&self) -> &[Axis] {
         &self.axes
@@ -68,6 +74,18 @@ impl ParamSpace {
     /// The axis names, in order (report column headers).
     pub fn axis_names(&self) -> Vec<&'static str> {
         self.axes.iter().map(Axis::name).collect()
+    }
+
+    /// The shared axis-value label table (`table[axis][value]`) every
+    /// [`crate::PointEval`] of a sweep references — one allocation per
+    /// run instead of one label vector per point.
+    pub fn label_table(&self) -> Arc<Vec<Vec<Arc<str>>>> {
+        Arc::new(
+            self.axes
+                .iter()
+                .map(|a| (0..a.len()).map(|i| Arc::from(a.label(i))).collect())
+                .collect(),
+        )
     }
 
     /// Number of design points in the cartesian product.

@@ -1,6 +1,8 @@
-//! Property tests for the Pareto fold: the frontier is a subset of the
+//! Property tests for the Pareto fold — the frontier is a subset of the
 //! input, contains no dominated point, and is invariant under input
-//! permutation.
+//! permutation — and for the sweep engine's slab fast path, which must
+//! be bit-identical to scalar point-by-point evaluation over arbitrary
+//! parameter spaces and chunk boundaries.
 
 use mpipu_explore::{pareto_front, FrontierPoint, Objective, ParetoFold, PointEval, Sense};
 use mpipu_explore::{DesignId, Fold};
@@ -60,8 +62,10 @@ fn fold_points(points: &[Vec<f64>]) -> Vec<FrontierPoint> {
         let get = |k: usize| p.get(k).copied().unwrap_or(0.0);
         fold.accept(&PointEval {
             id: DesignId(i as u64),
-            coords: vec![i],
-            labels: vec![format!("{i}")],
+            coords: vec![i].into(),
+            label_table: std::sync::Arc::new(vec![(0..=i)
+                .map(|j| std::sync::Arc::from(format!("{j}").as_str()))
+                .collect()]),
             cycles: 1,
             baseline_cycles: 1,
             normalized: 1.0,
@@ -137,5 +141,103 @@ proptest! {
             .collect();
         batch.sort();
         prop_assert_eq!(fold_values, batch);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// ISSUE 7: `SweepEngine::run`'s slab fast path (whole chunks
+    /// gathered into one `estimate_batch` call) is bit-identical to the
+    /// scalar reference path (`run_ids`, which evaluates point by
+    /// point) over arbitrary axis combinations, chunk boundaries,
+    /// thread counts, and backends — batched, scalar analytic, memoized,
+    /// and the seed-sensitive Monte-Carlo fallback.
+    #[test]
+    fn slab_sweep_is_bit_identical_to_scalar_reference(
+        w_mask in 1usize..32,
+        cluster_mask in 1usize..8,
+        swp_mask in 1usize..4,
+        pass_mask in 1usize..4,
+        with_dist_axis in any::<bool>(),
+        backend_sel in 0usize..4,
+        chunk in 1usize..=7,
+        threads in 1usize..=4,
+    ) {
+        use mpipu::{Backend, Scenario, Zoo};
+        use mpipu_analysis::dist::Distribution;
+        use mpipu_dnn::zoo::Pass;
+        use mpipu_explore::{Axis, Collect, NullSweepSink, ParamSpace, SweepEngine};
+
+        /// The non-empty subset of `all` selected by the mask's bits.
+        fn masked<T: Copy>(all: &[T], mask: usize) -> Vec<T> {
+            all.iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .collect()
+        }
+
+        let ws = masked(&[8u32, 12, 16, 25, 38], w_mask);
+        let clusters = masked(&[1usize, 2, 8], cluster_mask);
+        let swps = masked(&[16u32, 28], swp_mask);
+        let passes = masked(&[Pass::Forward, Pass::Backward], pass_mask);
+        let backend = [
+            Backend::AnalyticBatched,
+            Backend::Analytic,
+            Backend::MemoizedAnalytic,
+            Backend::MonteCarlo,
+        ][backend_sel];
+        let mut space = ParamSpace::new(
+            Scenario::small_tile()
+                .workload(Zoo::ResNet18)
+                .sample_steps(8)
+                .backend(backend),
+        )
+        .axis(Axis::w(ws))
+        .axis(Axis::cluster(clusters))
+        .axis(Axis::software_precision(swps))
+        .axis(Axis::pass(passes));
+        if with_dist_axis {
+            space = space.axis(Axis::distributions(vec![(
+                Distribution::Normal { std: 1.0 },
+                Distribution::WeightLike,
+            )]));
+        }
+
+        let engine = SweepEngine::new().threads(threads).chunk_size(chunk);
+        let slab = engine.run(&space, Collect::new(), &NullSweepSink);
+        let ids: Vec<DesignId> = (0..space.len()).map(DesignId).collect();
+        let scalar = engine.run_ids(&space, &ids, Collect::new(), &NullSweepSink);
+
+        prop_assert_eq!(slab.len(), scalar.len());
+        for (a, b) in slab.iter().zip(&scalar) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(&a.coords, &b.coords);
+            prop_assert_eq!(
+                a.labels().collect::<Vec<_>>(),
+                b.labels().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(a.cycles, b.cycles, "id {:?}", a.id);
+            prop_assert_eq!(a.baseline_cycles, b.baseline_cycles);
+            prop_assert_eq!(a.normalized.to_bits(), b.normalized.to_bits());
+            prop_assert_eq!(a.fp_fraction.to_bits(), b.fp_fraction.to_bits());
+            prop_assert_eq!(
+                a.metrics.int_tops_per_mm2.to_bits(),
+                b.metrics.int_tops_per_mm2.to_bits()
+            );
+            prop_assert_eq!(
+                a.metrics.int_tops_per_w.to_bits(),
+                b.metrics.int_tops_per_w.to_bits()
+            );
+            prop_assert_eq!(
+                a.metrics.fp_tflops_per_mm2.to_bits(),
+                b.metrics.fp_tflops_per_mm2.to_bits()
+            );
+            prop_assert_eq!(
+                a.metrics.fp_tflops_per_w.to_bits(),
+                b.metrics.fp_tflops_per_w.to_bits()
+            );
+        }
     }
 }

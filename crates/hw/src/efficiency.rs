@@ -22,6 +22,44 @@ pub struct DesignPoint {
     pub big: bool,
 }
 
+/// The slowdown-independent part of a design point's metrics: area,
+/// power, and peak throughput after the clustering overhead. Hoisting
+/// these lets sweep evaluators price the hardware model once per design
+/// and reuse it across every workload result ([`MetricsFactors::at`] is
+/// the cheap per-result step). [`DesignPoint::metrics`] routes through
+/// this type, so the two paths are bit-identical by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsFactors {
+    /// Tile area after clustering overhead, mm².
+    pub area: f64,
+    /// INT-mode power after clustering overhead, W.
+    pub p_int: f64,
+    /// FP-mode power after clustering overhead, W.
+    pub p_fp: f64,
+    /// Peak INT4 throughput, GOPS (one MAC per multiplier per cycle at
+    /// 1 GHz).
+    pub int_gops: f64,
+}
+
+impl MetricsFactors {
+    /// Metrics at a given FP slowdown (≥ 1.0).
+    pub fn at(&self, fp_slowdown: f64) -> DesignMetrics {
+        assert!(
+            fp_slowdown >= 1.0,
+            "slowdown must be ≥ 1, got {fp_slowdown}"
+        );
+        // FP16: nine nibble iterations per MAC, degraded by the simulated
+        // slowdown.
+        let fp_gflops = self.int_gops / 9.0 / fp_slowdown;
+        DesignMetrics {
+            int_tops_per_mm2: self.int_gops / 1e3 / self.area,
+            int_tops_per_w: self.int_gops / 1e3 / self.p_int,
+            fp_tflops_per_mm2: fp_gflops / 1e3 / self.area,
+            fp_tflops_per_w: fp_gflops / 1e3 / self.p_fp,
+        }
+    }
+}
+
 /// Efficiency metrics of a design point.
 #[derive(Debug, Clone, Copy)]
 pub struct DesignMetrics {
@@ -50,10 +88,13 @@ impl DesignPoint {
     /// `fp_slowdown` is the workload-average normalized execution time from
     /// `mpipu-sim` (≥ 1.0; the baseline design has 1.0).
     pub fn metrics(&self, fp_slowdown: f64) -> DesignMetrics {
-        assert!(
-            fp_slowdown >= 1.0,
-            "slowdown must be ≥ 1, got {fp_slowdown}"
-        );
+        self.metrics_factors().at(fp_slowdown)
+    }
+
+    /// The slowdown-independent factors of [`DesignPoint::metrics`] —
+    /// everything the hardware model prices before the simulator's
+    /// workload slowdown enters.
+    pub fn metrics_factors(&self) -> MetricsFactors {
         let hw = self.tile_hw();
         let b = TileBreakdown::model(hw);
         // Small clusters add duplicated input/output buffering: charge
@@ -63,21 +104,12 @@ impl DesignPoint {
         let ipus = if self.big { 64 } else { 32 };
         let clusters = (ipus / self.cluster_size).max(1) as f64;
         let overhead = 1.0 + 0.001 * (clusters - 1.0);
-        let area = b.area_mm2() * overhead;
-        let p_int = b.power_mw(false) * overhead / 1e3; // W
-        let p_fp = b.power_mw(true) * overhead / 1e3;
-
-        // Peak INT4: one MAC per multiplier per cycle at 1 GHz.
-        let int_gops = hw.multipliers() as f64; // GOPS
-                                                // FP16: nine nibble iterations per MAC, degraded by the simulated
-                                                // slowdown.
-        let fp_gflops = int_gops / 9.0 / fp_slowdown;
-
-        DesignMetrics {
-            int_tops_per_mm2: int_gops / 1e3 / area,
-            int_tops_per_w: int_gops / 1e3 / p_int,
-            fp_tflops_per_mm2: fp_gflops / 1e3 / area,
-            fp_tflops_per_w: fp_gflops / 1e3 / p_fp,
+        MetricsFactors {
+            area: b.area_mm2() * overhead,
+            p_int: b.power_mw(false) * overhead / 1e3, // W
+            p_fp: b.power_mw(true) * overhead / 1e3,
+            // Peak INT4: one MAC per multiplier per cycle at 1 GHz.
+            int_gops: hw.multipliers() as f64, // GOPS
         }
     }
 }

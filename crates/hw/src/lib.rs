@@ -24,6 +24,6 @@ pub mod efficiency;
 pub mod table1;
 pub mod tile_model;
 
-pub use efficiency::{DesignMetrics, DesignPoint};
+pub use efficiency::{DesignMetrics, DesignPoint, MetricsFactors};
 pub use table1::{table1_designs, Table1Design, Table1Row};
 pub use tile_model::{Component, FpSupport, TileBreakdown, TileHwConfig};

@@ -23,12 +23,19 @@
 //!   [`CostBackend::cache_key`], so sweeps and the experiment suite stop
 //!   recomputing identical design points. Memoization is transparent:
 //!   results are bit-identical to the inner backend's.
+//! * [`crate::slab::AnalyticBatched`] — the analytic math restructured
+//!   for whole-slab evaluation through
+//!   [`CostBackend::estimate_batch`]: the operand PMFs, product-exponent
+//!   convolution, and sequential-binomial DP are hoisted once per
+//!   equivalence class of queries instead of recomputed per point, and
+//!   per-cluster means are filled through a structure-of-arrays kernel.
+//!   Bit-identical to [`Analytic`] on every query.
 //!
 //! The seam is threaded through every consumer: `run.rs`/`mixed.rs`
 //! estimate FP16 layers through `&dyn CostBackend`, [`crate::Lowered`]
 //! carries an `Arc<dyn CostBackend>`, the `mpipu::Scenario` builder
 //! selects one with `.backend(Backend::Analytic)`, and the suite CLI
-//! exposes `--backend {mc,analytic,memoized,memoized-analytic}`.
+//! exposes `--backend {mc,analytic,analytic-batched,memoized,memoized-analytic}`.
 
 use crate::cost::{safe_precision, CostModel};
 use crate::engine::{constant_stream_cycles, simulate_clusters};
@@ -96,6 +103,29 @@ pub trait CostBackend: fmt::Debug + Send + Sync {
     fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
+
+    /// Estimate a whole slab of queries at once: `out[i]` receives the
+    /// [`CostBackend::window_cycles`] answer for `queries[i]`.
+    ///
+    /// The default loops over `window_cycles` — always correct, never
+    /// faster. Batched backends
+    /// ([`crate::slab::AnalyticBatched`]) override it to hoist work
+    /// shared between queries; results must stay bit-identical to the
+    /// scalar path, so callers (the sweep engine's slab fast path) may
+    /// pick freely between the two.
+    ///
+    /// # Panics
+    /// Panics if `queries.len() != out.len()`.
+    fn estimate_batch(&self, queries: &[CostQuery], out: &mut [f64]) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "estimate_batch: slab length mismatch"
+        );
+        for (slot, q) in out.iter_mut().zip(queries) {
+            *slot = self.window_cycles(q);
+        }
+    }
 }
 
 /// A memoizing backend's observable cache state (see
@@ -158,7 +188,7 @@ impl CacheKey {
 
 /// Hashable digest of a [`Distribution`]: discriminant + parameter bits
 /// (`f64` fields are compared exactly, by bit pattern).
-fn dist_key(d: Distribution) -> (u8, u64) {
+pub(crate) fn dist_key(d: Distribution) -> (u8, u64) {
     match d {
         Distribution::Uniform { scale } => (0, scale.to_bits()),
         Distribution::Normal { std } => (1, std.to_bits()),
@@ -185,18 +215,29 @@ pub enum Backend {
     Memoized,
     /// Memoized analytic: the fast path for large sweeps.
     MemoizedAnalytic,
+    /// Batched analytic ([`crate::slab::AnalyticBatched`]): bit-identical
+    /// to [`Backend::Analytic`], with the heavy per-class math hoisted
+    /// and shared across whole query slabs.
+    AnalyticBatched,
 }
 
 impl Backend {
     /// Every accepted `--backend` name, in presentation order.
-    pub const NAMES: [&'static str; 4] = ["mc", "analytic", "memoized", "memoized-analytic"];
+    pub const NAMES: [&'static str; 5] = [
+        "mc",
+        "analytic",
+        "analytic-batched",
+        "memoized",
+        "memoized-analytic",
+    ];
 
-    /// Parse a CLI name (`mc`, `analytic`, `memoized`,
-    /// `memoized-analytic`).
+    /// Parse a CLI name (`mc`, `analytic`, `analytic-batched`,
+    /// `memoized`, `memoized-analytic`).
     pub fn parse(name: &str) -> Option<Backend> {
         match name {
             "mc" => Some(Backend::MonteCarlo),
             "analytic" => Some(Backend::Analytic),
+            "analytic-batched" => Some(Backend::AnalyticBatched),
             "memoized" => Some(Backend::Memoized),
             "memoized-analytic" => Some(Backend::MemoizedAnalytic),
             _ => None,
@@ -208,6 +249,7 @@ impl Backend {
         match self {
             Backend::MonteCarlo => "mc",
             Backend::Analytic => "analytic",
+            Backend::AnalyticBatched => "analytic-batched",
             Backend::Memoized => "memoized",
             Backend::MemoizedAnalytic => "memoized-analytic",
         }
@@ -221,6 +263,7 @@ impl Backend {
         match self {
             Backend::MonteCarlo => Arc::new(MonteCarlo),
             Backend::Analytic => Arc::new(Analytic),
+            Backend::AnalyticBatched => Arc::new(crate::slab::AnalyticBatched::new()),
             Backend::Memoized => Arc::new(Memoized::new(Arc::new(MonteCarlo))),
             Backend::MemoizedAnalytic => Arc::new(Memoized::new(Arc::new(Analytic))),
         }
@@ -251,7 +294,7 @@ const PROD_EXP_MIN: i32 = -28;
 /// See [`PROD_EXP_MIN`].
 const PROD_EXP_MAX: i32 = 30;
 /// Number of representable product-exponent values.
-const PROD_EXPS: usize = (PROD_EXP_MAX - PROD_EXP_MIN + 1) as usize;
+pub(crate) const PROD_EXPS: usize = (PROD_EXP_MAX - PROD_EXP_MIN + 1) as usize;
 
 /// The closed-form backend: expected step costs from exponent PMFs.
 ///
@@ -381,7 +424,10 @@ fn operand_pmf(d: Distribution) -> (f64, [f64; 30]) {
 
 /// The product-exponent PMF of an independent operand pair:
 /// `(dead-lane mass, live[e - PROD_EXP_MIN])`.
-fn product_exponent_pmf(act: Distribution, wgt: Distribution) -> (f64, [f64; PROD_EXPS]) {
+pub(crate) fn product_exponent_pmf(
+    act: Distribution,
+    wgt: Distribution,
+) -> (f64, [f64; PROD_EXPS]) {
     let (za, pa) = operand_pmf(act);
     let (zw, pw) = operand_pmf(wgt);
     let mut live = [0.0f64; PROD_EXPS];
@@ -424,7 +470,13 @@ fn pascal(n: usize) -> Vec<Vec<f64>> {
 /// closed under lane space `≤ m` and under `≤ m` minus the mass at `m`
 /// (windows never contain `m`, so the DP itself is shared and only the
 /// leftover-mass factor differs).
-fn ipu_partition_pmf(n: usize, sp: u32, swp: u32, dead: f64, live: &[f64; PROD_EXPS]) -> Vec<f64> {
+pub(crate) fn ipu_partition_pmf(
+    n: usize,
+    sp: u32,
+    swp: u32,
+    dead: f64,
+    live: &[f64; PROD_EXPS],
+) -> Vec<f64> {
     let sp = sp.max(1) as usize; // same guard as Ehu::partition_count
     let swp = swp as usize;
     let top_partition = swp / sp; // windows 1..=top_partition exist
@@ -442,7 +494,14 @@ fn ipu_partition_pmf(n: usize, sp: u32, swp: u32, dead: f64, live: &[f64; PROD_E
     // All lanes dead: the idle single partition.
     out[0] += dead.powi(n as i32);
 
-    let mut g = vec![0.0f64; (n + 1) * (top_partition + 1)];
+    // The DP matrix, laid out j-major (`g[j · rows + t]`) so the hot
+    // inner update below writes a stride-1 run of lane counts. Pure
+    // layout: every cell sees the same additions in the same order as
+    // the t-major layout, so the result is bit-identical.
+    let rows = n + 1;
+    let mut g = vec![0.0f64; rows * (top_partition + 1)];
+    let mut windows: Vec<f64> = Vec::with_capacity(top_partition);
+    let mut powers = vec![0.0f64; n + 1];
     for m in 0..PROD_EXPS {
         let q_m = live[m];
         if q_m <= 0.0 {
@@ -450,7 +509,7 @@ fn ipu_partition_pmf(n: usize, sp: u32, swp: u32, dead: f64, live: &[f64; PROD_E
         }
         // Window masses W_k(m), k ≥ 1 (zero-mass windows can never be
         // occupied and are skipped by the DP).
-        let mut windows: Vec<f64> = Vec::with_capacity(top_partition);
+        windows.clear();
         let mut sum_q = 0.0;
         for k in 1..=top_partition {
             let lo_align = k * sp;
@@ -465,25 +524,48 @@ fn ipu_partition_pmf(n: usize, sp: u32, swp: u32, dead: f64, live: &[f64; PROD_E
             windows.push(mass);
         }
 
-        // Sequential-binomial DP: g[t·cols + j] = (unnormalized) measure
+        // Sequential-binomial DP: g[j·rows + t] = (unnormalized) measure
         // of "t lanes landed in windows processed so far, occupying j of
-        // them".
-        let cols = top_partition + 1;
+        // them". Cells with j > t are identically zero (occupying j
+        // windows takes at least j lanes), so the j scan caps at t.
         g.iter_mut().for_each(|v| *v = 0.0);
         g[0] = 1.0;
         let mut occupied_max = 0usize;
         let mut lanes_max = 0usize;
         for &qk in windows.iter().filter(|&&qk| qk > 0.0) {
-            for t in (0..=lanes_max).rev() {
-                for j in (0..=occupied_max).rev() {
-                    let base = g[t * cols + j];
+            // powers[u] = qk^u via the same sequential multiply chain the
+            // in-loop accumulator used — hoisted once per window, which
+            // also frees the inner update of its loop-carried dependency
+            // (each `dst[u]` add is now independent and vectorizable).
+            let mut qpow = 1.0;
+            for p in powers.iter_mut().take(n + 1).skip(1) {
+                qpow *= qk;
+                *p = qpow;
+            }
+            // j-major sweep: source column j is one contiguous row of
+            // `g`, destination column j+1 the next — both stay hot in
+            // cache. The per-cell accumulation order is untouched
+            // (sources for any destination live in one column and are
+            // still visited in descending t), so results stay
+            // bit-identical to the t-major form.
+            for j in (0..=occupied_max.min(lanes_max)).rev() {
+                let (src, dst_col) = g.split_at_mut((j + 1) * rows);
+                let src = &src[j * rows..];
+                let dst_col = &mut dst_col[..rows];
+                for t in (j..=lanes_max).rev() {
+                    let base = src[t];
                     if base == 0.0 {
                         continue;
                     }
-                    let mut qpow = 1.0;
-                    for u in 1..=(n - t) {
-                        qpow *= qk;
-                        g[(t + u) * cols + j + 1] += base * choose[n - t][u] * qpow;
+                    let un = n - t;
+                    // Skip the leading 1.0 of the binomial row and of
+                    // the power table: exact-length slices so the
+                    // element-wise multiply-add vectorizes without
+                    // bounds checks.
+                    let ch = &choose[un][1..];
+                    let pw = &powers[1..=un];
+                    for ((d, &c), &p) in dst_col[t + 1..t + 1 + un].iter_mut().zip(ch).zip(pw) {
+                        *d += base * c * p;
                     }
                 }
             }
@@ -503,8 +585,8 @@ fn ipu_partition_pmf(n: usize, sp: u32, swp: u32, dead: f64, live: &[f64; PROD_E
             if weight <= 0.0 {
                 continue;
             }
-            for (j, slot) in out.iter_mut().enumerate().take(occupied_max + 1) {
-                let base = g[t * cols + j];
+            for (j, slot) in out.iter_mut().enumerate().take(occupied_max.min(t) + 1) {
+                let base = g[j * rows + t];
                 if base > 0.0 {
                     *slot += base * weight;
                 }
@@ -852,6 +934,44 @@ mod tests {
             );
         }
         assert_eq!(Backend::parse("montecarlo"), None);
+    }
+
+    #[test]
+    fn default_estimate_batch_matches_scalar_calls_for_every_backend() {
+        let queries: Vec<CostQuery> = [
+            query(TileConfig::small(), 12, Pass::Forward, 3),
+            query(TileConfig::small(), 16, Pass::Backward, 4),
+            query(TileConfig::big(), 20, Pass::Forward, 5),
+            CostQuery {
+                window: 17,
+                ..query(
+                    TileConfig::big().with_cluster_size(4),
+                    14,
+                    Pass::Backward,
+                    6,
+                )
+            },
+        ]
+        .to_vec();
+        for b in Backend::NAMES.map(|n| Backend::parse(n).unwrap().instantiate()) {
+            let mut out = vec![0.0; queries.len()];
+            b.estimate_batch(&queries, &mut out);
+            for (q, got) in queries.iter().zip(&out) {
+                assert_eq!(
+                    got.to_bits(),
+                    b.window_cycles(q).to_bits(),
+                    "{}: batch vs scalar",
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slab length mismatch")]
+    fn estimate_batch_rejects_mismatched_slabs() {
+        let q = query(TileConfig::small(), 12, Pass::Forward, 0);
+        MonteCarlo.estimate_batch(&[q, q], &mut [0.0]);
     }
 
     #[test]

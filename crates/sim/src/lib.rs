@@ -39,6 +39,7 @@ pub mod engine;
 pub mod mixed;
 pub mod result;
 pub mod run;
+pub mod slab;
 pub mod tile;
 
 pub use backend::{
@@ -48,5 +49,6 @@ pub use cost::{step_costs_from_exps, CostModel, StepCosts, BASELINE_CYCLES_PER_S
 pub use engine::{constant_stream_cycles, simulate_clusters};
 pub use mixed::{first_last_fp16, run_mixed, LayerPrecision, MixedResult, Schedule, ScheduleError};
 pub use result::{LayerResult, WorkloadResult};
-pub use run::{run_workload, Lowered, SimDesign, SimOptions};
+pub use run::{layer_steps, run_workload, Lowered, SimDesign, SimOptions};
+pub use slab::{AnalyticBatched, WAxisCarry};
 pub use tile::TileConfig;

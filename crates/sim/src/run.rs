@@ -71,7 +71,9 @@ impl Default for SimOptions {
 }
 
 /// Broadcast steps one layer takes on the design's tile geometry.
-pub(crate) fn layer_steps(design: &SimDesign, shape: &mpipu_dnn::shape::ConvShape) -> u64 {
+/// Public so slab evaluators (`mpipu-explore`'s chunked sweep path) can
+/// reproduce the scalar per-layer accounting exactly.
+pub fn layer_steps(design: &SimDesign, shape: &mpipu_dnn::shape::ConvShape) -> u64 {
     shape.tile_steps(
         design.tile.c_unroll,
         design.tile.k_unroll * design.n_tiles,

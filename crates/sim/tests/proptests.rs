@@ -153,6 +153,120 @@ proptest! {
     }
 }
 
+/// The distribution pairs the batched-backend properties sweep: both
+/// passes' defaults plus a parametric pair (distinct PMFs, so the
+/// per-class product-exponent hoist is actually exercised).
+fn slab_dists(
+    sel: usize,
+) -> (
+    mpipu_analysis::dist::Distribution,
+    mpipu_analysis::dist::Distribution,
+) {
+    use mpipu_analysis::dist::Distribution;
+    use mpipu_sim::cost::pass_distributions;
+    match sel {
+        0 => pass_distributions(Pass::Forward),
+        1 => pass_distributions(Pass::Backward),
+        _ => (
+            Distribution::Normal { std: 1.3 },
+            Distribution::Laplace { b: 0.9 },
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ISSUE 7 tentpole contract: `AnalyticBatched::estimate_batch` over
+    /// an arbitrary parameter sub-slab — a mixed-radix grid of
+    /// `(w, software precision, cluster size, window)` values in axis
+    /// order, split at arbitrary chunk boundaries — is bit-identical to
+    /// mapping the scalar analytic backend over the same queries one by
+    /// one. This is the license for the sweep engine to hand whole
+    /// chunks to the batched backend.
+    #[test]
+    fn batched_analytic_matches_scalar_over_random_sub_slabs(
+        ws in prop::collection::vec(8u32..=38, 1..4),
+        swp_fp32s in prop::collection::vec(any::<bool>(), 1..3),
+        cluster_log2s in prop::collection::vec(0u32..=4, 1..3),
+        windows in prop::collection::vec(1usize..600, 1..3),
+        big in any::<bool>(),
+        dist_sel in 0usize..3,
+        chunk in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        use mpipu_sim::{Analytic, AnalyticBatched, CostBackend, CostQuery};
+
+        let base = if big { TileConfig::big() } else { TileConfig::small() };
+        let dists = slab_dists(dist_sel);
+        let swps: Vec<u32> = swp_fp32s.iter().map(|&fp32| if fp32 { 28 } else { 16 }).collect();
+        let mut queries = Vec::new();
+        for &w in &ws {
+            for &swp in &swps {
+                for &cl in &cluster_log2s {
+                    for &window in &windows {
+                        queries.push(CostQuery {
+                            tile: base.with_cluster_size(1 << cl),
+                            w,
+                            software_precision: swp,
+                            dists,
+                            window,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        let batched = AnalyticBatched::new();
+        let mut out = vec![0.0f64; queries.len()];
+        for (qs, os) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            batched.estimate_batch(qs, os);
+        }
+        for (q, got) in queries.iter().zip(&out) {
+            let want = Analytic.window_cycles(q);
+            prop_assert_eq!(
+                got.to_bits(), want.to_bits(),
+                "w {} swp {} cluster {} window {}: batched {} vs scalar {}",
+                q.w, q.software_precision, q.tile.cluster_size, q.window, got, want
+            );
+        }
+    }
+
+    /// The incremental-DP `w`-axis carry equals the recomputed DP at
+    /// every step of an ascending `w` walk, and recomputes only when
+    /// the safe precision actually moves (the DP's only `w` channel).
+    #[test]
+    fn w_axis_carry_equals_recomputed_dp(
+        big in any::<bool>(),
+        fp32 in any::<bool>(),
+        dist_sel in 0usize..3,
+    ) {
+        use mpipu_sim::{cost, StepCost, WAxisCarry};
+
+        let tile = if big { TileConfig::big() } else { TileConfig::small() };
+        let swp: u32 = if fp32 { 28 } else { 16 };
+        let dists = slab_dists(dist_sel);
+        let mut carry = WAxisCarry::new();
+        let mut plateaus = 0u64;
+        let mut last_sp = None;
+        for w in 8..=38u32 {
+            let sp = cost::safe_precision(w, swp);
+            if last_sp != Some(sp) {
+                plateaus += 1;
+                last_sp = Some(sp);
+            }
+            let carried = carry.pmf(tile.c_unroll, w, swp, dists).to_vec();
+            let fresh = StepCost::new(&tile, w, swp, dists).partitions_pmf;
+            prop_assert_eq!(carried.len(), fresh.len());
+            for (a, b) in carried.iter().zip(&fresh) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "w {}", w);
+            }
+        }
+        prop_assert_eq!(carry.recomputes(), plateaus, "one DP per sp plateau");
+        prop_assert!(plateaus < 31, "plateaus must merge w values");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

@@ -356,6 +356,13 @@ impl Scenario {
         self.lowered_unchecked().execute(&self.resolve_workload())
     }
 
+    /// The `(activation, weight)` distribution override, if one was set
+    /// via [`Scenario::distributions`] — `None` falls back to the
+    /// pass-derived distributions at lowering time.
+    pub fn distribution_override(&self) -> Option<(Distribution, Distribution)> {
+        self.dists
+    }
+
     /// The hardware-model design point `(w, cluster, family)`.
     pub fn design_point(&self) -> DesignPoint {
         DesignPoint {
