@@ -186,6 +186,31 @@ fn bench_frontier_sweep_batched(c: &mut Criterion) {
     g.finish();
 }
 
+/// ISSUE 8 acceptance benchmark: the full frontier grid served through
+/// the `mpipu-serve` service layer (request dispatch, admission, fair
+/// share, streaming fold) against a warm process-wide cache — the
+/// steady-state cost of answering a repeat sweep query. Held to an
+/// absolute ceiling by the CI gate's `--require` bound.
+fn bench_frontier_serve(c: &mut Criterion) {
+    use mpipu_explore::CancelToken;
+    use mpipu_serve::{presets, Limits, Request, Service};
+
+    let service = Service::new(Limits::default());
+    let req = Request::Sweep(presets::frontier_sweep(SMOKE_SCALE));
+    let points = presets::frontier_sweep(SMOKE_SCALE).points();
+    let cancel = CancelToken::new();
+    let sink = |_: &Json| {};
+    // Warm the shared backend once: the record measures the serve path,
+    // not the first client's cache fill.
+    assert!(service.handle(&req, &cancel, &sink), "warm-up sweep failed");
+    let mut g = c.benchmark_group("frontier_serve");
+    g.throughput(Throughput::Elements(points));
+    g.bench_function("warm_full_grid", |b| {
+        b.iter(|| service.handle(&req, &cancel, &sink))
+    });
+    g.finish();
+}
+
 /// Wall-clock of the full experiment registry at smoke scale (what CI's
 /// smoke step runs), without writing result files.
 fn bench_suite(c: &mut Criterion) {
@@ -213,6 +238,7 @@ criterion_group!(
     bench_fig8_sweep,
     bench_frontier_sweep,
     bench_frontier_sweep_batched,
+    bench_frontier_serve,
     bench_suite
 );
 

@@ -14,6 +14,7 @@
 
 use crate::json::Json;
 use crate::report::Report;
+use mpipu_explore::SweepEvent;
 use std::io::Write;
 use std::path::Path;
 use std::sync::Mutex;
@@ -83,6 +84,16 @@ pub enum Event<'a> {
         misses: u64,
         /// Distinct design points cached.
         entries: usize,
+    },
+    /// A sweep-engine lifecycle event from inside an experiment (via
+    /// [`crate::runner::RunCtx::sweep_event`]), serialized through the
+    /// shared wire module ([`crate::sweep_wire`]) — the same JSON lines
+    /// the `mpipu-serve` daemon streams to its clients.
+    Sweep {
+        /// Registry name of the experiment running the sweep.
+        name: &'a str,
+        /// The engine event.
+        sweep: &'a SweepEvent<'a>,
     },
     /// Every experiment finished; the pool is joined.
     SuiteFinished {
@@ -163,6 +174,17 @@ impl Event<'_> {
                 ("misses", Json::from(misses)),
                 ("entries", Json::from(entries)),
             ]),
+            Event::Sweep { name, sweep } => {
+                // Shared wire form plus the experiment name, so a
+                // multi-experiment event stream stays attributable.
+                match crate::sweep_wire::sweep_event_json(sweep) {
+                    Json::Obj(mut fields) => {
+                        fields.insert(1, ("name".to_string(), Json::str(name)));
+                        Json::Obj(fields)
+                    }
+                    other => other,
+                }
+            }
             Event::SuiteFinished { ok, failed, wall } => Json::obj([
                 ("event", Json::str("suite_finished")),
                 ("ok", Json::from(ok)),
@@ -201,8 +223,11 @@ pub struct StderrSink {
 impl Sink for StderrSink {
     fn event(&self, event: &Event<'_>) {
         match *event {
+            // Sweep events are machine-facing; experiments narrate the
+            // human-readable form through `Progress` themselves.
             Event::SuiteStarted { .. }
             | Event::ExperimentStarted { .. }
+            | Event::Sweep { .. }
             | Event::SuiteFinished { .. } => {}
             Event::BackendStats {
                 backend,
@@ -332,6 +357,7 @@ impl Sink for CollectSink {
                 ("experiment_finished", Some(name), Some(error.is_none()))
             }
             Event::BackendStats { backend, .. } => ("backend_stats", Some(backend), None),
+            Event::Sweep { name, .. } => ("sweep", Some(name), None),
             Event::SuiteFinished { failed, .. } => ("suite_finished", None, Some(failed == 0)),
         };
         self.events

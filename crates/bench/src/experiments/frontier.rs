@@ -131,28 +131,34 @@ pub fn run(cfg: &Config, ctx: &RunCtx<'_>) -> Report {
         objectives::INT_TOPS_PER_MM2,
         objectives::FP_TFLOPS_PER_W,
     ];
-    let sink = FnSink(|e: &SweepEvent<'_>| match e {
-        // Narrate every fourth chunk plus the last one.
-        SweepEvent::ChunkFinished {
-            chunk,
-            chunks,
-            points_done,
-            points,
-        } if (chunk + 1) % 4 == 0 || chunk + 1 == *chunks => {
-            ctx.progress("frontier", &format!("swept {points_done}/{points} designs"));
+    let sink = FnSink(|e: &SweepEvent<'_>| {
+        // Every engine event enters the run's machine-readable stream in
+        // the shared wire form (`suite --events` ≡ the serve protocol)…
+        ctx.sweep_event("frontier", e);
+        // …while the human-readable narration stays selective.
+        match e {
+            // Narrate every fourth chunk plus the last one.
+            SweepEvent::ChunkFinished {
+                chunk,
+                chunks,
+                points_done,
+                points,
+            } if (chunk + 1) % 4 == 0 || chunk + 1 == *chunks => {
+                ctx.progress("frontier", &format!("swept {points_done}/{points} designs"));
+            }
+            SweepEvent::BackendStats {
+                hits,
+                misses,
+                entries,
+                ..
+            } => {
+                ctx.progress(
+                    "frontier",
+                    &format!("backend dedup: {hits} hits / {misses} misses, {entries} cached"),
+                );
+            }
+            _ => {}
         }
-        SweepEvent::BackendStats {
-            hits,
-            misses,
-            entries,
-            ..
-        } => {
-            ctx.progress(
-                "frontier",
-                &format!("backend dedup: {hits} hits / {misses} misses, {entries} cached"),
-            );
-        }
-        _ => {}
     });
     let (front, fastest) = SweepEngine::new()
         .threads(cfg.threads)

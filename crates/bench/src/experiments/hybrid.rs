@@ -107,6 +107,7 @@ pub fn run(cfg: &Config, ctx: &RunCtx<'_>) -> Report {
 
     // One chunk per schedule row, so progress events narrate schedules.
     let sink = FnSink(|e: &SweepEvent<'_>| {
+        ctx.sweep_event("hybrid", e);
         if let SweepEvent::ChunkFinished { chunk, .. } = e {
             ctx.progress("hybrid", &format!("schedule {}", schedules[*chunk].0));
         }

@@ -45,3 +45,4 @@ pub mod report;
 pub mod runner;
 pub mod suggest;
 pub mod suite;
+pub mod sweep_wire;

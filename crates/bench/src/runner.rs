@@ -102,6 +102,14 @@ impl<'a> RunCtx<'a> {
     pub fn progress(&self, name: &str, message: &str) {
         self.sink.event(&Event::Progress { name, message });
     }
+
+    /// Publish a sweep-engine event under this experiment's name — the
+    /// bridge from an experiment's internal [`mpipu_explore::SweepEngine`]
+    /// run into the suite's event stream, in the shared wire form
+    /// ([`crate::sweep_wire`]).
+    pub fn sweep_event(&self, name: &str, event: &mpipu_explore::SweepEvent<'_>) {
+        self.sink.event(&Event::Sweep { name, sweep: event });
+    }
 }
 
 /// FNV-1a — a stable, dependency-free string hash for seed derivation

@@ -26,12 +26,13 @@
 //! is what makes 10⁴⁺-point explorations cheap. The engine reports the
 //! final counters through [`SweepEvent::BackendStats`].
 
+use crate::control::{CancelToken, ChunkGovernor};
 use crate::events::{SweepEvent, SweepSink};
 use crate::space::{DesignId, ParamSpace};
 use mpipu_hw::DesignMetrics;
 use mpipu_sim::CostBackend;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -215,6 +216,8 @@ pub struct SweepEngine {
     threads: usize,
     chunk_size: usize,
     backend: Option<Arc<dyn CostBackend>>,
+    cancel: Option<CancelToken>,
+    governor: Option<Arc<dyn ChunkGovernor>>,
 }
 
 impl Default for SweepEngine {
@@ -231,6 +234,8 @@ impl SweepEngine {
             threads: 1,
             chunk_size: 256,
             backend: None,
+            cancel: None,
+            governor: None,
         }
     }
 
@@ -251,6 +256,24 @@ impl SweepEngine {
     /// sweep-dedup seam — pass a memoized backend here).
     pub fn backend(mut self, backend: Arc<dyn CostBackend>) -> SweepEngine {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Stop the sweep cooperatively when `token` fires (client
+    /// disconnect, wall-clock budget). Workers check between chunks; a
+    /// stopped sweep emits [`SweepEvent::Cancelled`] instead of
+    /// [`SweepEvent::Finished`] and the fold's output covers only the
+    /// contiguous prefix of chunks folded so far.
+    pub fn cancel_token(mut self, token: CancelToken) -> SweepEngine {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Ration this sweep's chunk evaluations through a (possibly shared)
+    /// governor — the fair-share seam for hosts running many sweeps on
+    /// one machine. A denied permit stops the sweep like a cancellation.
+    pub fn governor(mut self, governor: Arc<dyn ChunkGovernor>) -> SweepEngine {
+        self.governor = Some(governor);
         self
     }
 
@@ -383,17 +406,40 @@ impl SweepEngine {
             done: 0,
         });
         let next_chunk = AtomicUsize::new(0);
+        let aborted = AtomicBool::new(false);
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
+                    // Cancellation and fair-share permits are consulted
+                    // strictly *between* chunks: a sweep that runs to
+                    // completion folds the identical sequence with or
+                    // without them.
+                    if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                        aborted.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    if let Some(g) = &self.governor {
+                        if !g.acquire() {
+                            aborted.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
                     let c = next_chunk.fetch_add(1, Ordering::Relaxed);
                     if c >= chunks {
+                        if let Some(g) = &self.governor {
+                            g.release();
+                        }
                         break;
                     }
                     let lo = c as u64 * chunk;
                     let hi = total.min(lo + chunk);
                     let evals = eval_chunk(lo, hi);
+                    if let Some(g) = &self.governor {
+                        // Release before merging: the permit rations the
+                        // evaluation work, not the (cheap) fold.
+                        g.release();
+                    }
                     // Fold strictly in chunk order: park out-of-order
                     // chunks, drain the contiguous prefix. The buffer
                     // holds at most ~`threads` chunks.
@@ -428,12 +474,22 @@ impl SweepEngine {
                 });
             }
         }
-        sink.event(&SweepEvent::Finished {
-            points: total,
-            wall: t0.elapsed(),
-        });
         let merge = merge.into_inner().expect("merge state poisoned");
-        debug_assert_eq!(merge.done, total, "every chunk folded");
+        // A cancel that lands after the last chunk folded changed
+        // nothing — the sweep is complete, report it as such.
+        if aborted.into_inner() && merge.done < total {
+            sink.event(&SweepEvent::Cancelled {
+                points_done: merge.done,
+                points: total,
+                wall: t0.elapsed(),
+            });
+        } else {
+            debug_assert_eq!(merge.done, total, "every chunk folded");
+            sink.event(&SweepEvent::Finished {
+                points: total,
+                wall: t0.elapsed(),
+            });
+        }
         merge.fold.finish()
     }
 
@@ -649,6 +705,101 @@ mod tests {
             evals.iter().all(|e| e.fp_fraction < 1.0),
             "scheduled points must report their FP16 share"
         );
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_folds_nothing_and_reports_cancelled() {
+        use crate::control::CancelToken;
+        use std::sync::Mutex;
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome = Mutex::new(None);
+        let sink = FnSink(|e: &SweepEvent<'_>| match e {
+            SweepEvent::Cancelled {
+                points_done,
+                points,
+                ..
+            } => *outcome.lock().unwrap() = Some((*points_done, *points)),
+            SweepEvent::Finished { .. } => panic!("cancelled sweep must not report Finished"),
+            _ => {}
+        });
+        let n = SweepEngine::new()
+            .threads(4)
+            .chunk_size(2)
+            .cancel_token(token)
+            .run(&space(), Count::new(), &sink);
+        assert_eq!(n, 0, "no chunk may be folded");
+        assert_eq!(outcome.into_inner().unwrap(), Some((0, 8)));
+    }
+
+    #[test]
+    fn governor_denial_stops_the_sweep_after_the_granted_chunks() {
+        use crate::control::ChunkGovernor;
+        use std::sync::Mutex;
+
+        /// Grants a fixed number of permits, then denies forever.
+        #[derive(Debug)]
+        struct Ration(AtomicUsize);
+        impl ChunkGovernor for Ration {
+            fn acquire(&self) -> bool {
+                self.0
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| {
+                        left.checked_sub(1)
+                    })
+                    .is_ok()
+            }
+            fn release(&self) {}
+        }
+
+        let outcome = Mutex::new(None);
+        let sink = FnSink(|e: &SweepEvent<'_>| {
+            if let SweepEvent::Cancelled {
+                points_done,
+                points,
+                ..
+            } = e
+            {
+                *outcome.lock().unwrap() = Some((*points_done, *points));
+            }
+        });
+        // 8 points / chunk 2 = 4 chunks; one thread granted 2 permits
+        // folds exactly chunks 0 and 1 before the denial stops it.
+        let n = SweepEngine::new()
+            .threads(1)
+            .chunk_size(2)
+            .governor(Arc::new(Ration(AtomicUsize::new(2))))
+            .run(&space(), Count::new(), &sink);
+        assert_eq!(n, 4);
+        assert_eq!(outcome.into_inner().unwrap(), Some((4, 8)));
+    }
+
+    #[test]
+    fn permissive_governor_and_live_token_change_nothing() {
+        use crate::control::{CancelToken, ChunkGovernor};
+
+        #[derive(Debug)]
+        struct Unlimited;
+        impl ChunkGovernor for Unlimited {
+            fn acquire(&self) -> bool {
+                true
+            }
+            fn release(&self) {}
+        }
+
+        let plain = collect(&SweepEngine::new().threads(4).chunk_size(2));
+        let governed = collect(
+            &SweepEngine::new()
+                .threads(4)
+                .chunk_size(2)
+                .cancel_token(CancelToken::new())
+                .governor(Arc::new(Unlimited)),
+        );
+        assert_eq!(plain.len(), governed.len());
+        for (a, b) in plain.iter().zip(&governed) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.normalized.to_bits(), b.normalized.to_bits());
+        }
     }
 
     #[test]

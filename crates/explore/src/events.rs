@@ -58,6 +58,19 @@ pub enum SweepEvent<'a> {
         /// Wall-clock duration of the sweep.
         wall: Duration,
     },
+    /// The sweep stopped early — its [`crate::CancelToken`] fired or its
+    /// [`crate::ChunkGovernor`] denied a permit. The fold observed only
+    /// the contiguous prefix of chunks counted here; partial output must
+    /// be treated as incomplete. Emitted *instead of*
+    /// [`SweepEvent::Finished`].
+    Cancelled {
+        /// Points folded before the stop (a contiguous id prefix).
+        points_done: u64,
+        /// Points the sweep would have evaluated.
+        points: u64,
+        /// Wall-clock duration until the stop.
+        wall: Duration,
+    },
 }
 
 /// A consumer of sweep events. Implementations must tolerate concurrent

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod axis;
+pub mod control;
 pub mod engine;
 pub mod events;
 pub mod objective;
@@ -58,6 +59,7 @@ mod slab;
 pub mod space;
 
 pub use axis::{grid_u32, log2_range, Axis, TileChoice, WorkloadSel};
+pub use control::{CancelToken, ChunkGovernor};
 pub use engine::{Collect, Count, Fold, PointEval, SweepEngine};
 pub use events::{FnSink, NullSweepSink, SweepEvent, SweepSink};
 pub use objective::{objectives, Objective, Sense};

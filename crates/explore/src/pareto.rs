@@ -97,6 +97,13 @@ impl ParetoFold {
     pub fn seen(&self) -> u64 {
         self.seen
     }
+
+    /// Current frontier size — cheap enough to read after every accept,
+    /// which is how live consumers (the serve daemon's incremental
+    /// Pareto updates) report progress without cloning the frontier.
+    pub fn front_len(&self) -> usize {
+        self.front.len()
+    }
 }
 
 impl Fold for ParetoFold {

@@ -1,0 +1,83 @@
+//! The client API end to end, against a real server on a loopback
+//! socket — the programmatic twin of the README's `sweepctl` quickstart:
+//!
+//! ```sh
+//! cargo run --release -p mpipu-serve --example serve_client
+//! ```
+//!
+//! Boots a `Server`, connects a `Client`, lists the catalog, evaluates
+//! one design point twice (the second is a process-wide cache hit),
+//! streams the demo sweep, and checks the served result byte-for-byte
+//! against an in-process engine run of the same request.
+
+use mpipu_bench::json::Json;
+use mpipu_serve::presets;
+use mpipu_serve::request::{EvalReq, ScenarioSpec};
+use mpipu_serve::service::reference_sweep_result;
+use mpipu_serve::{Client, Request, Server, ServerConfig};
+
+fn main() -> std::io::Result<()> {
+    // Port 0: the OS picks a free port, `local_addr` reports it.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })?;
+    let addr = server.local_addr();
+    println!("server on {addr}");
+
+    let mut client = Client::connect(addr)?;
+
+    // What can this daemon do?
+    let r = client.request(&Request::List)?;
+    let catalog = r.find("catalog").expect("catalog event");
+    let axes = catalog.get("axes").and_then(Json::as_arr).expect("axes");
+    println!("catalog: {} sweep axes", axes.len());
+
+    // Evaluate one design point, twice: the second request is served
+    // from the process-wide cache (misses drop to zero in the delta).
+    let eval = Request::Eval(EvalReq {
+        scenario: ScenarioSpec {
+            w: Some(12),
+            cluster: Some(16),
+            sample_steps: Some(48),
+            ..ScenarioSpec::default()
+        },
+        tag: Some("example".to_string()),
+    });
+    for round in ["cold", "warm"] {
+        let r = client.request(&eval)?;
+        let result = r.find("result").expect("result event");
+        let stats = r.find("sweep_backend_stats").expect("stats delta");
+        println!(
+            "{round} eval: cycles {} (cache misses {})",
+            result.get("cycles").and_then(Json::as_f64).unwrap_or(0.0),
+            stats.get("misses").and_then(Json::as_f64).unwrap_or(-1.0),
+        );
+    }
+
+    // Stream the 372-point demo sweep and keep the final result line.
+    let demo = presets::demo_sweep();
+    let r = client.request(&Request::Sweep(demo.clone()))?;
+    assert!(r.ok, "sweep failed: {:?}", r.error());
+    let served = r.result_line().expect("result line");
+    let result = r.find("result").expect("result event");
+    println!(
+        "sweep: {} points, frontier of {}",
+        result.get("points").and_then(Json::as_f64).unwrap_or(0.0),
+        result
+            .get("frontier_size")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+    );
+
+    // The served bytes must equal an in-process engine run — at any
+    // thread count.
+    let reference = reference_sweep_result(&demo, 4)
+        .expect("reference sweep")
+        .to_string_compact();
+    assert_eq!(served, reference, "served result differs from in-process");
+    println!("byte-identity: OK ({} bytes)", served.len());
+
+    // Dropping the server shuts it down and joins its threads.
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! The `serve` daemon: JSONL-over-TCP design-space queries.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--threads N] [--workers N]
+//!       [--max-sweeps N] [--max-points N] [--max-ms N] [--chunk N]
+//! ```
+//!
+//! Runs until SIGTERM/SIGINT, then drains in-flight requests and exits
+//! 0 (the CI smoke test asserts exactly this).
+
+use mpipu_serve::{Limits, Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7077".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut limits = Limits::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("serve: {what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--threads" => limits.engine_threads = parse(&value("--threads"), "--threads"),
+            "--workers" => cfg.workers = parse(&value("--workers"), "--workers"),
+            "--max-sweeps" => limits.max_sweeps = parse(&value("--max-sweeps"), "--max-sweeps"),
+            "--max-points" => limits.max_points = parse(&value("--max-points"), "--max-points"),
+            "--max-ms" => limits.max_ms = parse(&value("--max-ms"), "--max-ms"),
+            "--chunk" => limits.default_chunk = parse(&value("--chunk"), "--chunk"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: serve [--addr HOST:PORT] [--threads N] [--workers N] \
+                     [--max-sweeps N] [--max-points N] [--max-ms N] [--chunk N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("serve: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg.limits = limits;
+
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("listening on {}", server.local_addr());
+
+    while !SHUTDOWN.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("serve: shutting down (draining in-flight requests)");
+    server.shutdown();
+    server.join();
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("serve: invalid value {s:?} for {what}");
+        std::process::exit(2);
+    })
+}

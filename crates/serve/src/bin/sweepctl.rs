@@ -1,0 +1,622 @@
+//! `sweepctl` — client and load tester for the `serve` daemon.
+//!
+//! ```text
+//! sweepctl wait   ADDR [--timeout-ms N]
+//! sweepctl list   ADDR
+//! sweepctl stats  ADDR
+//! sweepctl eval   ADDR [--w N] [--tile small|big] [--cluster N]
+//!                      [--swp N] [--pass fwd|bwd] [--steps N]
+//!                      [--seed N] [--tag S]
+//! sweepctl sweep  ADDR [--demo | --frontier] [--scale F]
+//!                      [--sample N] [--sample-seed N] [--max-ms N]
+//!                      [--chunk N] [--progress-every N] [--tag S]
+//! sweepctl raw    ADDR LINE
+//! sweepctl verify ADDR [--demo | --frontier] [--scale F] [--threads N]
+//! sweepctl bench  ADDR [--merge FILE] [--min-speedup F]
+//! ```
+//!
+//! `verify` replays a sweep through an in-process engine and compares
+//! the daemon's `result` line byte-for-byte. `bench` runs the load test
+//! recorded in the bench trajectory: request-latency percentiles per
+//! class, aggregate sweep throughput at 1/8/32 concurrent clients, and
+//! the cold-vs-warm speedup from process-wide memoization.
+
+use mpipu_bench::json::Json;
+use mpipu_serve::presets;
+use mpipu_serve::request::{EvalReq, PassSel, Request, ScenarioSpec, SweepReq, TileSel};
+use mpipu_serve::service::reference_sweep_result;
+use mpipu_serve::{Client, Response};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        std::process::exit(2);
+    };
+    let code = match cmd.as_str() {
+        "wait" => wait(rest),
+        "list" => simple(rest, Request::List),
+        "stats" => simple(rest, Request::Stats),
+        "eval" => eval(rest),
+        "sweep" => sweep(rest),
+        "raw" => raw(rest),
+        "verify" => verify(rest),
+        "bench" => bench(rest),
+        "--help" | "-h" | "help" => {
+            usage();
+            0
+        }
+        other => {
+            eprintln!("sweepctl: unknown command {other:?}");
+            usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() {
+    eprintln!(
+        "usage: sweepctl <wait|list|stats|eval|sweep|raw|verify|bench> ADDR [options]\n\
+         (see the crate docs / README \"Run the server\" for the full option list)"
+    );
+}
+
+/// Positional ADDR plus `--flag value` pairs.
+struct Opts {
+    addr: String,
+    flags: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut addr = None;
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let v = match name {
+                    // Valueless flags.
+                    "demo" | "frontier" => String::new(),
+                    _ => it
+                        .next()
+                        .cloned()
+                        .ok_or_else(|| format!("--{name} needs a value"))?,
+                };
+                flags.push((name.to_string(), v));
+            } else if addr.is_none() {
+                addr = Some(a.clone());
+            } else {
+                return Err(format!("unexpected argument {a:?}"));
+            }
+        }
+        Ok(Opts {
+            addr: addr.ok_or("missing ADDR")?,
+            flags,
+        })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        self.get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("invalid value {v:?} for --{name}"))
+            })
+            .transpose()
+    }
+}
+
+fn fail(e: impl std::fmt::Display) -> i32 {
+    eprintln!("sweepctl: {e}");
+    1
+}
+
+fn wait(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let timeout = opts
+        .num::<u64>("timeout-ms")
+        .unwrap_or(None)
+        .unwrap_or(10_000);
+    match Client::connect_retry(&opts.addr, Duration::from_millis(timeout)) {
+        Ok(_) => {
+            println!("ready");
+            0
+        }
+        Err(e) => fail(format!("daemon not reachable at {}: {e}", opts.addr)),
+    }
+}
+
+/// Print one output line; `false` means stdout is gone (e.g. piped into
+/// `grep -q`, which exits at the first match). That is the downstream
+/// consumer's choice, not an error — callers stop emitting and exit 0.
+fn emit(line: &str) -> bool {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    out.write_all(line.as_bytes())
+        .and_then(|()| out.write_all(b"\n"))
+        .is_ok()
+}
+
+fn print_response(r: &Response) -> i32 {
+    for line in &r.lines {
+        if !emit(line) {
+            return 0;
+        }
+    }
+    i32::from(!r.ok)
+}
+
+fn simple(args: &[String], req: Request) -> i32 {
+    let opts = match Opts::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    match run_request(&opts.addr, &req) {
+        Ok(r) => print_response(&r),
+        Err(e) => fail(e),
+    }
+}
+
+fn run_request(addr: &str, req: &Request) -> std::io::Result<Response> {
+    Client::connect(addr)?.request(req)
+}
+
+fn eval(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let req = match eval_request(&opts) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    match run_request(&opts.addr, &req) {
+        Ok(r) => print_response(&r),
+        Err(e) => fail(e),
+    }
+}
+
+fn eval_request(opts: &Opts) -> Result<Request, String> {
+    let tile = match opts.get("tile") {
+        None => None,
+        Some("small") => Some(TileSel::Small),
+        Some("big") => Some(TileSel::Big),
+        Some(other) => return Err(format!("invalid --tile {other:?}")),
+    };
+    let pass = match opts.get("pass") {
+        None => None,
+        Some("fwd") => Some(PassSel::Fwd),
+        Some("bwd") => Some(PassSel::Bwd),
+        Some(other) => return Err(format!("invalid --pass {other:?}")),
+    };
+    Ok(Request::Eval(EvalReq {
+        scenario: ScenarioSpec {
+            tile,
+            w: opts.num("w")?,
+            cluster: opts.num("cluster")?,
+            software_precision: opts.num("swp")?,
+            pass,
+            seed: opts.num("seed")?,
+            sample_steps: opts.num("steps")?,
+            ..ScenarioSpec::default()
+        },
+        tag: opts.get("tag").map(str::to_string),
+    }))
+}
+
+fn sweep_request(opts: &Opts) -> Result<SweepReq, String> {
+    let scale = opts.num::<f64>("scale")?.unwrap_or(0.02);
+    let mut req = if opts.has("frontier") {
+        presets::frontier_sweep(scale)
+    } else {
+        presets::demo_sweep()
+    };
+    if let Some(count) = opts.num::<usize>("sample")? {
+        req = SweepReq {
+            sample: Some(mpipu_serve::request::SampleSpec {
+                count,
+                seed: opts.num("sample-seed")?.unwrap_or(0),
+            }),
+            ..req
+        };
+    }
+    req.max_ms = opts.num("max-ms")?;
+    if let Some(chunk) = opts.num("chunk")? {
+        req.chunk = Some(chunk);
+    }
+    if let Some(every) = opts.num("progress-every")? {
+        req.progress_every = Some(every);
+    }
+    req.tag = opts.get("tag").map(str::to_string);
+    Ok(req)
+}
+
+fn sweep(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let req = match sweep_request(&opts) {
+        Ok(r) => Request::Sweep(r),
+        Err(e) => return fail(e),
+    };
+    // Stream: print each line as it arrives rather than collecting.
+    let mut client = match Client::connect(&opts.addr) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    if let Err(e) = client.send(&req) {
+        return fail(e);
+    }
+    loop {
+        match client.next_line() {
+            Ok(line) => {
+                if !emit(&line) {
+                    return 0;
+                }
+                if let Ok(j) = Json::parse(&line) {
+                    if j.get("event").and_then(Json::as_str) == Some("done") {
+                        return i32::from(j.get("ok") != Some(&Json::Bool(true)));
+                    }
+                }
+            }
+            Err(e) => return fail(e),
+        }
+    }
+}
+
+fn raw(args: &[String]) -> i32 {
+    // `raw ADDR LINE...` — the line is passed through verbatim (it may
+    // contain spaces or be deliberately malformed), so no flag parsing.
+    let mut it = args.iter();
+    let Some(addr) = it.next() else {
+        return fail("missing ADDR");
+    };
+    let line: String = it.cloned().collect::<Vec<_>>().join(" ");
+    if line.is_empty() {
+        return fail("missing LINE");
+    }
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    if let Err(e) = client.send_line(&line) {
+        return fail(e);
+    }
+    match client.collect_response() {
+        Ok(r) => print_response(&r),
+        Err(e) => fail(e),
+    }
+}
+
+fn verify(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let req = match sweep_request(&opts) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let threads = opts.num::<usize>("threads").unwrap_or(None).unwrap_or(1);
+    let served = match run_request(&opts.addr, &Request::Sweep(req.clone())) {
+        Ok(r) if r.ok => match r.result_line() {
+            Some(line) => line.to_string(),
+            None => return fail("daemon response had no result line"),
+        },
+        Ok(r) => return fail(format!("daemon returned an error: {:?}", r.error())),
+        Err(e) => return fail(e),
+    };
+    let reference = match reference_sweep_result(&req, threads) {
+        Ok(j) => j.to_string_compact(),
+        Err(e) => return fail(e),
+    };
+    if served == reference {
+        println!(
+            "verify: OK — served result is byte-identical to the in-process engine \
+             ({} bytes, reference at {threads} threads)",
+            served.len()
+        );
+        0
+    } else {
+        eprintln!("verify: MISMATCH\n  served:    {served}\n  reference: {reference}");
+        1
+    }
+}
+
+// ---- load test ------------------------------------------------------------
+
+struct Record {
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx]
+}
+
+/// `count` eval round-trips on one connection; per-request ns.
+fn eval_latencies(addr: &str, count: usize) -> std::io::Result<Vec<f64>> {
+    let mut client = Client::connect(addr)?;
+    let req = Request::Eval(EvalReq {
+        scenario: ScenarioSpec {
+            w: Some(12),
+            sample_steps: Some(48),
+            ..ScenarioSpec::default()
+        },
+        tag: None,
+    });
+    let mut ns = Vec::with_capacity(count);
+    for _ in 0..count {
+        let t = Instant::now();
+        let r = client.request(&req)?;
+        if !r.ok {
+            return Err(std::io::Error::other("eval failed under load"));
+        }
+        ns.push(t.elapsed().as_nanos() as f64);
+    }
+    Ok(ns)
+}
+
+/// One demo sweep on one connection; (latency ns, points).
+fn sweep_once(addr: &str) -> std::io::Result<(f64, u64)> {
+    let mut client = Client::connect(addr)?;
+    let req = presets::demo_sweep();
+    let points = req.points();
+    let t = Instant::now();
+    let r = client.request(&Request::Sweep(req))?;
+    if !r.ok {
+        return Err(std::io::Error::other(format!(
+            "sweep failed under load: {:?}",
+            r.error()
+        )));
+    }
+    Ok((t.elapsed().as_nanos() as f64, points))
+}
+
+fn spread<T: Send>(n: usize, f: impl Fn() -> std::io::Result<T> + Sync) -> std::io::Result<Vec<T>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n).map(|_| s.spawn(&f)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load-test thread panicked"))
+            .collect()
+    })
+}
+
+fn bench(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let min_speedup = opts
+        .num::<f64>("min-speedup")
+        .unwrap_or(None)
+        .unwrap_or(0.0);
+    let addr = opts.addr.clone();
+    let mut records = Vec::new();
+
+    // -- request-latency percentiles per class, at 1 and 8 clients ---------
+    eprintln!("bench: eval latency, 1 client ...");
+    let mut solo = match eval_latencies(&addr, 64) {
+        Ok(ns) => ns,
+        Err(e) => return fail(e),
+    };
+    solo.sort_by(f64::total_cmp);
+    records.push(Record {
+        name: "serve_load/eval_p50_1c".to_string(),
+        ns_per_iter: percentile(&solo, 0.50),
+        iters: solo.len() as u64,
+    });
+    records.push(Record {
+        name: "serve_load/eval_p99_1c".to_string(),
+        ns_per_iter: percentile(&solo, 0.99),
+        iters: solo.len() as u64,
+    });
+
+    eprintln!("bench: eval latency, 8 clients ...");
+    let mut crowd: Vec<f64> = match spread(8, || eval_latencies(&addr, 32)) {
+        Ok(v) => v.into_iter().flatten().collect(),
+        Err(e) => return fail(e),
+    };
+    crowd.sort_by(f64::total_cmp);
+    records.push(Record {
+        name: "serve_load/eval_p50_8c".to_string(),
+        ns_per_iter: percentile(&crowd, 0.50),
+        iters: crowd.len() as u64,
+    });
+    records.push(Record {
+        name: "serve_load/eval_p99_8c".to_string(),
+        ns_per_iter: percentile(&crowd, 0.99),
+        iters: crowd.len() as u64,
+    });
+
+    // -- aggregate sweep throughput at 1 / 8 / 32 clients -------------------
+    for clients in [1usize, 8, 32] {
+        eprintln!("bench: demo sweeps, {clients} concurrent clients ...");
+        let t = Instant::now();
+        let results = match spread(clients, || sweep_once(&addr)) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
+        let wall_ns = t.elapsed().as_nanos() as f64;
+        let mut lat: Vec<f64> = results.iter().map(|(ns, _)| *ns).collect();
+        lat.sort_by(f64::total_cmp);
+        let points: u64 = results.iter().map(|(_, p)| p).sum();
+        records.push(Record {
+            name: format!("serve_load/sweep_p50_{clients}c"),
+            ns_per_iter: percentile(&lat, 0.50),
+            iters: clients as u64,
+        });
+        records.push(Record {
+            name: format!("serve_load/sweep_p99_{clients}c"),
+            ns_per_iter: percentile(&lat, 0.99),
+            iters: clients as u64,
+        });
+        // ns per point: the throughput record (points/s in the summary).
+        records.push(Record {
+            name: format!("serve_load/sweep_ns_per_point_{clients}c"),
+            ns_per_iter: wall_ns / points as f64,
+            iters: points,
+        });
+        eprintln!(
+            "bench:   {clients} clients: {points} points in {:.1} ms -> {:.0} points/s",
+            wall_ns / 1e6,
+            points as f64 / (wall_ns / 1e9),
+        );
+    }
+
+    // -- cold vs warm: process-wide memoization across clients --------------
+    // The cold-grid preset: every point is its own cost-model cache
+    // class, so a cold sweep pays one alignment DP per point while the
+    // second client's identical sweep is pure cache hits on the slab
+    // path — the ratio measures the shared cache, not the wire.
+    eprintln!("bench: cold key-distinct grid sweep (fresh client) ...");
+    let grid = presets::cold_grid_sweep();
+    let run_grid = |tag: &str| -> std::io::Result<f64> {
+        let mut client = Client::connect(&addr)?;
+        let mut req = grid.clone();
+        req.tag = Some(tag.to_string());
+        let t = Instant::now();
+        let r = client.request(&Request::Sweep(req))?;
+        if !r.ok {
+            return Err(std::io::Error::other(format!(
+                "grid sweep failed: {:?}",
+                r.error()
+            )));
+        }
+        Ok(t.elapsed().as_nanos() as f64)
+    };
+    let cold = match run_grid("cold") {
+        Ok(ns) => ns,
+        Err(e) => return fail(e),
+    };
+    eprintln!("bench: warm identical sweeps (different clients) ...");
+    // Three repeats, each from a fresh client, best-of: every one is an
+    // identical sweep served from the shared cache, and the minimum
+    // strips scheduler noise from the single measurement the speedup
+    // gate rides on.
+    let mut warm = f64::INFINITY;
+    for i in 0..3 {
+        match run_grid(&format!("warm-{i}")) {
+            Ok(ns) => warm = warm.min(ns),
+            Err(e) => return fail(e),
+        }
+    }
+    let speedup = cold / warm.max(1.0);
+    records.push(Record {
+        name: "serve_load/cold_grid_cold".to_string(),
+        ns_per_iter: cold,
+        iters: 1,
+    });
+    records.push(Record {
+        name: "serve_load/cold_grid_warm".to_string(),
+        ns_per_iter: warm,
+        iters: 1,
+    });
+    records.push(Record {
+        name: "serve_load/warm_speedup_x1000".to_string(),
+        ns_per_iter: speedup * 1000.0,
+        iters: 1,
+    });
+    eprintln!(
+        "bench: cold {:.1} ms, warm {:.1} ms -> {speedup:.1}x warm speedup",
+        cold / 1e6,
+        warm / 1e6
+    );
+
+    let out = records_json(&records);
+    if let Some(path) = opts.get("merge") {
+        if let Err(e) = merge_into(path, &records) {
+            return fail(e);
+        }
+        eprintln!(
+            "bench: merged {} serve_load records into {path}",
+            records.len()
+        );
+    } else {
+        println!("{}", out.to_string_pretty());
+    }
+
+    if min_speedup > 0.0 && speedup < min_speedup {
+        return fail(format!(
+            "warm speedup {speedup:.2}x is below the required {min_speedup:.2}x"
+        ));
+    }
+    0
+}
+
+fn records_json(records: &[Record]) -> Json {
+    Json::obj([
+        ("schema_version", Json::from(1u64)),
+        ("suite", Json::str("serve_load")),
+        (
+            "benches",
+            Json::Arr(
+                records
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", Json::str(&r.name)),
+                            ("ns_per_iter", Json::Num(r.ns_per_iter)),
+                            ("iters", Json::from(r.iters)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Merge our records into an existing BENCH_v1-schema file: drop any
+/// stale `serve_load/*` benches, append the fresh ones, keep everything
+/// else (schema_version, suite, other benches) untouched.
+fn merge_into(path: &str, records: &[Record]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))?;
+    let Json::Obj(mut fields) = doc else {
+        return Err(format!("{path} is not a JSON object"));
+    };
+    let benches = fields
+        .iter_mut()
+        .find(|(k, _)| k == "benches")
+        .ok_or_else(|| format!("{path} has no benches array"))?;
+    let Json::Arr(list) = &mut benches.1 else {
+        return Err(format!("{path}: benches is not an array"));
+    };
+    list.retain(|b| {
+        b.get("name")
+            .and_then(Json::as_str)
+            .is_none_or(|n| !n.starts_with("serve_load/"))
+    });
+    for r in records {
+        list.push(Json::obj([
+            ("name", Json::str(&r.name)),
+            ("ns_per_iter", Json::Num(r.ns_per_iter)),
+            ("iters", Json::from(r.iters)),
+        ]));
+    }
+    let mut text = Json::Obj(fields).to_string_pretty();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}

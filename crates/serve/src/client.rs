@@ -1,0 +1,159 @@
+//! A line-oriented client for the daemon, shared by `sweepctl`, the
+//! examples, and the end-to-end tests.
+//!
+//! The client keeps response lines as raw strings (alongside parsed
+//! [`Json`]) so byte-identity checks against the in-process engine path
+//! compare exactly what travelled the wire.
+
+use crate::request::Request;
+use mpipu_bench::json::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// One JSONL connection to a running daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+/// A complete response: every line up to and including `done`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Raw wire lines, newline-stripped, in arrival order.
+    pub lines: Vec<String>,
+    /// The same lines, parsed.
+    pub events: Vec<Json>,
+    /// The terminal `done` line's `ok` flag.
+    pub ok: bool,
+}
+
+impl Response {
+    /// The first event with the given `event` field, if any.
+    pub fn find(&self, event: &str) -> Option<&Json> {
+        self.events
+            .iter()
+            .find(|j| j.get("event").and_then(Json::as_str) == Some(event))
+    }
+
+    /// The raw `result` line exactly as received (the byte-identity
+    /// artifact), if any.
+    pub fn result_line(&self) -> Option<&str> {
+        self.events
+            .iter()
+            .position(|j| j.get("event").and_then(Json::as_str) == Some("result"))
+            .map(|i| self.lines[i].as_str())
+    }
+
+    /// The first `error` event's `(code, message)`, if any.
+    pub fn error(&self) -> Option<(String, String)> {
+        let e = self.find("error")?;
+        Some((
+            e.get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            e.get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        ))
+    }
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Connect, retrying every 50ms until `timeout` — for racing a
+    /// freshly spawned daemon.
+    pub fn connect_retry(addr: &str, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Send one request line.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.send_line(&req.to_line())
+    }
+
+    /// Send one raw line (for deliberately malformed input).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()
+    }
+
+    /// Read the next response line (newline-stripped). EOF is an error —
+    /// a healthy response always ends in `done` before the server would
+    /// close.
+    pub fn next_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if !trimmed.is_empty() {
+                return Ok(trimmed.to_string());
+            }
+        }
+    }
+
+    /// Read and parse the next response line.
+    pub fn next_event(&mut self) -> io::Result<Json> {
+        let line = self.next_line()?;
+        Json::parse(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparseable server line {line:?}: {}", e.message),
+            )
+        })
+    }
+
+    /// Send a request and collect its whole response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        self.send(req)?;
+        self.collect_response()
+    }
+
+    /// Collect lines until the terminal `done`.
+    pub fn collect_response(&mut self) -> io::Result<Response> {
+        let mut lines = Vec::new();
+        let mut events = Vec::new();
+        loop {
+            let line = self.next_line()?;
+            let j = Json::parse(&line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unparseable server line {line:?}: {}", e.message),
+                )
+            })?;
+            let is_done = j.get("event").and_then(Json::as_str) == Some("done");
+            let ok = j.get("ok") == Some(&Json::Bool(true));
+            lines.push(line);
+            events.push(j);
+            if is_done {
+                return Ok(Response { lines, events, ok });
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! The transport: a hand-rolled JSONL-over-TCP listener.
+//!
+//! No async runtime — a non-blocking accept loop plus a small pool of
+//! worker threads draining a connection queue:
+//!
+//! * The **accept thread** polls the listener, wraps each new socket in
+//!   a `Conn` (short read timeout, shared line writer), and pushes it
+//!   onto the ready queue.
+//! * Each **worker** pops a connection, pumps whatever bytes are
+//!   available, serves every complete line through the shared
+//!   [`Service`], and requeues the connection (or drops it on EOF /
+//!   error). A connection mid-sweep occupies its worker until the sweep
+//!   finishes — concurrency across clients comes from the pool, while
+//!   *fairness* across sweeps comes from [`crate::fair::FairShare`]
+//!   inside the service.
+//! * **Disconnect cancellation**: every response line is written through
+//!   a latching `LineWriter`; the first failed write cancels the
+//!   request's token, and the engine winds the sweep down at the next
+//!   chunk boundary.
+//! * **Graceful shutdown**: [`Server::shutdown`] stops accepting and
+//!   wakes the workers; each finishes the request it is serving (the
+//!   drain), drops any queued connections, and exits.
+
+use crate::service::{Limits, Service};
+use mpipu_bench::json::Json;
+use mpipu_explore::CancelToken;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Listener configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port — the tests' mode).
+    pub addr: String,
+    /// Worker threads serving connections. Also the ceiling on
+    /// concurrently *progressing* connections; connections beyond it
+    /// queue until a worker frees up.
+    pub workers: usize,
+    /// Service limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 16,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Send-half of a connection, shared between the pumping worker and any
+/// engine thread emitting events. The first failed write latches
+/// `broken` — the disconnect signal.
+#[derive(Debug)]
+struct LineWriter {
+    stream: Mutex<TcpStream>,
+    broken: AtomicBool,
+}
+
+impl LineWriter {
+    /// Write one JSON line; `false` once the peer is gone.
+    fn send(&self, j: &Json) -> bool {
+        if self.broken.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut line = j.to_string_compact();
+        line.push('\n');
+        let mut stream = self.stream.lock().unwrap();
+        if stream.write_all(line.as_bytes()).is_err() {
+            self.broken.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+}
+
+/// One client connection parked in the ready queue.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    writer: Arc<LineWriter>,
+    /// Bytes received but not yet newline-terminated.
+    pending: Vec<u8>,
+}
+
+/// A request line longer than this without a newline is hostile or
+/// broken; the connection gets a structured error and is dropped.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+#[derive(Debug, Default)]
+struct Queue {
+    conns: Mutex<VecDeque<Conn>>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    queue: Queue,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    lines: AtomicU64,
+}
+
+/// Lifetime transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request lines received (including malformed ones).
+    pub lines: u64,
+}
+
+/// The running daemon: listener + worker pool around one shared
+/// [`Service`].
+#[derive(Debug)]
+pub struct Server {
+    service: Arc<Service>,
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving with a fresh [`Service`].
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let limits = cfg.limits;
+        Server::with_service(cfg, Arc::new(Service::new(limits)))
+    }
+
+    /// Bind and start serving an existing (possibly pre-warmed) service.
+    pub fn with_service(cfg: ServerConfig, service: Arc<Service>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(cfg.addr.as_str())?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared::default());
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept".to_string())
+                    .spawn(move || accept_loop(listener, &shared))
+                    .expect("spawn accept thread"),
+            );
+        }
+        for i in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let service = Arc::clone(&service);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&service, &shared))
+                    .expect("spawn worker thread"),
+            );
+        }
+        Ok(Server {
+            service,
+            shared,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound address (with the OS-chosen port when binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (e.g. for metrics in tests).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Transport counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            lines: self.shared.lines.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting and ask the workers to drain: each finishes the
+    /// request it is currently serving, then exits. Returns immediately;
+    /// [`Server::join`] waits for the drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue.cv.notify_all();
+    }
+
+    /// Wait for every thread to exit (call [`Server::shutdown`] first —
+    /// or this blocks until something else does).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Short read timeout so a worker pumping an idle
+                // connection yields quickly; generous write timeout so a
+                // stalled client reads as a disconnect, not a wedge.
+                // No Nagle: each event line must leave the box the moment
+                // it's written, or the request/response turnaround eats a
+                // 40 ms delayed-ACK stall.
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+                let writer = match stream.try_clone() {
+                    Ok(w) => {
+                        let _ = w.set_write_timeout(Some(Duration::from_secs(10)));
+                        w
+                    }
+                    Err(_) => continue,
+                };
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let conn = Conn {
+                    stream,
+                    writer: Arc::new(LineWriter {
+                        stream: Mutex::new(writer),
+                        broken: AtomicBool::new(false),
+                    }),
+                    pending: Vec::new(),
+                };
+                shared.queue.conns.lock().unwrap().push_back(conn);
+                shared.queue.cv.notify_one();
+            }
+            // A tight poll: every fresh connection pays the remainder of
+            // this sleep as accept latency, which lands directly in the
+            // client's first-request time.
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn worker_loop(service: &Service, shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.conns.lock().unwrap();
+            loop {
+                if let Some(conn) = q.pop_front() {
+                    break Some(conn);
+                }
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let Some(mut conn) = conn else {
+            return; // shutdown with an empty queue
+        };
+        match pump(service, shared, &mut conn) {
+            Pump::Keep => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    // Drain policy: finish the request being served (we
+                    // just did), drop idle connections.
+                    continue;
+                }
+                shared.queue.conns.lock().unwrap().push_back(conn);
+                // No notify: this worker (or any other) will pick it up
+                // on its next pop; the timeout bounds the latency.
+            }
+            Pump::Drop => {}
+        }
+    }
+}
+
+enum Pump {
+    /// Connection still live — requeue it.
+    Keep,
+    /// EOF or error — close it.
+    Drop,
+}
+
+/// Read whatever is available, serve every complete line, return the
+/// connection's fate.
+fn pump(service: &Service, shared: &Shared, conn: &mut Conn) -> Pump {
+    let mut buf = [0u8; 8192];
+    match conn.stream.read(&mut buf) {
+        Ok(0) => {
+            if !conn.pending.is_empty() {
+                // The peer half-closed mid-line: answer the truncated
+                // line with a structured error before dropping.
+                let writer = &conn.writer;
+                let emit = |j: &Json| {
+                    writer.send(j);
+                };
+                service.handle_line(
+                    &String::from_utf8_lossy(&conn.pending),
+                    &CancelToken::new(),
+                    &emit,
+                );
+            }
+            Pump::Drop
+        }
+        Ok(n) => {
+            conn.pending.extend_from_slice(&buf[..n]);
+            while let Some(nl) = conn.pending.iter().position(|b| *b == b'\n') {
+                let line: Vec<u8> = conn.pending.drain(..=nl).collect();
+                let line = String::from_utf8_lossy(&line);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                shared.lines.fetch_add(1, Ordering::Relaxed);
+                let cancel = CancelToken::new();
+                let writer = Arc::clone(&conn.writer);
+                let canceller = cancel.clone();
+                let emit = move |j: &Json| {
+                    if !writer.send(j) {
+                        canceller.cancel();
+                    }
+                };
+                service.handle_line(line, &cancel, &emit);
+                if conn.writer.broken.load(Ordering::Relaxed) {
+                    return Pump::Drop;
+                }
+            }
+            if conn.pending.len() > MAX_LINE_BYTES {
+                let writer = &conn.writer;
+                writer.send(&crate::wire::error_json(&crate::request::WireError::parse(
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                )));
+                writer.send(&crate::wire::done_json(false));
+                return Pump::Drop;
+            }
+            Pump::Keep
+        }
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+            Pump::Keep
+        }
+        Err(_) => Pump::Drop,
+    }
+}

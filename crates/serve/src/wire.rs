@@ -1,0 +1,233 @@
+//! Response-side wire events.
+//!
+//! Every line the server writes is a JSON object with an `event` field.
+//! Sweep progress (`sweep_started`, `sweep_chunk`, `sweep_backend_stats`,
+//! `sweep_finished`, `sweep_cancelled`) reuses
+//! [`mpipu_bench::sweep_wire::sweep_event_json`] verbatim — the daemon
+//! speaks the same dialect as the suite's `--events` stream. This module
+//! adds the serve-only events: `catalog`, `stats`, `pareto_update`,
+//! `result` (kinds `eval` and `sweep`), `error`, and the terminal `done`.
+
+use crate::request::{WireError, OBJECTIVE_NAMES};
+use crate::service::MetricsSnapshot;
+use mpipu_bench::json::Json;
+use mpipu_bench::sweep_wire::SWEEP_WIRE_VERSION;
+use mpipu_explore::FrontierPoint;
+use mpipu_sim::CacheStats;
+
+/// `{"event":"error","code":...,"message":...}`.
+pub fn error_json(err: &WireError) -> Json {
+    Json::obj([
+        ("event", Json::str("error")),
+        ("code", Json::str(err.code.name())),
+        ("message", Json::str(&err.message)),
+    ])
+}
+
+/// The terminal `{"event":"done","ok":...}` line closing every response.
+pub fn done_json(ok: bool) -> Json {
+    Json::obj([("event", Json::str("done")), ("ok", Json::Bool(ok))])
+}
+
+/// An incremental frontier update emitted mid-sweep.
+pub fn pareto_update_json(seen: u64, frontier_size: usize) -> Json {
+    Json::obj([
+        ("event", Json::str("pareto_update")),
+        ("seen", Json::from(seen)),
+        ("frontier_size", Json::from(frontier_size)),
+    ])
+}
+
+/// The `list` response: experiments, axes, objectives, backend name.
+pub fn catalog_json(experiments: &[(String, String)], axes: &[&str], backend: &str) -> Json {
+    Json::obj([
+        ("event", Json::str("catalog")),
+        ("wire_version", Json::from(SWEEP_WIRE_VERSION)),
+        (
+            "experiments",
+            Json::Arr(
+                experiments
+                    .iter()
+                    .map(|(name, title)| {
+                        Json::obj([("name", Json::str(name)), ("title", Json::str(title))])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "axes",
+            Json::Arr(axes.iter().map(|a| Json::str(*a)).collect()),
+        ),
+        (
+            "objectives",
+            Json::Arr(OBJECTIVE_NAMES.iter().map(|o| Json::str(*o)).collect()),
+        ),
+        ("backend", Json::str(backend)),
+    ])
+}
+
+/// The `stats` response: server counters plus shared-cache counters.
+pub fn stats_json(m: &MetricsSnapshot, cache: Option<&CacheStats>) -> Json {
+    let mut fields = vec![
+        ("event".to_string(), Json::str("stats")),
+        ("requests".to_string(), Json::from(m.requests)),
+        ("evals".to_string(), Json::from(m.evals)),
+        ("sweeps".to_string(), Json::from(m.sweeps)),
+        (
+            "sweeps_cancelled".to_string(),
+            Json::from(m.sweeps_cancelled),
+        ),
+        ("points_swept".to_string(), Json::from(m.points_swept)),
+        ("errors".to_string(), Json::from(m.errors)),
+        ("active_sweeps".to_string(), Json::from(m.active_sweeps)),
+    ];
+    if let Some(c) = cache {
+        fields.push((
+            "cache".to_string(),
+            Json::obj([
+                ("inner", Json::str(c.inner)),
+                ("hits", Json::from(c.hits)),
+                ("misses", Json::from(c.misses)),
+                ("entries", Json::from(c.entries)),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// A priced design point, ready for [`eval_result_json`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalOutcome {
+    /// Mixed-precision cycles.
+    pub cycles: u64,
+    /// All-FP32 baseline cycles.
+    pub baseline_cycles: u64,
+    /// `cycles / baseline_cycles`.
+    pub normalized: f64,
+    /// Fraction of MACs escalated to FP32.
+    pub fp_fraction: f64,
+    /// `(int_tops_per_mm2, int_tops_per_w, fp_tflops_per_mm2,
+    /// fp_tflops_per_w)`.
+    pub metrics: (f64, f64, f64, f64),
+}
+
+/// The `eval` result line.
+pub fn eval_result_json(tag: Option<&str>, out: &EvalOutcome) -> Json {
+    let mut fields = vec![
+        ("event".to_string(), Json::str("result")),
+        ("kind".to_string(), Json::str("eval")),
+    ];
+    if let Some(tag) = tag {
+        fields.push(("tag".to_string(), Json::str(tag)));
+    }
+    let (mm2, w, fpmm2, fpw) = out.metrics;
+    fields.extend([
+        ("cycles".to_string(), Json::from(out.cycles)),
+        (
+            "baseline_cycles".to_string(),
+            Json::from(out.baseline_cycles),
+        ),
+        ("normalized".to_string(), Json::Num(out.normalized)),
+        ("fp_fraction".to_string(), Json::Num(out.fp_fraction)),
+        (
+            "metrics".to_string(),
+            Json::obj([
+                ("int_tops_per_mm2", Json::Num(mm2)),
+                ("int_tops_per_w", Json::Num(w)),
+                ("fp_tflops_per_mm2", Json::Num(fpmm2)),
+                ("fp_tflops_per_w", Json::Num(fpw)),
+            ]),
+        ),
+    ]);
+    Json::Obj(fields)
+}
+
+fn frontier_point_json(p: &FrontierPoint) -> Json {
+    Json::obj([
+        ("id", Json::from(p.id.0)),
+        (
+            "labels",
+            Json::Arr(p.labels.iter().map(Json::str).collect()),
+        ),
+        (
+            "values",
+            Json::Arr(p.values.iter().map(|v| Json::Num(*v)).collect()),
+        ),
+    ])
+}
+
+/// The `sweep` result line: point count, objective names, the Pareto
+/// frontier, and (when requested) the top-k selection.
+pub fn sweep_result_json(
+    tag: Option<&str>,
+    points: u64,
+    objectives: &[String],
+    front: &[FrontierPoint],
+    top: Option<&[FrontierPoint]>,
+) -> Json {
+    let mut fields = vec![
+        ("event".to_string(), Json::str("result")),
+        ("kind".to_string(), Json::str("sweep")),
+    ];
+    if let Some(tag) = tag {
+        fields.push(("tag".to_string(), Json::str(tag)));
+    }
+    fields.extend([
+        ("points".to_string(), Json::from(points)),
+        (
+            "objectives".to_string(),
+            Json::Arr(objectives.iter().map(Json::str).collect()),
+        ),
+        ("frontier_size".to_string(), Json::from(front.len())),
+        (
+            "frontier".to_string(),
+            Json::Arr(front.iter().map(frontier_point_json).collect()),
+        ),
+    ]);
+    if let Some(top) = top {
+        fields.push((
+            "top".to_string(),
+            Json::Arr(top.iter().map(frontier_point_json).collect()),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ErrorCode;
+
+    #[test]
+    fn error_and_done_shapes() {
+        let e = error_json(&WireError {
+            code: ErrorCode::Budget,
+            message: "too big".to_string(),
+        });
+        assert_eq!(
+            e.to_string_compact(),
+            r#"{"event":"error","code":"budget","message":"too big"}"#
+        );
+        assert_eq!(
+            done_json(true).to_string_compact(),
+            r#"{"event":"done","ok":true}"#
+        );
+    }
+
+    #[test]
+    fn sweep_result_carries_frontier_and_optional_top() {
+        let front = vec![FrontierPoint {
+            id: mpipu_explore::DesignId(3),
+            labels: vec!["w=8".to_string()],
+            values: vec![1.5, 2.0],
+        }];
+        let j = sweep_result_json(Some("t"), 10, &["cycles".to_string()], &front, Some(&front));
+        let s = j.to_string_compact();
+        assert!(s.contains(r#""kind":"sweep""#), "{s}");
+        assert!(s.contains(r#""tag":"t""#), "{s}");
+        assert!(s.contains(r#""frontier_size":1"#), "{s}");
+        assert!(s.contains(r#""top":"#), "{s}");
+        let no_top = sweep_result_json(None, 10, &["cycles".to_string()], &front, None);
+        assert!(!no_top.to_string_compact().contains(r#""top":"#));
+    }
+}

@@ -1,0 +1,252 @@
+//! Property test: `Request::parse(req.to_line()) == req` for every
+//! request variant, plus directed coverage that malformed and truncated
+//! lines always become structured errors — never panics.
+//!
+//! The generator mirrors the canonicalization rules of the wire schema:
+//! distribution parameters are finite floats (the JSON writer
+//! round-trips finite `f64` exactly), axes are non-empty (the parser
+//! rejects empty ones), and objective names come from the catalog.
+
+use mpipu_serve::request::{
+    AxisSpec, DistSpec, ErrorCode, EvalReq, PassSel, Request, SampleSpec, ScenarioSpec, SweepReq,
+    TileSel, TopKSpec, WorkloadSpec, ZooSel, OBJECTIVE_NAMES,
+};
+use proptest::prelude::*;
+
+/// splitmix64 — a small deterministic stream for structural choices.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A strictly positive finite float (distribution parameters).
+fn positive_f64(state: &mut u64) -> f64 {
+    let mantissa = (next(state) >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    let exp = ((next(state) % 41) as i32) - 20; // 2^-20 ..= 2^20
+    (mantissa + 0.5) * (exp as f64).exp2()
+}
+
+fn maybe<T>(state: &mut u64, value: impl FnOnce(&mut u64) -> T) -> Option<T> {
+    next(state).is_multiple_of(2).then(|| value(state))
+}
+
+fn arbitrary_tile(state: &mut u64) -> TileSel {
+    if next(state).is_multiple_of(2) {
+        TileSel::Small
+    } else {
+        TileSel::Big
+    }
+}
+
+fn arbitrary_pass(state: &mut u64) -> PassSel {
+    if next(state).is_multiple_of(2) {
+        PassSel::Fwd
+    } else {
+        PassSel::Bwd
+    }
+}
+
+fn arbitrary_zoo(state: &mut u64) -> ZooSel {
+    match next(state) % 3 {
+        0 => ZooSel::Resnet18,
+        1 => ZooSel::Resnet50,
+        _ => ZooSel::Inceptionv3,
+    }
+}
+
+fn arbitrary_workload(state: &mut u64) -> WorkloadSpec {
+    if next(state).is_multiple_of(2) {
+        WorkloadSpec::Zoo(arbitrary_zoo(state))
+    } else {
+        WorkloadSpec::Synthetic(
+            1 + (next(state) % 64) as usize,
+            1 + (next(state) % 32) as usize,
+            1 + (next(state) % 8) as usize,
+        )
+    }
+}
+
+fn arbitrary_dist(state: &mut u64) -> DistSpec {
+    match next(state) % 7 {
+        0 => DistSpec::Uniform {
+            scale: positive_f64(state),
+        },
+        1 => DistSpec::Normal {
+            std: positive_f64(state),
+        },
+        2 => DistSpec::Laplace {
+            b: positive_f64(state),
+        },
+        3 => DistSpec::Resnet18,
+        4 => DistSpec::Resnet50,
+        5 => DistSpec::Backward,
+        _ => DistSpec::Weight,
+    }
+}
+
+fn arbitrary_tag(state: &mut u64) -> String {
+    const ALPHABET: [char; 12] = [
+        'a', 'Z', '9', ' ', '"', '\\', '\n', '\t', '/', 'é', '李', '🦀',
+    ];
+    let len = 1 + (next(state) % 10) as usize;
+    (0..len)
+        .map(|_| ALPHABET[(next(state) % ALPHABET.len() as u64) as usize])
+        .collect()
+}
+
+fn arbitrary_scenario(state: &mut u64) -> ScenarioSpec {
+    ScenarioSpec {
+        tile: maybe(state, arbitrary_tile),
+        w: maybe(state, |s| 1 + (next(s) % 64) as u32),
+        software_precision: maybe(state, |s| 8 + (next(s) % 24) as u32),
+        cluster: maybe(state, |s| 1 + (next(s) % 16) as usize),
+        buffer_depth: maybe(state, |s| 1 + (next(s) % 8) as usize),
+        n_tiles: maybe(state, |s| 1 + (next(s) % 8) as usize),
+        workload: maybe(state, arbitrary_workload),
+        pass: maybe(state, arbitrary_pass),
+        dists: maybe(state, |s| (arbitrary_dist(s), arbitrary_dist(s))),
+        seed: maybe(state, next),
+        sample_steps: maybe(state, |s| 1 + (next(s) % 256) as usize),
+    }
+}
+
+fn nonempty<T>(state: &mut u64, max: u64, f: impl Fn(&mut u64) -> T) -> Vec<T> {
+    let n = 1 + (next(state) % max) as usize;
+    (0..n).map(|_| f(state)).collect()
+}
+
+fn arbitrary_axis(state: &mut u64) -> AxisSpec {
+    match next(state) % 9 {
+        0 => AxisSpec::W(nonempty(state, 5, |s| 1 + (next(s) % 64) as u32)),
+        1 => AxisSpec::SoftwarePrecision(nonempty(state, 3, |s| 8 + (next(s) % 24) as u32)),
+        2 => AxisSpec::Cluster(nonempty(state, 4, |s| 1 + (next(s) % 16) as usize)),
+        3 => AxisSpec::BufferDepth(nonempty(state, 3, |s| 1 + (next(s) % 8) as usize)),
+        4 => AxisSpec::NTiles(nonempty(state, 3, |s| 1 + (next(s) % 8) as usize)),
+        5 => AxisSpec::Tile(nonempty(state, 2, arbitrary_tile)),
+        6 => AxisSpec::Workload(nonempty(state, 3, arbitrary_workload)),
+        7 => AxisSpec::Pass(nonempty(state, 2, arbitrary_pass)),
+        _ => AxisSpec::Dists(nonempty(state, 3, |s| {
+            (arbitrary_dist(s), arbitrary_dist(s))
+        })),
+    }
+}
+
+fn arbitrary_objectives(state: &mut u64) -> Vec<String> {
+    nonempty(state, 4, |s| {
+        OBJECTIVE_NAMES[(next(s) % OBJECTIVE_NAMES.len() as u64) as usize].to_string()
+    })
+}
+
+fn arbitrary_request(state: &mut u64) -> Request {
+    match next(state) % 4 {
+        0 => Request::List,
+        1 => Request::Stats,
+        2 => Request::Eval(EvalReq {
+            scenario: arbitrary_scenario(state),
+            tag: maybe(state, arbitrary_tag),
+        }),
+        _ => Request::Sweep(SweepReq {
+            base: arbitrary_scenario(state),
+            axes: (0..(next(state) % 4) as usize)
+                .map(|_| arbitrary_axis(state))
+                .collect(),
+            objectives: arbitrary_objectives(state),
+            top_k: maybe(state, |s| TopKSpec {
+                objective: OBJECTIVE_NAMES[(next(s) % OBJECTIVE_NAMES.len() as u64) as usize]
+                    .to_string(),
+                k: 1 + (next(s) % 16) as usize,
+            }),
+            sample: maybe(state, |s| SampleSpec {
+                count: 1 + (next(s) % 4096) as usize,
+                seed: next(s),
+            }),
+            max_points: maybe(state, next),
+            max_ms: maybe(state, next),
+            chunk: maybe(state, |s| 1 + (next(s) % 4096) as usize),
+            progress_every: maybe(state, next),
+            tag: maybe(state, arbitrary_tag),
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(768))]
+
+    #[test]
+    fn every_request_round_trips(seed in 0u64..u64::MAX) {
+        let mut state = seed;
+        let req = arbitrary_request(&mut state);
+        let line = req.to_line();
+        let back = Request::parse(&line);
+        prop_assert_eq!(back.as_ref(), Ok(&req), "line {}", line);
+        // The canonical form is a fixed point: re-emitting the parsed
+        // request reproduces the same bytes.
+        prop_assert_eq!(back.unwrap().to_line(), line);
+    }
+
+    #[test]
+    fn truncated_lines_never_panic(seed in 0u64..u64::MAX) {
+        let mut state = seed;
+        let line = arbitrary_request(&mut state).to_line();
+        // Every prefix (cutting at char boundaries) parses to a
+        // structured error or — never — a panic. Only the full line may
+        // succeed.
+        for (cut, _) in line.char_indices() {
+            let prefix = &line[..cut];
+            let err = Request::parse(prefix)
+                .expect_err("a strict prefix of a JSON object cannot parse");
+            prop_assert!(
+                matches!(err.code, ErrorCode::Parse | ErrorCode::BadRequest),
+                "prefix {:?} gave {:?}", prefix, err
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(seed in 0u64..u64::MAX) {
+        let mut state = seed;
+        let len = (next(&mut state) % 64) as usize;
+        let garbage: String = (0..len)
+            .map(|_| char::from_u32((next(&mut state) % 0xFF) as u32 + 1).unwrap_or('?'))
+            .collect();
+        // Parse may succeed only if the garbage happens to be a valid
+        // request (vanishingly unlikely); it must never panic.
+        let _ = Request::parse(&garbage);
+    }
+}
+
+#[test]
+fn directed_malformed_lines_are_structured_errors() {
+    let cases: [(&str, ErrorCode); 8] = [
+        ("", ErrorCode::Parse),
+        ("{", ErrorCode::Parse),
+        (
+            r#"{"req":"sweep","axes":[{"axis":"w","values":[1,2"#,
+            ErrorCode::Parse,
+        ),
+        (r#"{"req":"evaluate"}"#, ErrorCode::Parse),
+        (
+            r#"{"req":"eval","scenario":{"w":-3}}"#,
+            ErrorCode::BadRequest,
+        ),
+        (
+            r#"{"req":"eval","scenario":{"w":3.5}}"#,
+            ErrorCode::BadRequest,
+        ),
+        (
+            r#"{"req":"sweep","top_k":{"objective":"cycles","k":0}}"#,
+            ErrorCode::BadRequest,
+        ),
+        (
+            r#"{"req":"sweep","sample":{"count":0}}"#,
+            ErrorCode::BadRequest,
+        ),
+    ];
+    for (line, code) in cases {
+        let err = Request::parse(line).expect_err(line);
+        assert_eq!(err.code, code, "line {line}: {}", err.message);
+    }
+}

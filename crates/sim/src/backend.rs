@@ -145,6 +145,27 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+impl CacheStats {
+    /// The counter change since an earlier snapshot — the per-request
+    /// view of a process-wide shared cache, where cumulative process
+    /// totals would misattribute every prior request's traffic.
+    ///
+    /// `hits`/`misses` subtract saturating (the counters are monotone;
+    /// saturation only guards a mismatched snapshot pair). `entries`
+    /// stays absolute: cache population is a process-level property, not
+    /// attributable to one request. Under concurrent requests the deltas
+    /// are approximate (racing requests' traffic interleaves); for a
+    /// serially-issued request they are exact.
+    pub fn delta_since(&self, start: &CacheStats) -> CacheStats {
+        CacheStats {
+            inner: self.inner,
+            hits: self.hits.saturating_sub(start.hits),
+            misses: self.misses.saturating_sub(start.misses),
+            entries: self.entries,
+        }
+    }
+}
+
 /// A hashable digest of a [`CostQuery`] (plus the answering backend's
 /// name, so one cache can serve heterogeneous backends without mixing
 /// their numerics).
@@ -604,6 +625,65 @@ pub(crate) fn ipu_partition_pmf(
     out
 }
 
+/// A tiny multiply-rotate hasher (the rustc-hash scheme) for the memo
+/// cache. [`CacheKey`] is ~14 machine words of well-spread numeric
+/// fields hashed once per slab slot, and the standard library's
+/// SipHash dominates warm-sweep lookups when every slot is a distinct
+/// key. Keys are internal — never attacker-chosen — so HashDoS
+/// resistance buys nothing here.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
 /// A concurrent memoization layer over any [`CostBackend`].
 ///
 /// Keys come from the inner backend's [`CostBackend::cache_key`], so a
@@ -613,7 +693,7 @@ pub(crate) fn ipu_partition_pmf(
 /// deterministic functions of their key).
 pub struct Memoized {
     inner: Arc<dyn CostBackend>,
-    cache: RwLock<HashMap<CacheKey, f64>>,
+    cache: RwLock<HashMap<CacheKey, f64, FxBuildHasher>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -623,7 +703,7 @@ impl Memoized {
     pub fn new(inner: Arc<dyn CostBackend>) -> Memoized {
         Memoized {
             inner,
-            cache: RwLock::new(HashMap::new()),
+            cache: RwLock::new(HashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -694,6 +774,73 @@ impl CostBackend for Memoized {
             misses: self.misses(),
             entries: self.len(),
         })
+    }
+
+    /// Batch-aware memoization: serve cached slots from the cache, then
+    /// forward the *distinct* uncached queries to the inner backend in
+    /// one [`CostBackend::estimate_batch`] call.
+    ///
+    /// This keeps a memoization layer transparent on the sweep engine's
+    /// slab fast path: batched inner backends
+    /// ([`crate::slab::AnalyticBatched`]) guarantee each query's batch
+    /// answer is a function of that query alone, so evaluating the miss
+    /// subset is bit-identical to evaluating the full slab — and to the
+    /// scalar [`CostBackend::window_cycles`] path. Duplicate keys inside
+    /// one slab count as hits (the scalar path would compute the first
+    /// and hit on the rest), so `hits + misses` still advances by
+    /// `queries.len()`.
+    fn estimate_batch(&self, queries: &[CostQuery], out: &mut [f64]) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "estimate_batch: slab length mismatch"
+        );
+        let keys: Vec<CacheKey> = queries.iter().map(|q| self.inner.cache_key(q)).collect();
+        let mut miss_idx: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.read().unwrap();
+            for (i, key) in keys.iter().enumerate() {
+                match cache.get(key) {
+                    Some(&cycles) => out[i] = cycles,
+                    None => miss_idx.push(i),
+                }
+            }
+        }
+        if miss_idx.is_empty() {
+            self.hits.fetch_add(queries.len() as u64, Ordering::Relaxed);
+            return;
+        }
+        // Collapse duplicate keys within the slab: one inner computation
+        // per distinct design point.
+        let mut slot_of_key: HashMap<&CacheKey, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        let slots: Vec<usize> = miss_idx
+            .iter()
+            .map(|&i| {
+                *slot_of_key.entry(&keys[i]).or_insert_with(|| {
+                    unique.push(i);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        let miss_queries: Vec<CostQuery> = unique.iter().map(|&i| queries[i]).collect();
+        let mut miss_out = vec![0.0f64; miss_queries.len()];
+        self.inner.estimate_batch(&miss_queries, &mut miss_out);
+        self.hits.fetch_add(
+            (queries.len() - miss_queries.len()) as u64,
+            Ordering::Relaxed,
+        );
+        self.misses
+            .fetch_add(miss_queries.len() as u64, Ordering::Relaxed);
+        {
+            let mut cache = self.cache.write().unwrap();
+            for (&i, &cycles) in unique.iter().zip(&miss_out) {
+                cache.insert(keys[i].clone(), cycles);
+            }
+        }
+        for (&i, &slot) in miss_idx.iter().zip(&slots) {
+            out[i] = miss_out[slot];
+        }
     }
 }
 
@@ -918,6 +1065,60 @@ mod tests {
         let stats = memo.cache_stats().expect("memoized backends report stats");
         assert_eq!(stats.inner, "analytic");
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn cache_stats_delta_isolates_one_requests_traffic() {
+        let memo = Memoized::new(Arc::new(Analytic));
+        // Request A: two distinct points, one repeated.
+        let qa = query(TileConfig::small(), 12, Pass::Forward, 1);
+        let qb = query(TileConfig::small(), 16, Pass::Forward, 1);
+        memo.window_cycles(&qa);
+        memo.window_cycles(&qa);
+        memo.window_cycles(&qb);
+        let before = memo.cache_stats().unwrap();
+        assert_eq!((before.hits, before.misses, before.entries), (1, 2, 2));
+        // Request B: re-query both points — pure hits on the shared cache.
+        memo.window_cycles(&qa);
+        memo.window_cycles(&qb);
+        let after = memo.cache_stats().unwrap();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.inner, "analytic");
+        assert_eq!(
+            (delta.hits, delta.misses),
+            (2, 0),
+            "cumulative counters must not leak into the per-request delta"
+        );
+        assert_eq!(delta.entries, 2, "entries stay absolute (process-wide)");
+        // A mismatched pair saturates instead of wrapping.
+        let wild = before.delta_since(&after);
+        assert_eq!((wild.hits, wild.misses), (0, 0));
+    }
+
+    #[test]
+    fn memoized_estimate_batch_serves_hits_and_dedupes_within_the_slab() {
+        let memo = Memoized::new(Arc::new(Analytic));
+        let qa = query(TileConfig::small(), 12, Pass::Forward, 1);
+        let qb = query(TileConfig::small(), 16, Pass::Forward, 2);
+        // Seed it with qa so the batch sees a pre-existing entry.
+        let solo = memo.window_cycles(&qa);
+        // Slab: cached qa, new qb, a seed-variant duplicate of qb (the
+        // analytic key is seed-blind), and qa again.
+        let slab = [qa, qb, CostQuery { seed: 99, ..qb }, qa];
+        let mut out = [0.0f64; 4];
+        memo.estimate_batch(&slab, &mut out);
+        assert_eq!(out[0].to_bits(), solo.to_bits());
+        assert_eq!(out[3].to_bits(), solo.to_bits());
+        assert_eq!(out[1].to_bits(), out[2].to_bits(), "seed-blind dup");
+        assert_eq!(out[1].to_bits(), Analytic.window_cycles(&qb).to_bits());
+        // 4 slab queries: 1 inner computation (qb), 3 hits (two cached
+        // qa slots + the within-slab duplicate); hits + misses advances
+        // by the slab length.
+        assert_eq!((memo.hits(), memo.misses()), (3, 2));
+        assert_eq!(memo.len(), 2);
+        // An all-hit slab touches only the hit counter.
+        memo.estimate_batch(&slab, &mut out);
+        assert_eq!((memo.hits(), memo.misses()), (7, 2));
     }
 
     #[test]
