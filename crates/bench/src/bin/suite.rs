@@ -4,7 +4,7 @@
 //! ```text
 //! suite --list                 name every registered experiment
 //! suite [--smoke|--quick|--full]
-//!       [--threads N]          worker threads (default: one per CPU)
+//!       [--threads N]          worker threads (0 or omitted = one per CPU)
 //!       [--only a,b,c]         run a comma-separated subset
 //!       [--backend B]          cost backend: mc (default), analytic,
 //!                              analytic-batched, memoized,

@@ -306,6 +306,38 @@ impl SweepEngine {
         self.drive(space, space.len(), DesignId, fold, sink)
     }
 
+    /// Sweep the contiguous id range `[lo, hi)`, folding in id order —
+    /// the shard work-unit path. Takes the same slab fast path as
+    /// [`SweepEngine::run`] (evaluating absolute-id subranges of the
+    /// plan), so a range sweep is bit-identical to the corresponding
+    /// stretch of a full sweep; schedule-bearing spaces fall back to the
+    /// scalar per-point path with the same contract.
+    ///
+    /// # Panics
+    /// Panics when the range is inverted or reaches past the space.
+    pub fn run_range<F: Fold + Send>(
+        &self,
+        space: &ParamSpace,
+        lo: u64,
+        hi: u64,
+        fold: F,
+        sink: &dyn SweepSink,
+    ) -> F::Output
+    where
+        F::Output: Send,
+    {
+        assert!(lo <= hi && hi <= space.len(), "unit range out of bounds");
+        if let Some(plan) = crate::slab::SlabPlan::try_new(space, self.backend.as_ref()) {
+            return self.drive_chunks(
+                hi - lo,
+                |a, b| plan.evaluate_chunk(lo + a, lo + b),
+                fold,
+                sink,
+            );
+        }
+        self.drive(space, hi - lo, |rank| DesignId(lo + rank), fold, sink)
+    }
+
     /// Sweep an explicit id list (e.g. a filtered or externally-ordered
     /// subset), folding in list order.
     pub fn run_ids<F: Fold + Send>(
@@ -563,6 +595,37 @@ mod tests {
         let ids: Vec<u64> = evals.iter().map(|e| e.id.0).collect();
         assert_eq!(ids, (0..8).collect::<Vec<_>>());
         assert!(evals.iter().all(|e| e.normalized >= 1.0));
+    }
+
+    #[test]
+    fn run_range_matches_the_full_sweep_slice() {
+        let space = space();
+        let full = SweepEngine::new().run(&space, Collect::new(), &NullSweepSink);
+        for (lo, hi) in [(0u64, 8u64), (0, 3), (3, 8), (5, 5), (2, 6)] {
+            let range = SweepEngine::new().threads(2).chunk_size(2).run_range(
+                &space,
+                lo,
+                hi,
+                Collect::new(),
+                &NullSweepSink,
+            );
+            assert_eq!(range.len(), (hi - lo) as usize);
+            for (a, b) in range.iter().zip(&full[lo as usize..hi as usize]) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.cycles, b.cycles);
+                assert_eq!(a.normalized.to_bits(), b.normalized.to_bits());
+                assert_eq!(
+                    a.labels().collect::<Vec<_>>(),
+                    b.labels().collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unit range out of bounds")]
+    fn run_range_rejects_out_of_bounds_ranges() {
+        SweepEngine::new().run_range(&space(), 4, 9, Collect::new(), &NullSweepSink);
     }
 
     #[test]

@@ -56,6 +56,17 @@ impl Objective {
             Sense::Maximize => -self.value(eval),
         }
     }
+
+    /// Map an already-extracted original-sense value to keyed form —
+    /// exactly [`Objective::keyed`] for `value == self.value(eval)`.
+    /// Negation is a sign-bit flip, so re-keying a stored value (e.g. a
+    /// [`crate::FrontierPoint`] crossing a shard boundary) is bit-exact.
+    pub fn key_of(&self, value: f64) -> f64 {
+        match self.sense {
+            Sense::Minimize => value,
+            Sense::Maximize => -value,
+        }
+    }
 }
 
 /// The builtin objective catalog over [`PointEval`] fields.

@@ -104,6 +104,46 @@ impl ParetoFold {
     pub fn front_len(&self) -> usize {
         self.front.len()
     }
+
+    /// Fold an already-selected frontier point (a shard-merge step).
+    ///
+    /// Keyed values are recomputed from the point's stored
+    /// original-sense values ([`Objective::key_of`] — bit-exact), then
+    /// run through the same duplicate/dominance logic as
+    /// [`Fold::accept`]. Absorbing each unit's finished frontier in
+    /// canonical (ascending id-range) unit order therefore yields the
+    /// exact single-fold frontier: a point dominated inside its unit is
+    /// transitively dominated by a survivor of that unit's frontier, and
+    /// exact-duplicate collapse still lands on the lowest id because
+    /// units are folded in id order. The shard-merge proptests hold this
+    /// for every grouping.
+    ///
+    /// Does not advance [`ParetoFold::seen`] — absorbed points were
+    /// counted by the fold that first accepted them.
+    pub fn absorb(&mut self, point: &FrontierPoint) {
+        assert_eq!(
+            point.values.len(),
+            self.objectives.len(),
+            "absorbed point has wrong objective arity"
+        );
+        self.scratch.clear();
+        self.scratch.extend(
+            self.objectives
+                .iter()
+                .zip(&point.values)
+                .map(|(o, &v)| o.key_of(v)),
+        );
+        let keyed = &self.scratch;
+        if self
+            .front
+            .iter()
+            .any(|(k, _)| dominates(k, keyed) || k == keyed)
+        {
+            return;
+        }
+        self.front.retain(|(k, _)| !dominates(keyed, k));
+        self.front.push((keyed.clone(), point.clone()));
+    }
 }
 
 impl Fold for ParetoFold {
@@ -164,6 +204,35 @@ impl TopK {
             k,
             best: Vec::with_capacity(k + 1),
         }
+    }
+
+    /// Fold an already-selected top-k point (a shard-merge step).
+    ///
+    /// The key is recomputed from the point's stored value (bit-exact —
+    /// see [`Objective::key_of`]). The final selection is the k smallest
+    /// `(keyed, id)` pairs of everything folded, which is
+    /// insertion-order independent; the global top-k is a subset of the
+    /// union of per-unit top-ks (a globally selected point is at least
+    /// as good within its own unit), so absorbing each unit's finished
+    /// selection reproduces the single-fold result exactly.
+    pub fn absorb(&mut self, point: &FrontierPoint) {
+        assert_eq!(
+            point.values.len(),
+            1,
+            "top-k points carry exactly the ranking objective's value"
+        );
+        let keyed = self.objective.key_of(point.values[0]);
+        if self.best.len() == self.k {
+            let (worst, worst_point) = self.best.last().expect("k >= 1");
+            if keyed > *worst || (keyed == *worst && point.id >= worst_point.id) {
+                return;
+            }
+        }
+        let at = self
+            .best
+            .partition_point(|(v, p)| *v < keyed || (*v == keyed && p.id < point.id));
+        self.best.insert(at, (keyed, point.clone()));
+        self.best.truncate(self.k);
     }
 }
 

@@ -1,0 +1,192 @@
+//! Sharding primitives: `DesignId`-range work units and the exact
+//! shard-merge.
+//!
+//! A sharded sweep splits a [`crate::ParamSpace`] into contiguous
+//! id-range **units** ([`partition_units`]), evaluates each unit
+//! independently (any process, any order — see
+//! [`crate::SweepEngine::run_range`]), and merges the per-unit
+//! [`ParetoFold`]/[`TopK`] outputs back into the single-sweep result.
+//! [`ShardMerge`] is that merge: a reorder buffer that absorbs unit
+//! results strictly in ascending unit order, so the merged output is
+//! byte-identical to one in-process fold regardless of worker count,
+//! completion order, or which units were replayed from a journal.
+//!
+//! Exactness rests on two properties the proptests pin down:
+//!
+//! * **Pareto**: dominance is transitive and exact duplicates collapse
+//!   to the first point folded, so a unit's *finished frontier* carries
+//!   everything the global fold needs from that unit — absorbing
+//!   frontiers in id order equals folding every raw point in id order.
+//! * **Top-k**: the final selection is the k smallest `(keyed, id)`
+//!   pairs, and every globally selected point survives its own unit's
+//!   top-k, so merging per-unit selections loses nothing.
+
+use crate::pareto::{FrontierPoint, ParetoFold, TopK};
+use std::collections::BTreeMap;
+
+/// One contiguous stretch of design ids, `[lo, hi)` — the unit of work
+/// distribution, journaling, and resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitRange {
+    /// Rank in the canonical (ascending-id) unit order.
+    pub index: usize,
+    /// First design id in the unit.
+    pub lo: u64,
+    /// One past the last design id.
+    pub hi: u64,
+}
+
+impl UnitRange {
+    /// Points in the unit.
+    pub fn points(&self) -> u64 {
+        self.hi - self.lo
+    }
+}
+
+/// Split `total` design points into units of `unit_points` ids each
+/// (the last unit takes the remainder). `unit_points` is floored at 1.
+pub fn partition_units(total: u64, unit_points: u64) -> Vec<UnitRange> {
+    let step = unit_points.max(1);
+    (0..total.div_ceil(step))
+        .map(|i| UnitRange {
+            index: i as usize,
+            lo: i * step,
+            hi: total.min((i + 1) * step),
+        })
+        .collect()
+}
+
+/// One unit's fold output: its finished Pareto frontier and (when the
+/// sweep selects one) its finished top-k.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitFold {
+    /// The unit's Pareto frontier, sorted by id (a [`ParetoFold`]
+    /// `finish` output).
+    pub front: Vec<FrontierPoint>,
+    /// The unit's top-k selection, best first (a [`TopK`] `finish`
+    /// output); `None` when the sweep has no top-k.
+    pub top: Option<Vec<FrontierPoint>>,
+}
+
+/// The exact shard-merge: absorbs [`UnitFold`]s in any arrival order,
+/// folding them strictly in canonical unit order through a reorder
+/// buffer (the same trick the engine's chunk merge uses, one level up).
+#[derive(Debug)]
+pub struct ShardMerge {
+    pareto: ParetoFold,
+    top: Option<TopK>,
+    next: usize,
+    pending: BTreeMap<usize, UnitFold>,
+    merged: usize,
+}
+
+impl ShardMerge {
+    /// A merge producing the same output as folding every point through
+    /// `pareto` (and `top`, when given) in id order.
+    pub fn new(pareto: ParetoFold, top: Option<TopK>) -> ShardMerge {
+        ShardMerge {
+            pareto,
+            top,
+            next: 0,
+            pending: BTreeMap::new(),
+            merged: 0,
+        }
+    }
+
+    /// Offer one unit's fold output (idempotent per index: a duplicate
+    /// offer for an already-merged or already-pending unit is ignored —
+    /// first completion wins). Out-of-order offers park in the reorder
+    /// buffer until the canonical prefix is contiguous.
+    pub fn offer(&mut self, index: usize, fold: UnitFold) {
+        if index < self.next || self.pending.contains_key(&index) {
+            return;
+        }
+        self.pending.insert(index, fold);
+        while let Some(ready) = self.pending.remove(&self.next) {
+            for p in &ready.front {
+                self.pareto.absorb(p);
+            }
+            if let (Some(top), Some(points)) = (self.top.as_mut(), ready.top.as_ref()) {
+                for p in points {
+                    top.absorb(p);
+                }
+            }
+            self.next += 1;
+            self.merged += 1;
+        }
+    }
+
+    /// Units merged into the folds so far (the contiguous prefix).
+    pub fn merged(&self) -> usize {
+        self.merged
+    }
+
+    /// Current merged-prefix frontier size (progress reporting).
+    pub fn front_len(&self) -> usize {
+        self.pareto.front_len()
+    }
+
+    /// Finish the folds.
+    ///
+    /// # Panics
+    /// Panics when offered units are still parked out of order — the
+    /// caller failed to deliver a contiguous unit sequence.
+    pub fn finish(self) -> (Vec<FrontierPoint>, Option<Vec<FrontierPoint>>) {
+        assert!(
+            self.pending.is_empty(),
+            "shard merge finished with {} unit(s) parked out of order",
+            self.pending.len()
+        );
+        use crate::engine::Fold;
+        (self.pareto.finish(), self.top.map(TopK::finish))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_the_space_exactly() {
+        let units = partition_units(10, 4);
+        assert_eq!(units.len(), 3);
+        assert_eq!(
+            units
+                .iter()
+                .map(|u| (u.index, u.lo, u.hi))
+                .collect::<Vec<_>>(),
+            vec![(0, 0, 4), (1, 4, 8), (2, 8, 10)]
+        );
+        assert_eq!(units.iter().map(UnitRange::points).sum::<u64>(), 10);
+        assert_eq!(partition_units(0, 4), Vec::new());
+        assert_eq!(partition_units(3, 0).len(), 3, "unit size floored at 1");
+        let one = partition_units(5, 100);
+        assert_eq!(one.len(), 1);
+        assert_eq!((one[0].lo, one[0].hi), (0, 5));
+    }
+
+    #[test]
+    fn merge_reorders_and_dedupes_offers() {
+        use crate::objective::objectives;
+        let unit = |id: u64, slowdown: f64| UnitFold {
+            front: vec![FrontierPoint {
+                id: crate::DesignId(id),
+                labels: vec![],
+                values: vec![slowdown],
+            }],
+            top: None,
+        };
+        let mut m = ShardMerge::new(ParetoFold::new(vec![objectives::FP_SLOWDOWN]), None);
+        m.offer(2, unit(20, 3.0));
+        assert_eq!(m.merged(), 0, "parked until the prefix is contiguous");
+        m.offer(0, unit(0, 1.0));
+        assert_eq!(m.merged(), 1);
+        m.offer(1, unit(10, 2.0));
+        assert_eq!(m.merged(), 3);
+        m.offer(1, unit(11, 0.1)); // duplicate completion: ignored
+        let (front, top) = m.finish();
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].id, crate::DesignId(0));
+        assert!(top.is_none());
+    }
+}

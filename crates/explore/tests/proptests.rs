@@ -5,7 +5,7 @@
 //! parameter spaces and chunk boundaries.
 
 use mpipu_explore::{pareto_front, FrontierPoint, Objective, ParetoFold, PointEval, Sense};
-use mpipu_explore::{DesignId, Fold};
+use mpipu_explore::{DesignId, Fold, ShardMerge, TopK, UnitFold};
 use mpipu_hw::DesignMetrics;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -59,26 +59,94 @@ fn fold_points(points: &[Vec<f64>]) -> Vec<FrontierPoint> {
     let dim = points.first().map_or(1, Vec::len);
     let mut fold = ParetoFold::new(OBJS[..dim].to_vec());
     for (i, p) in points.iter().enumerate() {
-        let get = |k: usize| p.get(k).copied().unwrap_or(0.0);
-        fold.accept(&PointEval {
-            id: DesignId(i as u64),
-            coords: vec![i].into(),
-            label_table: std::sync::Arc::new(vec![(0..=i)
-                .map(|j| std::sync::Arc::from(format!("{j}").as_str()))
-                .collect()]),
-            cycles: 1,
-            baseline_cycles: 1,
-            normalized: 1.0,
-            fp_fraction: 1.0,
-            metrics: DesignMetrics {
-                int_tops_per_mm2: get(0),
-                int_tops_per_w: get(1),
-                fp_tflops_per_mm2: get(2),
-                fp_tflops_per_w: 0.0,
-            },
-        });
+        fold.accept(&make_eval(i, p));
     }
     fold.finish()
+}
+
+/// One synthetic evaluation: id follows input order, objective columns
+/// land in the metrics fields the test objectives extract.
+fn make_eval(i: usize, p: &[f64]) -> PointEval {
+    let get = |k: usize| p.get(k).copied().unwrap_or(0.0);
+    PointEval {
+        id: DesignId(i as u64),
+        coords: vec![i].into(),
+        label_table: std::sync::Arc::new(vec![(0..=i)
+            .map(|j| std::sync::Arc::from(format!("{j}").as_str()))
+            .collect()]),
+        cycles: 1,
+        baseline_cycles: 1,
+        normalized: 1.0,
+        fp_fraction: 1.0,
+        metrics: DesignMetrics {
+            int_tops_per_mm2: get(0),
+            int_tops_per_w: get(1),
+            fp_tflops_per_mm2: get(2),
+            fp_tflops_per_w: 0.0,
+        },
+    }
+}
+
+/// Mixed-sense objectives for the shard-merge laws: the Maximize column
+/// exercises the bit-exact re-keying ([`Objective::key_of`]) absorbed
+/// points go through.
+const MERGE_OBJS: [Objective; 3] = [
+    Objective::new("m0", Sense::Minimize, |e: &PointEval| {
+        e.metrics.int_tops_per_mm2
+    }),
+    Objective::new("m1", Sense::Maximize, |e: &PointEval| {
+        e.metrics.int_tops_per_w
+    }),
+    Objective::new("m2", Sense::Minimize, |e: &PointEval| {
+        e.metrics.fp_tflops_per_mm2
+    }),
+];
+
+/// Byte-exact view of a frontier in its native order: `(id, value
+/// bits)` per point.
+fn exact(front: &[FrontierPoint]) -> Vec<(u64, Vec<u64>)> {
+    front
+        .iter()
+        .map(|p| (p.id.0, p.values.iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+/// Fold every point in id order through one `ParetoFold` + `TopK` — the
+/// in-process result sharded runs must reproduce.
+fn single_fold(points: &[Vec<f64>], dim: usize, k: usize) -> UnitFold {
+    let mut pareto = ParetoFold::new(MERGE_OBJS[..dim].to_vec());
+    let mut top = TopK::new(MERGE_OBJS[1], k);
+    for (i, p) in points.iter().enumerate() {
+        let e = make_eval(i, p);
+        pareto.accept(&e);
+        top.accept(&e);
+    }
+    UnitFold {
+        front: pareto.finish(),
+        top: Some(top.finish()),
+    }
+}
+
+/// Fold each `unit_size`-point stretch independently (its own fresh
+/// folds), returning per-unit finished outputs in canonical order.
+fn unit_folds(points: &[Vec<f64>], dim: usize, k: usize, unit_size: usize) -> Vec<UnitFold> {
+    points
+        .chunks(unit_size.max(1))
+        .enumerate()
+        .map(|(u, chunk)| {
+            let mut pareto = ParetoFold::new(MERGE_OBJS[..dim].to_vec());
+            let mut top = TopK::new(MERGE_OBJS[1], k);
+            for (j, p) in chunk.iter().enumerate() {
+                let e = make_eval(u * unit_size.max(1) + j, p);
+                pareto.accept(&e);
+                top.accept(&e);
+            }
+            UnitFold {
+                front: pareto.finish(),
+                top: Some(top.finish()),
+            }
+        })
+        .collect()
 }
 
 /// Canonical view of a frontier: the sorted multiset of value vectors
@@ -141,6 +209,81 @@ proptest! {
             .collect();
         batch.sort();
         prop_assert_eq!(fold_values, batch);
+    }
+
+    /// ISSUE 9 shard-merge law: splitting the id sequence into units of
+    /// any size, folding each unit independently, and merging the unit
+    /// outputs — offered in arbitrary arrival order — equals the single
+    /// in-process fold *exactly* (ids, order, and value bits), for both
+    /// the Pareto frontier and the top-k selection.
+    #[test]
+    fn shard_merge_equals_single_fold_for_any_unit_size(
+        points in points_strategy(),
+        unit_size in 1usize..9,
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let dim = points.first().map_or(1, Vec::len);
+        let reference = single_fold(&points, dim, k);
+        let units = unit_folds(&points, dim, k, unit_size);
+        let mut merge = ShardMerge::new(
+            ParetoFold::new(MERGE_OBJS[..dim].to_vec()),
+            Some(TopK::new(MERGE_OBJS[1], k)),
+        );
+        let order = shuffled(&(0..units.len()).collect::<Vec<_>>(), seed);
+        for u in order {
+            merge.offer(u, units[u].clone());
+        }
+        prop_assert_eq!(merge.merged(), units.len());
+        let (front, top) = merge.finish();
+        prop_assert_eq!(exact(&front), exact(&reference.front));
+        prop_assert_eq!(
+            exact(&top.unwrap()),
+            exact(reference.top.as_ref().unwrap())
+        );
+    }
+
+    /// Merge associativity: grouping consecutive units into super-units,
+    /// merging each group with its own `ShardMerge`, then merging the
+    /// group results, still equals the single fold — per-unit and
+    /// merge-of-merges shardings are interchangeable.
+    #[test]
+    fn shard_merge_is_associative_across_groupings(
+        points in points_strategy(),
+        unit_size in 1usize..6,
+        group in 1usize..4,
+        k in 1usize..5,
+    ) {
+        let dim = points.first().map_or(1, Vec::len);
+        let reference = single_fold(&points, dim, k);
+        let units = unit_folds(&points, dim, k, unit_size);
+        let groups: Vec<UnitFold> = units
+            .chunks(group)
+            .map(|chunk| {
+                let mut inner = ShardMerge::new(
+                    ParetoFold::new(MERGE_OBJS[..dim].to_vec()),
+                    Some(TopK::new(MERGE_OBJS[1], k)),
+                );
+                for (j, u) in chunk.iter().enumerate() {
+                    inner.offer(j, u.clone());
+                }
+                let (front, top) = inner.finish();
+                UnitFold { front, top }
+            })
+            .collect();
+        let mut outer = ShardMerge::new(
+            ParetoFold::new(MERGE_OBJS[..dim].to_vec()),
+            Some(TopK::new(MERGE_OBJS[1], k)),
+        );
+        for (g, fold) in groups.into_iter().enumerate() {
+            outer.offer(g, fold);
+        }
+        let (front, top) = outer.finish();
+        prop_assert_eq!(exact(&front), exact(&reference.front));
+        prop_assert_eq!(
+            exact(&top.unwrap()),
+            exact(reference.top.as_ref().unwrap())
+        );
     }
 }
 

@@ -1,15 +1,21 @@
 //! The `serve` daemon: JSONL-over-TCP design-space queries.
 //!
 //! ```text
-//! serve [--addr HOST:PORT] [--threads N] [--workers N]
+//! serve [--addr HOST:PORT] [--threads N] [--workers N] [--journal PATH]
 //!       [--max-sweeps N] [--max-points N] [--max-ms N] [--chunk N]
 //! ```
+//!
+//! `--threads 0` / `--workers 0` auto-detect the core count (the
+//! convention every binary in this workspace follows). `--journal PATH`
+//! warm-starts the process-wide memo cache from a sweep journal before
+//! the listener opens; `stats` lines report the load.
 //!
 //! Runs until SIGTERM/SIGINT, then drains in-flight requests and exits
 //! 0 (the CI smoke test asserts exactly this).
 
-use mpipu_serve::{Limits, Server, ServerConfig};
+use mpipu_serve::{Limits, Server, ServerConfig, Service};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -31,6 +37,7 @@ fn main() {
         ..ServerConfig::default()
     };
     let mut limits = Limits::default();
+    let mut journal: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| -> String {
@@ -47,10 +54,14 @@ fn main() {
             "--max-points" => limits.max_points = parse(&value("--max-points"), "--max-points"),
             "--max-ms" => limits.max_ms = parse(&value("--max-ms"), "--max-ms"),
             "--chunk" => limits.default_chunk = parse(&value("--chunk"), "--chunk"),
+            "--journal" => journal = Some(value("--journal")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: serve [--addr HOST:PORT] [--threads N] [--workers N] \
-                     [--max-sweeps N] [--max-points N] [--max-ms N] [--chunk N]"
+                     [--journal PATH] \
+                     [--max-sweeps N] [--max-points N] [--max-ms N] [--chunk N]\n\
+                     --threads/--workers 0 = one per CPU core; --journal PATH \
+                     warm-starts the memo cache from a sweep journal"
                 );
                 return;
             }
@@ -67,7 +78,20 @@ fn main() {
         signal(SIGINT, on_signal as *const () as usize);
     }
 
-    let server = match Server::bind(cfg) {
+    let mut service = Service::new(cfg.limits);
+    if let Some(path) = journal {
+        match service.preload_journal(std::path::Path::new(&path)) {
+            Ok(info) => eprintln!(
+                "journal: preloaded {} memo entries from {} units of {path} in {} ms",
+                info.entries, info.units, info.load_ms
+            ),
+            Err(e) => {
+                eprintln!("serve: cannot load journal {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let server = match Server::with_service(cfg, Arc::new(service)) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve: bind failed: {e}");

@@ -1,4 +1,5 @@
-//! `sweepctl` — client and load tester for the `serve` daemon.
+//! `sweepctl` — client, sharded-sweep coordinator, and load tester for
+//! the `serve` daemon.
 //!
 //! ```text
 //! sweepctl wait   ADDR [--timeout-ms N]
@@ -7,25 +8,41 @@
 //! sweepctl eval   ADDR [--w N] [--tile small|big] [--cluster N]
 //!                      [--swp N] [--pass fwd|bwd] [--steps N]
 //!                      [--seed N] [--tag S]
-//! sweepctl sweep  ADDR [--demo | --frontier] [--scale F]
+//! sweepctl sweep  ADDR [--demo | --frontier | --cold-grid] [--scale F]
 //!                      [--sample N] [--sample-seed N] [--max-ms N]
 //!                      [--chunk N] [--progress-every N] [--tag S]
+//! sweepctl sweep  local [--demo | --frontier | --cold-grid] [--scale F]
+//!                       [--workers N] [--unit-points N]
+//!                       [--journal PATH] [--resume]
+//!                       [--steal-timeout-ms N] [--tag S]
 //! sweepctl raw    ADDR LINE
-//! sweepctl verify ADDR [--demo | --frontier] [--scale F] [--threads N]
-//! sweepctl bench  ADDR [--merge FILE] [--min-speedup F]
+//! sweepctl verify ADDR [--demo | --frontier | --cold-grid] [--scale F]
+//!                      [--threads N]
+//! sweepctl bench  ADDR  [--merge FILE] [--min-speedup F]
+//! sweepctl bench  local [--merge FILE] [--min-scaling F]
 //! ```
 //!
+//! The special address `local` runs the sweep **sharded**: worker child
+//! processes (the hidden `sweepctl worker` subcommand) evaluate
+//! id-range units over stdin/stdout while this process coordinates with
+//! work stealing, producing a `result` line byte-identical to the
+//! daemon's. `--workers 0` (the default) auto-detects the core count —
+//! the same 0-means-auto convention as `serve --threads/--workers` and
+//! `suite --threads`. `--journal` makes the run durable; `--resume`
+//! replays completed units after a crash.
+//!
 //! `verify` replays a sweep through an in-process engine and compares
-//! the daemon's `result` line byte-for-byte. `bench` runs the load test
-//! recorded in the bench trajectory: request-latency percentiles per
-//! class, aggregate sweep throughput at 1/8/32 concurrent clients, and
-//! the cold-vs-warm speedup from process-wide memoization.
+//! the daemon's `result` line byte-for-byte. `bench ADDR` runs the
+//! serve_load load test (latency percentiles, throughput, cold/warm
+//! memoization speedup); `bench local` runs the shard_sweep scaling
+//! benchmark (1-worker vs 4-worker cold grid plus journal resume
+//! replay).
 
 use mpipu_bench::json::Json;
 use mpipu_serve::presets;
 use mpipu_serve::request::{EvalReq, PassSel, Request, ScenarioSpec, SweepReq, TileSel};
 use mpipu_serve::service::reference_sweep_result;
-use mpipu_serve::{Client, Response};
+use mpipu_serve::{run_sharded, wire, worker_main, Client, Response, ShardConfig};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -43,6 +60,9 @@ fn main() {
         "raw" => raw(rest),
         "verify" => verify(rest),
         "bench" => bench(rest),
+        // Hidden: the shard worker process the `local` coordinator
+        // spawns. Speaks unit assignments on stdin, results on stdout.
+        "worker" => worker_main(),
         "--help" | "-h" | "help" => {
             usage();
             0
@@ -59,7 +79,10 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: sweepctl <wait|list|stats|eval|sweep|raw|verify|bench> ADDR [options]\n\
-         (see the crate docs / README \"Run the server\" for the full option list)"
+         ADDR may be `local` for sweep/bench: sharded worker processes instead of a \
+         daemon ([--workers N] [--unit-points N] [--journal PATH] [--resume]; \
+         --workers 0 = one per CPU core)\n\
+         (see the crate docs / README \"Distributed sweeps\" for the full option list)"
     );
 }
 
@@ -78,7 +101,7 @@ impl Opts {
             if let Some(name) = a.strip_prefix("--") {
                 let v = match name {
                     // Valueless flags.
-                    "demo" | "frontier" => String::new(),
+                    "demo" | "frontier" | "cold-grid" | "resume" => String::new(),
                     _ => it
                         .next()
                         .cloned()
@@ -223,6 +246,8 @@ fn sweep_request(opts: &Opts) -> Result<SweepReq, String> {
     let scale = opts.num::<f64>("scale")?.unwrap_or(0.02);
     let mut req = if opts.has("frontier") {
         presets::frontier_sweep(scale)
+    } else if opts.has("cold-grid") {
+        presets::cold_grid_sweep()
     } else {
         presets::demo_sweep()
     };
@@ -242,8 +267,52 @@ fn sweep_request(opts: &Opts) -> Result<SweepReq, String> {
     if let Some(every) = opts.num("progress-every")? {
         req.progress_every = Some(every);
     }
-    req.tag = opts.get("tag").map(str::to_string);
+    // Presets may carry their own tag (e.g. cold-grid); only an explicit
+    // --tag overrides it.
+    if let Some(tag) = opts.get("tag") {
+        req.tag = Some(tag.to_string());
+    }
     Ok(req)
+}
+
+/// Build a [`ShardConfig`] from the `local`-mode flags.
+fn shard_config(opts: &Opts) -> Result<ShardConfig, String> {
+    let mut cfg = ShardConfig {
+        workers: opts.num::<usize>("workers")?.unwrap_or(0),
+        ..ShardConfig::default()
+    };
+    if let Some(points) = opts.num::<u64>("unit-points")? {
+        cfg.unit_points = points;
+    }
+    cfg.journal = opts.get("journal").map(std::path::PathBuf::from);
+    cfg.resume = opts.has("resume");
+    if let Some(ms) = opts.num::<u64>("steal-timeout-ms")? {
+        cfg.steal_timeout = Duration::from_millis(ms);
+    }
+    Ok(cfg)
+}
+
+/// `sweep local`: coordinate the sweep across worker processes,
+/// printing the same event-line dialect the daemon streams.
+fn local_sweep(opts: &Opts, req: &SweepReq) -> i32 {
+    let cfg = match shard_config(opts) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    match run_sharded(req, &cfg, &|j: &Json| {
+        emit(&j.to_string_compact());
+    }) {
+        Ok(result) => {
+            emit(&result.to_string_compact());
+            emit(&wire::done_json(true).to_string_compact());
+            0
+        }
+        Err(e) => {
+            emit(&wire::error_json(&e).to_string_compact());
+            emit(&wire::done_json(false).to_string_compact());
+            1
+        }
+    }
 }
 
 fn sweep(args: &[String]) -> i32 {
@@ -251,6 +320,12 @@ fn sweep(args: &[String]) -> i32 {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
+    if opts.addr == "local" {
+        return match sweep_request(&opts) {
+            Ok(r) => local_sweep(&opts, &r),
+            Err(e) => fail(e),
+        };
+    }
     let req = match sweep_request(&opts) {
         Ok(r) => Request::Sweep(r),
         Err(e) => return fail(e),
@@ -404,11 +479,154 @@ fn spread<T: Send>(n: usize, f: impl Fn() -> std::io::Result<T> + Sync) -> std::
     })
 }
 
+/// `bench local`: the shard-scaling benchmark. Cold-grid sweep at 1
+/// worker vs 4 workers (fresh worker processes each run, so both are
+/// cold), plus a resume replay of the completed journal. Every run's
+/// result line must be byte-identical; the `scaling_ratio_x1e6` record
+/// (t4/t1 × 10⁶) is what CI's `--require` gate bounds.
+fn bench_local(opts: &Opts) -> i32 {
+    let min_scaling = opts
+        .num::<f64>("min-scaling")
+        .unwrap_or(None)
+        .unwrap_or(0.0);
+    let req = presets::cold_grid_sweep();
+    let points = req.points();
+    let quiet: &(dyn Fn(&Json) + Sync) = &|_| {};
+    let run = |what: &str, cfg: &ShardConfig| -> Result<(f64, String), String> {
+        eprintln!("bench: {what} ...");
+        let t = Instant::now();
+        let result = run_sharded(&req, cfg, quiet).map_err(|e| e.to_string())?;
+        Ok((t.elapsed().as_nanos() as f64, result.to_string_compact()))
+    };
+    let tmp = |tag: &str| {
+        std::env::temp_dir().join(format!(
+            "mpipu-shard-bench-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    };
+    let (journal1, journal) = (tmp("1w"), tmp("4w"));
+    // Both timed runs are journaled (memo capture + append on) so the
+    // scaling ratio compares equal per-point work at 1 vs 4 workers.
+    let base = ShardConfig {
+        unit_points: 512,
+        ..ShardConfig::default()
+    };
+    let outcome = (|| -> Result<Vec<Record>, String> {
+        let (t1, r1) = run(
+            "sharded cold-grid sweep, 1 worker (journaled)",
+            &ShardConfig {
+                workers: 1,
+                journal: Some(journal1.clone()),
+                ..base.clone()
+            },
+        )?;
+        let (t4, r4) = run(
+            "sharded cold-grid sweep, 4 workers (journaled)",
+            &ShardConfig {
+                workers: 4,
+                journal: Some(journal.clone()),
+                ..base.clone()
+            },
+        )?;
+        if r1 != r4 {
+            return Err("1-worker and 4-worker results differ".to_string());
+        }
+        let (tr, rr) = run(
+            "resume replay from the completed journal",
+            &ShardConfig {
+                workers: 4,
+                journal: Some(journal.clone()),
+                resume: true,
+                ..base.clone()
+            },
+        )?;
+        if rr != r1 {
+            return Err("journal replay result differs".to_string());
+        }
+        let ratio = t4 / t1.max(1.0);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        eprintln!(
+            "bench: 1w {:.1} ms, 4w {:.1} ms -> {:.2}x scaling on {cores} core(s); \
+             replay {:.1} ms",
+            t1 / 1e6,
+            t4 / 1e6,
+            1.0 / ratio,
+            tr / 1e6
+        );
+        if cores < 4 {
+            eprintln!(
+                "bench: note: {cores} core(s) cannot run 4 CPU-bound workers in \
+                 parallel; the ratio measures oversubscription overhead, not scaling"
+            );
+        }
+        if min_scaling > 0.0 && 1.0 / ratio < min_scaling {
+            return Err(format!(
+                "4-worker scaling {:.2}x is below the required {min_scaling:.2}x \
+                 on {cores} core(s)",
+                1.0 / ratio
+            ));
+        }
+        Ok(vec![
+            Record {
+                name: "shard_sweep/cores".to_string(),
+                ns_per_iter: cores as f64,
+                iters: 1,
+            },
+            Record {
+                name: "shard_sweep/cold_grid_1w".to_string(),
+                ns_per_iter: t1,
+                iters: points,
+            },
+            Record {
+                name: "shard_sweep/cold_grid_4w".to_string(),
+                ns_per_iter: t4,
+                iters: points,
+            },
+            Record {
+                name: "shard_sweep/scaling_ratio_x1e6".to_string(),
+                ns_per_iter: ratio * 1e6,
+                iters: 1,
+            },
+            Record {
+                name: "shard_sweep/resume_replay".to_string(),
+                ns_per_iter: tr,
+                iters: points,
+            },
+        ])
+    })();
+    let _ = std::fs::remove_file(&journal1);
+    let _ = std::fs::remove_file(&journal);
+    let records = match outcome {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    if let Some(path) = opts.get("merge") {
+        if let Err(e) = merge_into(path, &records) {
+            return fail(e);
+        }
+        eprintln!(
+            "bench: merged {} shard_sweep records into {path}",
+            records.len()
+        );
+    } else {
+        println!(
+            "{}",
+            records_json("shard_sweep", &records).to_string_pretty()
+        );
+    }
+    0
+}
+
 fn bench(args: &[String]) -> i32 {
     let opts = match Opts::parse(args) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
+    if opts.addr == "local" {
+        return bench_local(&opts);
+    }
     let min_speedup = opts
         .num::<f64>("min-speedup")
         .unwrap_or(None)
@@ -545,7 +763,7 @@ fn bench(args: &[String]) -> i32 {
         warm / 1e6
     );
 
-    let out = records_json(&records);
+    let out = records_json("serve_load", &records);
     if let Some(path) = opts.get("merge") {
         if let Err(e) = merge_into(path, &records) {
             return fail(e);
@@ -566,10 +784,10 @@ fn bench(args: &[String]) -> i32 {
     0
 }
 
-fn records_json(records: &[Record]) -> Json {
+fn records_json(suite: &str, records: &[Record]) -> Json {
     Json::obj([
         ("schema_version", Json::from(1u64)),
-        ("suite", Json::str("serve_load")),
+        ("suite", Json::str(suite)),
         (
             "benches",
             Json::Arr(
@@ -589,9 +807,19 @@ fn records_json(records: &[Record]) -> Json {
 }
 
 /// Merge our records into an existing BENCH_v1-schema file: drop any
-/// stale `serve_load/*` benches, append the fresh ones, keep everything
-/// else (schema_version, suite, other benches) untouched.
+/// stale benches sharing a suite prefix (`serve_load/`, `shard_sweep/`,
+/// …) with the records being merged, append the fresh ones, keep
+/// everything else (schema_version, suite, other benches) untouched.
 fn merge_into(path: &str, records: &[Record]) -> Result<(), String> {
+    let prefixes: Vec<String> = {
+        let mut p: Vec<String> = records
+            .iter()
+            .filter_map(|r| r.name.split_once('/').map(|(s, _)| format!("{s}/")))
+            .collect();
+        p.sort();
+        p.dedup();
+        p
+    };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))?;
     let Json::Obj(mut fields) = doc else {
@@ -607,7 +835,7 @@ fn merge_into(path: &str, records: &[Record]) -> Result<(), String> {
     list.retain(|b| {
         b.get("name")
             .and_then(Json::as_str)
-            .is_none_or(|n| !n.starts_with("serve_load/"))
+            .is_none_or(|n| !prefixes.iter().any(|p| n.starts_with(p.as_str())))
     });
     for r in records {
         list.push(Json::obj([

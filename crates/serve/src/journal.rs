@@ -1,0 +1,512 @@
+//! The sweep journal: an append-only JSONL file making sharded sweeps
+//! durable and exactly resumable.
+//!
+//! Layout (schema [`JOURNAL_VERSION`]):
+//!
+//! * **Line 1 — header.** Identifies the journal, pins the schema
+//!   version, and fingerprints the sweep it belongs to: the canonical
+//!   sweep request line ([`crate::request::Request::to_line`] — the
+//!   round-trip-stable wire form) plus the unit partition
+//!   (`unit_points`, `total_points`, `units`). Resume refuses a journal
+//!   whose fingerprint does not match the requested sweep — a journal
+//!   is only ever replayed into the exact partition that wrote it.
+//! * **One line per completed unit.** The unit's id range, its finished
+//!   Pareto/top-k fold snapshots, its cache-counter delta, and the
+//!   memo-cache entries it computed (seed-blind backends only — those
+//!   entries answer every future query for the same design point).
+//!
+//! **Every `f64` is journaled as its bit pattern** (a JSON unsigned
+//! integer — exact through [`mpipu_bench::json`]'s `u64` round trip),
+//! never as a decimal float: a resumed merge must reproduce the
+//! uninterrupted result *byte-identically*, so values cross the disk
+//! boundary bit-exact by construction rather than by formatting
+//! convention. Point labels are not journaled at all — they are a pure
+//! function of the design id and the request's parameter space, and the
+//! coordinator rebuilds them at merge time.
+//!
+//! Durability model: the writer flushes after every line, and the
+//! reader accepts a torn **final** line (a coordinator killed mid-write
+//! loses at most the unit being appended — it re-runs on resume).
+//! Corruption anywhere earlier is an error, not a skip.
+
+use mpipu_bench::json::Json;
+use mpipu_sim::{CacheKey, CACHE_KEY_WORDS};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Journal schema version (the header's `version` field).
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// The magic `journal` field value identifying our files.
+const JOURNAL_MAGIC: &str = "mpipu-sweep";
+
+/// The journal's identity line: which sweep, which partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// The canonical sweep request line the journal belongs to.
+    pub request_line: String,
+    /// Points per work unit (the partition granularity).
+    pub unit_points: u64,
+    /// Total points in the swept space.
+    pub total_points: u64,
+    /// Unit count (`ceil(total_points / unit_points)`).
+    pub units: u64,
+}
+
+/// A fold-snapshot point: design id plus the objective values as `f64`
+/// bit patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotPoint {
+    /// Design id in the swept space.
+    pub id: u64,
+    /// Objective values, `f64::to_bits`, in the fold's objective order.
+    pub bits: Vec<u64>,
+}
+
+/// One completed unit: fold snapshots plus the memo entries it added.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitRecord {
+    /// Canonical unit index.
+    pub unit: u64,
+    /// First design id of the unit.
+    pub lo: u64,
+    /// One past the last design id.
+    pub hi: u64,
+    /// The unit's finished Pareto frontier (sorted by id).
+    pub front: Vec<SnapshotPoint>,
+    /// The unit's finished top-k selection (best first), when the sweep
+    /// has one.
+    pub top: Option<Vec<SnapshotPoint>>,
+    /// Cache hits the unit's evaluation observed.
+    pub hits: u64,
+    /// Cache misses (points actually computed).
+    pub misses: u64,
+    /// Seed-blind memo-cache entries the unit computed.
+    pub memo: Vec<(CacheKey, f64)>,
+}
+
+fn snapshot_json(p: &SnapshotPoint) -> Json {
+    let mut row = Vec::with_capacity(1 + p.bits.len());
+    row.push(Json::from(p.id));
+    row.extend(p.bits.iter().map(|&b| Json::from(b)));
+    Json::Arr(row)
+}
+
+fn as_u64(j: &Json) -> Option<u64> {
+    match j {
+        Json::UInt(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn parse_snapshot(j: &Json, what: &str) -> Result<SnapshotPoint, String> {
+    let Json::Arr(row) = j else {
+        return Err(format!("{what}: snapshot point is not an array"));
+    };
+    let nums: Option<Vec<u64>> = row.iter().map(as_u64).collect();
+    let nums = nums.ok_or_else(|| format!("{what}: non-integer snapshot field"))?;
+    let (&id, bits) = nums
+        .split_first()
+        .ok_or_else(|| format!("{what}: empty snapshot point"))?;
+    Ok(SnapshotPoint {
+        id,
+        bits: bits.to_vec(),
+    })
+}
+
+/// The header's wire line.
+pub fn header_json(h: &JournalHeader) -> Json {
+    Json::obj([
+        ("journal", Json::str(JOURNAL_MAGIC)),
+        ("version", Json::from(JOURNAL_VERSION)),
+        ("request", Json::str(&h.request_line)),
+        ("unit_points", Json::from(h.unit_points)),
+        ("total_points", Json::from(h.total_points)),
+        ("units", Json::from(h.units)),
+    ])
+}
+
+fn parse_header(j: &Json) -> Result<JournalHeader, String> {
+    if j.get("journal").and_then(Json::as_str) != Some(JOURNAL_MAGIC) {
+        return Err("not a mpipu-sweep journal (bad magic)".to_string());
+    }
+    let version = j.get("version").and_then(as_u64);
+    if version != Some(JOURNAL_VERSION) {
+        return Err(format!(
+            "unsupported journal version {version:?} (expected {JOURNAL_VERSION})"
+        ));
+    }
+    let field = |name: &str| {
+        j.get(name)
+            .and_then(as_u64)
+            .ok_or_else(|| format!("journal header is missing {name:?}"))
+    };
+    Ok(JournalHeader {
+        request_line: j
+            .get("request")
+            .and_then(Json::as_str)
+            .ok_or("journal header is missing \"request\"")?
+            .to_string(),
+        unit_points: field("unit_points")?,
+        total_points: field("total_points")?,
+        units: field("units")?,
+    })
+}
+
+/// One unit's wire line.
+pub fn unit_json(r: &UnitRecord) -> Json {
+    let mut fields = vec![
+        ("unit".to_string(), Json::from(r.unit)),
+        ("lo".to_string(), Json::from(r.lo)),
+        ("hi".to_string(), Json::from(r.hi)),
+        (
+            "front".to_string(),
+            Json::Arr(r.front.iter().map(snapshot_json).collect()),
+        ),
+    ];
+    if let Some(top) = &r.top {
+        fields.push((
+            "top".to_string(),
+            Json::Arr(top.iter().map(snapshot_json).collect()),
+        ));
+    }
+    fields.push(("hits".to_string(), Json::from(r.hits)));
+    fields.push(("misses".to_string(), Json::from(r.misses)));
+    if !r.memo.is_empty() {
+        fields.push((
+            "memo".to_string(),
+            Json::Arr(
+                r.memo
+                    .iter()
+                    .map(|(key, value)| {
+                        let mut row: Vec<Json> = vec![Json::str(key.backend_name())];
+                        row.extend(key.to_words().iter().map(|&w| Json::from(w)));
+                        row.push(Json::from(value.to_bits()));
+                        Json::Arr(row)
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// Parse a unit record object (the journal line form; extra fields such
+/// as the worker wire's `event` tag are ignored).
+pub fn unit_record_from_json(j: &Json) -> Result<UnitRecord, String> {
+    parse_unit(j)
+}
+
+fn parse_unit(j: &Json) -> Result<UnitRecord, String> {
+    let field = |name: &str| {
+        j.get(name)
+            .and_then(as_u64)
+            .ok_or_else(|| format!("unit record is missing {name:?}"))
+    };
+    let unit = field("unit")?;
+    let points = |name: &str| -> Result<Vec<SnapshotPoint>, String> {
+        j.get(name)
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .map(|row| parse_snapshot(row, name))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()
+            .map(Option::unwrap_or_default)
+    };
+    let mut memo = Vec::new();
+    if let Some(rows) = j.get("memo").and_then(Json::as_arr) {
+        for row in rows {
+            let Json::Arr(cells) = row else {
+                return Err("memo entry is not an array".to_string());
+            };
+            let (name, rest) = cells
+                .split_first()
+                .ok_or("memo entry is empty")
+                .map_err(str::to_string)?;
+            let name = name.as_str().ok_or("memo entry has no backend name")?;
+            let words: Option<Vec<u64>> = rest.iter().map(as_u64).collect();
+            let words = words.ok_or("memo entry has non-integer words")?;
+            if words.len() != CACHE_KEY_WORDS + 1 {
+                return Err(format!(
+                    "memo entry has {} words (expected {})",
+                    words.len(),
+                    CACHE_KEY_WORDS + 1
+                ));
+            }
+            // An unknown backend name means a newer producer — skip the
+            // entry (warm-start is an optimization, not a correctness
+            // input) rather than failing the whole journal.
+            if let Some(key) = CacheKey::from_words(name, &words[..CACHE_KEY_WORDS]) {
+                memo.push((key, f64::from_bits(words[CACHE_KEY_WORDS])));
+            }
+        }
+    }
+    Ok(UnitRecord {
+        unit,
+        lo: field("lo")?,
+        hi: field("hi")?,
+        front: points("front")?,
+        top: j.get("top").map(|_| points("top")).transpose()?,
+        hits: field("hits")?,
+        misses: field("misses")?,
+        memo,
+    })
+}
+
+/// Append-only journal writer; every line is flushed before the call
+/// returns, so a completed unit survives a coordinator kill.
+#[derive(Debug)]
+pub struct JournalWriter {
+    out: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Create (truncate) a fresh journal and write its header.
+    pub fn create(path: &Path, header: &JournalHeader) -> std::io::Result<JournalWriter> {
+        let mut w = JournalWriter {
+            out: BufWriter::new(File::create(path)?),
+        };
+        w.append(&header_json(header))?;
+        Ok(w)
+    }
+
+    /// Reopen an existing journal for appending (resume). The caller
+    /// has already validated the header via [`read_journal`]. A torn
+    /// final line (the signature of a kill mid-append) is truncated
+    /// away first — [`read_journal`] never counted it, and appending
+    /// after the fragment would otherwise glue two lines into garbage.
+    pub fn open_append(path: &Path) -> std::io::Result<JournalWriter> {
+        let bytes = std::fs::read(path)?;
+        if !bytes.is_empty() && !bytes.ends_with(b"\n") {
+            let keep = bytes
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            OpenOptions::new()
+                .write(true)
+                .open(path)?
+                .set_len(keep as u64)?;
+        }
+        Ok(JournalWriter {
+            out: BufWriter::new(OpenOptions::new().append(true).open(path)?),
+        })
+    }
+
+    /// Append one completed unit and flush it to the OS.
+    pub fn append_unit(&mut self, record: &UnitRecord) -> std::io::Result<()> {
+        self.append(&unit_json(record))
+    }
+
+    /// Append an already-serialized unit line verbatim (the coordinator's
+    /// fast path: a worker's `unit_result` line *is* a valid journal unit
+    /// line — [`read_journal`] ignores the extra `event` field — so the
+    /// coordinator never re-serializes the memo-laden payload).
+    pub fn append_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()
+    }
+
+    fn append(&mut self, j: &Json) -> std::io::Result<()> {
+        let mut line = j.to_string_compact();
+        line.push('\n');
+        self.out.write_all(line.as_bytes())?;
+        self.out.flush()
+    }
+}
+
+/// Read a journal: its header plus every completed unit, in file order.
+/// A torn final line (kill mid-append) is dropped; malformed content
+/// anywhere else is an error. Duplicate unit indices keep the first
+/// record (identical by construction — units are deterministic).
+pub fn read_journal(path: &Path) -> Result<(JournalHeader, Vec<UnitRecord>), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines.next().ok_or("journal is empty")?;
+    let header =
+        parse_header(&Json::parse(first).map_err(|e| format!("journal header: {}", e.message))?)?;
+    let mut records: Vec<UnitRecord> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let last_index = text.lines().count() - 1;
+    let ends_with_newline = text.ends_with('\n');
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let torn_tail_ok = i == last_index && !ends_with_newline;
+        let parsed = Json::parse(line).map_err(|e| e.message).and_then(|j| {
+            if j.get("journal").is_some() {
+                Err("unexpected second header".to_string())
+            } else {
+                parse_unit(&j)
+            }
+        });
+        match parsed {
+            Ok(r) => {
+                if seen.insert(r.unit) {
+                    records.push(r);
+                }
+            }
+            Err(_) if torn_tail_ok => break,
+            Err(e) => return Err(format!("journal line {}: {e}", i + 1)),
+        }
+    }
+    Ok((header, records))
+}
+
+/// Every memo entry across a journal's unit records — the `serve
+/// --journal` warm-start input.
+pub fn memo_entries(records: &[UnitRecord]) -> Vec<(CacheKey, f64)> {
+    records
+        .iter()
+        .flat_map(|r| r.memo.iter().cloned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpipu_sim::{Analytic, CostBackend, CostQuery, TileConfig};
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            request_line: r#"{"req":"sweep","base":{}}"#.to_string(),
+            unit_points: 4,
+            total_points: 10,
+            units: 3,
+        }
+    }
+
+    fn record(unit: u64) -> UnitRecord {
+        let q = CostQuery {
+            tile: TileConfig::small(),
+            w: 12,
+            software_precision: 28,
+            dists: mpipu_sim::cost::pass_distributions(mpipu_dnn::zoo::Pass::Forward),
+            window: 64,
+            seed: 7,
+        };
+        UnitRecord {
+            unit,
+            lo: unit * 4,
+            hi: (unit * 4 + 4).min(10),
+            front: vec![SnapshotPoint {
+                id: unit * 4,
+                bits: vec![1.5f64.to_bits(), (-2.25f64).to_bits()],
+            }],
+            top: Some(vec![SnapshotPoint {
+                id: unit * 4 + 1,
+                bits: vec![0.1f64.to_bits()],
+            }]),
+            hits: 3,
+            misses: 1,
+            memo: vec![(Analytic.cache_key(&q), 123.456789)],
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("mpipu-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round-trip.jsonl");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append_unit(&record(0)).unwrap();
+        w.append_unit(&record(2)).unwrap();
+        drop(w);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append_unit(&record(1)).unwrap();
+        drop(w);
+
+        let (h, records) = read_journal(&path).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], record(0));
+        assert_eq!(records[1], record(2), "file order preserved");
+        assert_eq!(records[2], record(1));
+        let memo = memo_entries(&records);
+        assert_eq!(memo.len(), 3);
+        assert_eq!(memo[0].1, 123.456789, "value bits exact");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_but_midfile_corruption_fails() {
+        let dir = std::env::temp_dir().join(format!("mpipu-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append_unit(&record(0)).unwrap();
+        drop(w);
+        // Simulate a kill mid-append: a truncated, newline-less tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"unit\":1,\"lo\":4,\"hi");
+        std::fs::write(&path, &text).unwrap();
+        let (_, records) = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 1, "torn tail dropped");
+
+        // The same garbage mid-file (newline-terminated, another line
+        // after it) is corruption, not a torn tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"unit\":1,\"lo\":4,\"hi\n");
+        text.push_str(&unit_json(&record(2)).to_string_compact());
+        text.push('\n');
+        std::fs::write(&path, &text).unwrap();
+        assert!(read_journal(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_append_truncates_a_torn_tail_before_writing() {
+        let dir = std::env::temp_dir().join(format!("mpipu-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-append.jsonl");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append_unit(&record(0)).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"unit\":1,\"lo\":4,\"hi");
+        std::fs::write(&path, &text).unwrap();
+        // Resume appends after the torn fragment: without truncation the
+        // fragment and the fresh line would fuse into garbage.
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append_unit(&record(2)).unwrap();
+        drop(w);
+        let (_, records) = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], record(0));
+        assert_eq!(records[1], record(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_units_keep_the_first_record() {
+        let dir = std::env::temp_dir().join(format!("mpipu-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dup.jsonl");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append_unit(&record(0)).unwrap();
+        let mut other = record(0);
+        other.hits = 999;
+        w.append_unit(&other).unwrap();
+        drop(w);
+        let (_, records) = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].hits, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        assert!(parse_header(&Json::obj([("journal", Json::str("nope"))])).is_err());
+        let j = Json::obj([
+            ("journal", Json::str(JOURNAL_MAGIC)),
+            ("version", Json::from(99u64)),
+        ]);
+        assert!(parse_header(&j).is_err());
+    }
+}

@@ -38,13 +38,17 @@
 
 pub mod client;
 pub mod fair;
+pub mod journal;
 pub mod presets;
 pub mod request;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod wire;
 
 pub use client::{Client, Response};
+pub use journal::{JournalHeader, JournalWriter, UnitRecord};
 pub use request::{Request, SweepReq, WireError};
 pub use server::{Server, ServerConfig};
 pub use service::{Limits, Service};
+pub use shard::{run_sharded, worker_main, ShardConfig};

@@ -36,9 +36,9 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks a free port — the tests' mode).
     pub addr: String,
-    /// Worker threads serving connections. Also the ceiling on
-    /// concurrently *progressing* connections; connections beyond it
-    /// queue until a worker frees up.
+    /// Worker threads serving connections (0 = one per CPU core). Also
+    /// the ceiling on concurrently *progressing* connections;
+    /// connections beyond it queue until a worker frees up.
     pub workers: usize,
     /// Service limits.
     pub limits: Limits,
@@ -149,7 +149,14 @@ impl Server {
                     .expect("spawn accept thread"),
             );
         }
-        for i in 0..cfg.workers.max(1) {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        for i in 0..workers {
             let shared = Arc::clone(&shared);
             let service = Arc::clone(&service);
             threads.push(

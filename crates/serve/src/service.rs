@@ -171,10 +171,25 @@ impl Drop for AdmissionPermit<'_> {
     }
 }
 
+/// How a journal warm-start went: reported on every `stats` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalInfo {
+    /// The journal file the cache was preloaded from.
+    pub path: String,
+    /// Completed units the journal held.
+    pub units: usize,
+    /// Memo entries actually added to the cache.
+    pub entries: usize,
+    /// Wall-clock load time in milliseconds.
+    pub load_ms: u64,
+}
+
 /// The shared, transport-free request handler. One per daemon; every
 /// connection borrows the same instance (it is `Send + Sync`).
 pub struct Service {
     backend: Arc<dyn CostBackend>,
+    memo: Arc<Memoized>,
+    journal: Option<JournalInfo>,
     catalog: Vec<(String, String)>,
     fair: Arc<FairShare>,
     admission: Admission,
@@ -211,8 +226,11 @@ impl Service {
             .iter()
             .map(|e| (e.name().to_string(), e.title().to_string()))
             .collect();
+        let memo = Arc::new(Memoized::new(Arc::new(AnalyticBatched::new())));
         Service {
-            backend: Arc::new(Memoized::new(Arc::new(AnalyticBatched::new()))),
+            backend: memo.clone(),
+            memo,
+            journal: None,
             catalog,
             fair: FairShare::new(limits.engine_threads),
             admission: Admission::new(limits.max_sweeps),
@@ -224,6 +242,27 @@ impl Service {
     /// The process-wide shared cost backend.
     pub fn backend(&self) -> &Arc<dyn CostBackend> {
         &self.backend
+    }
+
+    /// The same backend, typed — the journal warm-start / export handle.
+    pub fn memo(&self) -> &Arc<Memoized> {
+        &self.memo
+    }
+
+    /// Warm-start the shared cache from a sweep journal's memo entries
+    /// (see [`crate::journal`]); `stats` lines report the outcome from
+    /// then on. Call before sharing the service with the server.
+    pub fn preload_journal(&mut self, path: &std::path::Path) -> Result<JournalInfo, String> {
+        let t = Instant::now();
+        let (units, entries) = crate::shard::warm_start(&self.memo, path)?;
+        let info = JournalInfo {
+            path: path.display().to_string(),
+            units,
+            entries,
+            load_ms: t.elapsed().as_millis() as u64,
+        };
+        self.journal = Some(info.clone());
+        Ok(info)
     }
 
     /// The active limits (threads resolved).
@@ -300,6 +339,7 @@ impl Service {
                 emit(&wire::stats_json(
                     &self.metrics(),
                     self.backend.cache_stats().as_ref(),
+                    self.journal.as_ref(),
                 ));
                 Ok(())
             }

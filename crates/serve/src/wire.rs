@@ -9,7 +9,7 @@
 //! `result` (kinds `eval` and `sweep`), `error`, and the terminal `done`.
 
 use crate::request::{WireError, OBJECTIVE_NAMES};
-use crate::service::MetricsSnapshot;
+use crate::service::{JournalInfo, MetricsSnapshot};
 use mpipu_bench::json::Json;
 use mpipu_bench::sweep_wire::SWEEP_WIRE_VERSION;
 use mpipu_explore::FrontierPoint;
@@ -66,8 +66,14 @@ pub fn catalog_json(experiments: &[(String, String)], axes: &[&str], backend: &s
     ])
 }
 
-/// The `stats` response: server counters plus shared-cache counters.
-pub fn stats_json(m: &MetricsSnapshot, cache: Option<&CacheStats>) -> Json {
+/// The `stats` response: server counters, shared-cache counters, and —
+/// when the daemon was warm-started from a sweep journal — the journal
+/// load report.
+pub fn stats_json(
+    m: &MetricsSnapshot,
+    cache: Option<&CacheStats>,
+    journal: Option<&JournalInfo>,
+) -> Json {
     let mut fields = vec![
         ("event".to_string(), Json::str("stats")),
         ("requests".to_string(), Json::from(m.requests)),
@@ -89,6 +95,17 @@ pub fn stats_json(m: &MetricsSnapshot, cache: Option<&CacheStats>) -> Json {
                 ("hits", Json::from(c.hits)),
                 ("misses", Json::from(c.misses)),
                 ("entries", Json::from(c.entries)),
+            ]),
+        ));
+    }
+    if let Some(j) = journal {
+        fields.push((
+            "journal".to_string(),
+            Json::obj([
+                ("path", Json::str(&j.path)),
+                ("units", Json::from(j.units)),
+                ("entries", Json::from(j.entries)),
+                ("load_ms", Json::from(j.load_ms)),
             ]),
         ));
     }

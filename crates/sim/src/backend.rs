@@ -43,8 +43,8 @@ use crate::tile::TileConfig;
 use mpipu_analysis::dist::Distribution;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One fully-resolved cost question: estimate the cycles a tile spends
 /// retiring `window` broadcast steps of one FP16 layer.
@@ -205,6 +205,79 @@ impl CacheKey {
             seed: seed_sensitive.then_some(q.seed),
         }
     }
+
+    /// Whether this key shares entries across seeds (analytic backends).
+    /// Only seed-blind entries are worth persisting: they answer every
+    /// future query for the same design point.
+    pub fn seed_blind(&self) -> bool {
+        self.seed.is_none()
+    }
+
+    /// The answering backend's name (the interning domain of
+    /// [`CacheKey::from_words`]).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Flatten every non-name field to a fixed word vector — the
+    /// journal/wire form. All `f64`-derived fields are already stored as
+    /// bit patterns, so the round trip through
+    /// [`CacheKey::from_words`] is exact.
+    pub fn to_words(&self) -> [u64; CACHE_KEY_WORDS] {
+        let t = &self.tile;
+        [
+            t[0],
+            t[1],
+            t[2],
+            t[3],
+            t[4],
+            t[5],
+            t[6],
+            u64::from(self.w),
+            u64::from(self.software_precision),
+            u64::from(self.act.0),
+            self.act.1,
+            u64::from(self.wgt.0),
+            self.wgt.1,
+            self.window as u64,
+            u64::from(self.seed.is_some()),
+            self.seed.unwrap_or(0),
+        ]
+    }
+
+    /// Rebuild a key from [`CacheKey::to_words`] output. The backend
+    /// name is interned against the known backend set; an unknown name
+    /// (or wrong word count / out-of-range field) returns `None` — a
+    /// journal from a future schema should be skipped, not trusted.
+    pub fn from_words(backend: &str, words: &[u64]) -> Option<CacheKey> {
+        let backend = intern_backend_name(backend)?;
+        let w: &[u64; CACHE_KEY_WORDS] = words.try_into().ok()?;
+        Some(CacheKey {
+            backend,
+            tile: [w[0], w[1], w[2], w[3], w[4], w[5], w[6]],
+            w: u32::try_from(w[7]).ok()?,
+            software_precision: u32::try_from(w[8]).ok()?,
+            act: (u8::try_from(w[9]).ok()?, w[10]),
+            wgt: (u8::try_from(w[11]).ok()?, w[12]),
+            window: usize::try_from(w[13]).ok()?,
+            seed: match w[14] {
+                0 => None,
+                1 => Some(w[15]),
+                _ => return None,
+            },
+        })
+    }
+}
+
+/// Word count of [`CacheKey::to_words`].
+pub const CACHE_KEY_WORDS: usize = 16;
+
+/// Map a backend name back to its `&'static str` — only names a backend
+/// in this crate actually reports are accepted.
+fn intern_backend_name(name: &str) -> Option<&'static str> {
+    ["mc", "analytic", "analytic-batched", "memoized"]
+        .into_iter()
+        .find(|n| *n == name)
 }
 
 /// Hashable digest of a [`Distribution`]: discriminant + parameter bits
@@ -696,6 +769,11 @@ pub struct Memoized {
     cache: RwLock<HashMap<CacheKey, f64, FxBuildHasher>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// When enabled, every insertion is also appended here — the
+    /// journaling seam: a sweep worker drains the log after each work
+    /// unit to persist exactly the entries that unit computed.
+    logging: AtomicBool,
+    log: Mutex<Vec<(CacheKey, f64)>>,
 }
 
 impl Memoized {
@@ -706,6 +784,55 @@ impl Memoized {
             cache: RwLock::new(HashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            logging: AtomicBool::new(false),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Start recording every insertion (see [`Memoized::drain_insert_log`]).
+    pub fn enable_insert_log(&self) {
+        self.logging.store(true, Ordering::Relaxed);
+    }
+
+    /// Take the entries inserted since the last drain (in insertion
+    /// order; empty while logging is off). Racing computations of the
+    /// same key may log it twice — both carry the same value, so
+    /// downstream [`Memoized::preload`] stays idempotent.
+    pub fn drain_insert_log(&self) -> Vec<(CacheKey, f64)> {
+        std::mem::take(&mut *self.log.lock().unwrap())
+    }
+
+    /// Snapshot every cached entry, sorted by key words for a
+    /// deterministic export (`HashMap` iteration order is not).
+    pub fn export_entries(&self) -> Vec<(CacheKey, f64)> {
+        let mut entries: Vec<(CacheKey, f64)> = self
+            .cache
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        entries.sort_by(|(a, _), (b, _)| {
+            (a.backend_name(), a.to_words()).cmp(&(b.backend_name(), b.to_words()))
+        });
+        entries
+    }
+
+    /// Bulk-insert previously exported entries (a journal warm-start).
+    /// Returns the number of entries newly added; existing keys keep
+    /// their value — a live cache outranks a journal.
+    pub fn preload(&self, entries: impl IntoIterator<Item = (CacheKey, f64)>) -> usize {
+        let mut cache = self.cache.write().unwrap();
+        let before = cache.len();
+        for (key, value) in entries {
+            cache.entry(key).or_insert(value);
+        }
+        cache.len() - before
+    }
+
+    fn log_insert(&self, key: &CacheKey, value: f64) {
+        if self.logging.load(Ordering::Relaxed) {
+            self.log.lock().unwrap().push((key.clone(), value));
         }
     }
 
@@ -757,6 +884,7 @@ impl CostBackend for Memoized {
         // so the last insert is harmless.
         let cycles = self.inner.window_cycles(q);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.log_insert(&key, cycles);
         self.cache.write().unwrap().insert(key, cycles);
         cycles
     }
@@ -835,6 +963,7 @@ impl CostBackend for Memoized {
         {
             let mut cache = self.cache.write().unwrap();
             for (&i, &cycles) in unique.iter().zip(&miss_out) {
+                self.log_insert(&keys[i], cycles);
                 cache.insert(keys[i].clone(), cycles);
             }
         }
@@ -1194,5 +1323,70 @@ mod tests {
         };
         assert_ne!(Analytic.cache_key(&narrow), Analytic.cache_key(&wide));
         assert_ne!(MonteCarlo.cache_key(&q), Analytic.cache_key(&q));
+    }
+
+    #[test]
+    fn cache_key_word_round_trip_is_exact() {
+        // Seed-blind and seed-sensitive keys, with non-integral f64
+        // distribution parameters (the bit-pattern hazard).
+        let q = CostQuery {
+            dists: (
+                Distribution::Normal { std: 0.1 },
+                Distribution::Laplace { b: 2.5 },
+            ),
+            ..query(TileConfig::big(), 17, Pass::Forward, 9)
+        };
+        for key in [Analytic.cache_key(&q), MonteCarlo.cache_key(&q)] {
+            let words = key.to_words();
+            let back = CacheKey::from_words(key.backend_name(), &words).expect("round trip");
+            assert_eq!(back, key);
+        }
+        assert!(Analytic.cache_key(&q).seed_blind());
+        assert!(!MonteCarlo.cache_key(&q).seed_blind());
+        assert!(CacheKey::from_words("no-such-backend", &[0; CACHE_KEY_WORDS]).is_none());
+        assert!(CacheKey::from_words("analytic", &[0; 3]).is_none());
+    }
+
+    #[test]
+    fn memoized_export_preload_and_insert_log() {
+        let memo = Memoized::new(Arc::new(Analytic));
+        memo.enable_insert_log();
+        let a = query(TileConfig::small(), 12, Pass::Forward, 0);
+        let b = query(TileConfig::small(), 16, Pass::Backward, 0);
+        let va = memo.window_cycles(&a);
+        let _ = memo.window_cycles(&b);
+        // The log holds exactly the two inserts; draining empties it.
+        let logged = memo.drain_insert_log();
+        assert_eq!(logged.len(), 2);
+        assert_eq!(logged[0].0, Analytic.cache_key(&a));
+        assert_eq!(logged[0].1, va);
+        assert!(memo.drain_insert_log().is_empty());
+        // A hit logs nothing.
+        let _ = memo.window_cycles(&a);
+        assert!(memo.drain_insert_log().is_empty());
+
+        // Export is deterministic and preload rebuilds a warm cache.
+        let exported = memo.export_entries();
+        assert_eq!(exported, memo.export_entries());
+        assert_eq!(exported.len(), 2);
+        let fresh = Memoized::new(Arc::new(Analytic));
+        assert_eq!(fresh.preload(exported.clone()), 2);
+        assert_eq!(fresh.preload(exported), 0, "idempotent");
+        assert_eq!(fresh.window_cycles(&a), va);
+        assert_eq!(fresh.hits(), 1, "preloaded entry served from cache");
+        assert_eq!(fresh.misses(), 0);
+    }
+
+    #[test]
+    fn memoized_batch_inserts_are_logged_once_per_distinct_key() {
+        let memo = Memoized::new(Arc::new(Analytic));
+        memo.enable_insert_log();
+        let a = query(TileConfig::small(), 12, Pass::Forward, 0);
+        let b = query(TileConfig::small(), 14, Pass::Forward, 0);
+        let mut out = [0.0; 3];
+        memo.estimate_batch(&[a, b, a], &mut out);
+        let logged = memo.drain_insert_log();
+        assert_eq!(logged.len(), 2, "duplicate key collapsed in-batch");
+        assert_eq!(out[0], out[2]);
     }
 }

@@ -43,7 +43,8 @@ pub mod slab;
 pub mod tile;
 
 pub use backend::{
-    Analytic, Backend, CacheKey, CacheStats, CostBackend, CostQuery, Memoized, MonteCarlo, StepCost,
+    Analytic, Backend, CacheKey, CacheStats, CostBackend, CostQuery, Memoized, MonteCarlo,
+    StepCost, CACHE_KEY_WORDS,
 };
 pub use cost::{step_costs_from_exps, CostModel, StepCosts, BASELINE_CYCLES_PER_STEP};
 pub use engine::{constant_stream_cycles, simulate_clusters};
