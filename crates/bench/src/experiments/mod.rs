@@ -15,6 +15,7 @@ pub mod fig8a;
 pub mod fig8b;
 pub mod fig9;
 pub mod frontier;
+pub mod guided;
 pub mod hybrid;
 pub mod table1;
 

@@ -35,7 +35,7 @@
 //! ```
 
 use crate::experiments::{
-    ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, frontier, hybrid, table1,
+    ablation, accuracy, fig10, fig3, fig7, fig8a, fig8b, fig9, frontier, guided, hybrid, table1,
 };
 use crate::runner::Experiment;
 use std::fmt;
@@ -68,7 +68,8 @@ impl Registry {
             .register(Box::new(table1::Table1))
             .register(Box::new(ablation::Ablation))
             .register(Box::new(hybrid::Hybrid))
-            .register(Box::new(frontier::Frontier));
+            .register(Box::new(frontier::Frontier))
+            .register(Box::new(guided::Guided));
         r
     }
 

@@ -1,0 +1,60 @@
+//! Golden-file test pinning the `guided` experiment's full result JSON
+//! at smoke scale.
+//!
+//! The guided search promises byte-determinism: seeded proposal streams,
+//! ascending-id cohort folds, canonical tie collapse, and a fixed rung
+//! schedule. This test holds that promise across refactors — any change
+//! to the search's arithmetic, ordering, tie handling, or report layout
+//! shows up as a diff against the committed golden file. Recall and
+//! budget counters (the CI gates) are pinned along with everything else,
+//! so a silent regression in search quality cannot slip through as
+//! "still passes the threshold".
+//!
+//! Deliberate changes: regenerate with
+//! `BLESS=1 cargo test -p mpipu-bench --test guided_golden` and review
+//! the diff.
+
+use mpipu_bench::events::NullSink;
+use mpipu_bench::experiments::guided;
+use mpipu_bench::runner::RunCtx;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/guided_report.json"
+);
+
+/// The same configuration the unit gates run: paper parameters at smoke
+/// scale, the config's own fixed seed.
+fn specimen() -> String {
+    let cfg = guided::Config::paper(0.02);
+    let sink = NullSink;
+    guided::run(&cfg, &RunCtx::new(cfg.scale, &sink))
+        .to_json()
+        .to_string_pretty()
+}
+
+#[test]
+fn guided_report_matches_golden_file() {
+    let got = specimen();
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {GOLDEN_PATH}: {e}\n\
+             (run the `bless` test below to create it)"
+        )
+    });
+    assert!(
+        got == golden,
+        "guided report drifted from the golden file.\n\
+         If this change is deliberate, regenerate with\n\
+         `BLESS=1 cargo test -p mpipu-bench --test guided_golden` \
+         and review the diff.\n\n--- golden ---\n{golden}\n--- got ---\n{got}"
+    );
+}
+
+/// Regenerates the golden file when `BLESS=1` is set; otherwise a no-op.
+#[test]
+fn bless() {
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, specimen()).expect("write golden file");
+    }
+}

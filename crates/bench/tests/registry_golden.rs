@@ -13,7 +13,7 @@ use mpipu_bench::runner::{RunCtx, RunOptions};
 fn builtin_names_and_order_are_pinned() {
     let expected = [
         "fig3", "accuracy", "fig7", "fig8a", "fig8b", "fig9", "fig10", "table1", "ablation",
-        "hybrid", "frontier",
+        "hybrid", "frontier", "guided",
     ];
     assert_eq!(Registry::builtin().names(), expected);
 }

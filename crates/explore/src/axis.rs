@@ -11,7 +11,7 @@
 use mpipu::{Scenario, Zoo};
 use mpipu_analysis::dist::Distribution;
 use mpipu_dnn::zoo::{Pass, Workload};
-use mpipu_sim::{Schedule, TileConfig};
+use mpipu_sim::{LayerPrecision, Schedule, TileConfig};
 
 /// A tile-geometry choice a [`Axis::Tile`] axis sweeps.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +93,17 @@ pub enum Axis {
     Pass(Vec<Pass>),
     /// Per-layer precision schedule.
     Schedule(Vec<Schedule>),
+    /// Every per-layer INT4/FP16 assignment over `layers` layers as one
+    /// axis of `2^layers` values: value `m`'s bit `l` set means layer
+    /// `l` runs FP16, clear means INT4. The axis that opens the paper's
+    /// real schedule space (≥ 10⁸ points for a 27-layer workload) —
+    /// far too wide to enumerate, which is exactly what
+    /// [`crate::search::SearchEngine`] exists for.
+    ScheduleMask {
+        /// Number of layers the mask covers — must equal the workload's
+        /// layer count (validated when a point is lowered).
+        layers: u32,
+    },
     /// `(activation, weight)` value-distribution override.
     Distributions(Vec<(Distribution, Distribution)>),
 }
@@ -164,6 +175,20 @@ impl Axis {
         Axis::Schedule(values)
     }
 
+    /// Sweep every INT4/FP16 per-layer assignment over `layers` layers
+    /// (`2^layers` values — see [`Axis::ScheduleMask`]).
+    ///
+    /// # Panics
+    /// Panics when `layers` is zero or above 48 (the mask must fit the
+    /// space's u64 id with room for sibling axes).
+    pub fn schedule_mask(layers: u32) -> Axis {
+        assert!(
+            (1..=48).contains(&layers),
+            "schedule mask covers 1..=48 layers, got {layers}"
+        );
+        Axis::ScheduleMask { layers }
+    }
+
     /// Sweep the `(activation, weight)` distribution override.
     pub fn distributions(values: Vec<(Distribution, Distribution)>) -> Axis {
         Axis::Distributions(values)
@@ -181,6 +206,7 @@ impl Axis {
             Axis::Workload(_) => "workload",
             Axis::Pass(_) => "pass",
             Axis::Schedule(_) => "schedule",
+            Axis::ScheduleMask { .. } => "schedule_mask",
             Axis::Distributions(_) => "dists",
         }
     }
@@ -197,6 +223,7 @@ impl Axis {
             Axis::Workload(v) => v.len(),
             Axis::Pass(v) => v.len(),
             Axis::Schedule(v) => v.len(),
+            Axis::ScheduleMask { layers } => 1usize << layers,
             Axis::Distributions(v) => v.len(),
         }
     }
@@ -225,6 +252,12 @@ impl Axis {
                 Pass::Backward => "bwd".to_string(),
             },
             Axis::Schedule(v) => v[i].label(),
+            Axis::ScheduleMask { layers } => {
+                assert!(i < 1usize << layers, "mask value out of range");
+                // Fixed-width hex: one digit per 4 layers, so labels
+                // sort and align across the whole axis.
+                format!("m{:0width$x}", i, width = layers.div_ceil(4) as usize)
+            }
             Axis::Distributions(v) => format!("{:?}/{:?}", v[i].0, v[i].1),
         }
     }
@@ -250,6 +283,19 @@ impl Axis {
             },
             Axis::Pass(v) => scenario.pass(v[i]),
             Axis::Schedule(v) => scenario.schedule(v[i].clone()),
+            Axis::ScheduleMask { layers } => {
+                assert!(i < 1usize << layers, "mask value out of range");
+                let assignment: Vec<LayerPrecision> = (0..*layers)
+                    .map(|l| {
+                        if i >> l & 1 == 1 {
+                            LayerPrecision::Fp16
+                        } else {
+                            LayerPrecision::Int { ka: 1, kb: 1 }
+                        }
+                    })
+                    .collect();
+                scenario.schedule(Schedule::Custom(assignment))
+            }
             Axis::Distributions(v) => scenario.distributions(v[i].0, v[i].1),
         }
     }
@@ -321,6 +367,30 @@ mod tests {
             Axis::pass(vec![Pass::Forward, Pass::Backward]).label(1),
             "bwd"
         );
+    }
+
+    #[test]
+    fn schedule_mask_axis_enumerates_every_assignment() {
+        let m = Axis::schedule_mask(5);
+        assert_eq!(m.name(), "schedule_mask");
+        assert_eq!(m.len(), 32);
+        assert_eq!(m.label(0), "m00");
+        assert_eq!(m.label(0b10110), "m16");
+        // Bit l drives layer l: mask 0b00101 runs layers 0 and 2 FP16.
+        let base = Scenario::small_tile().synthetic(8, 7, 4); // 5 layers
+        let s = m.apply(0b00101, base);
+        let workload = s.resolve_workload();
+        let lowered = s.try_lower().unwrap();
+        let sched = lowered.schedule.expect("mask installs a schedule");
+        let mat = sched.try_materialize(&workload).unwrap();
+        let fp: Vec<bool> = mat.iter().map(|p| *p == LayerPrecision::Fp16).collect();
+        assert_eq!(fp, vec![true, false, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule mask covers 1..=48 layers")]
+    fn oversized_schedule_mask_is_rejected() {
+        Axis::schedule_mask(49);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use crate::control::{CancelToken, ChunkGovernor};
 use crate::events::{SweepEvent, SweepSink};
-use crate::space::{DesignId, ParamSpace};
+use crate::space::{DesignId, LabelTable, ParamSpace};
 use mpipu_hw::DesignMetrics;
 use mpipu_sim::CostBackend;
 use std::collections::BTreeMap;
@@ -98,12 +98,13 @@ pub struct PointEval {
     pub id: DesignId,
     /// Per-axis value indices, in axis declaration order.
     pub coords: Coords,
-    /// The run's shared axis-value label table (`table[axis][value]`,
-    /// see [`ParamSpace::label_table`]); the point's own labels are
-    /// `table[a][coords[a]]` — [`PointEval::labels`] spells that out.
-    /// One `Arc` clone per point instead of a materialized label vector:
-    /// a sweep folds millions of these and most are discarded unread.
-    pub label_table: Arc<Vec<Vec<Arc<str>>>>,
+    /// The run's shared axis-value label table (see
+    /// [`ParamSpace::label_table`]); the point's own labels are
+    /// `table.label(a, coords[a])` — [`PointEval::labels`] spells that
+    /// out. One `Arc` clone per point instead of a materialized label
+    /// vector: a sweep folds millions of these and most are discarded
+    /// unread.
+    pub label_table: Arc<LabelTable>,
     /// Total workload cycles.
     pub cycles: u64,
     /// Total baseline (38-bit tree) cycles.
@@ -119,16 +120,16 @@ pub struct PointEval {
 
 impl PointEval {
     /// One axis value's label.
-    pub fn label(&self, axis: usize) -> &str {
-        &self.label_table[axis][self.coords[axis]]
+    pub fn label(&self, axis: usize) -> Arc<str> {
+        self.label_table.label(axis, self.coords[axis])
     }
 
     /// The point's per-axis labels, in axis declaration order.
-    pub fn labels(&self) -> impl Iterator<Item = &str> + '_ {
+    pub fn labels(&self) -> impl Iterator<Item = Arc<str>> + '_ {
         self.coords
             .iter()
             .enumerate()
-            .map(|(a, &c)| &*self.label_table[a][c])
+            .map(|(a, &c)| self.label_table.label(a, c))
     }
 }
 
@@ -340,6 +341,12 @@ impl SweepEngine {
 
     /// Sweep an explicit id list (e.g. a filtered or externally-ordered
     /// subset), folding in list order.
+    ///
+    /// Always evaluates point by point — this is the scalar *reference*
+    /// path the slab bit-identity property tests compare against, so it
+    /// must never grow a fast path of its own. Batch-heavy callers (the
+    /// guided [`crate::search::SearchEngine`]) use
+    /// [`SweepEngine::run_ids_fast`] instead.
     pub fn run_ids<F: Fold + Send>(
         &self,
         space: &ParamSpace,
@@ -359,8 +366,36 @@ impl SweepEngine {
         )
     }
 
-    /// Sweep `count` uniformly sampled points (seeded, with replacement
-    /// — see [`ParamSpace::sample_ids`]), folding in draw order.
+    /// Sweep an explicit id list through the slab fast path when the
+    /// space is slab-eligible (no schedules — see [`SweepEngine::run`]),
+    /// falling back to the scalar path otherwise. Bit-identical to
+    /// [`SweepEngine::run_ids`] over the same list (property-tested);
+    /// the fold still observes points strictly in list order at any
+    /// thread count.
+    pub fn run_ids_fast<F: Fold + Send>(
+        &self,
+        space: &ParamSpace,
+        ids: &[DesignId],
+        fold: F,
+        sink: &dyn SweepSink,
+    ) -> F::Output
+    where
+        F::Output: Send,
+    {
+        if let Some(plan) = crate::slab::SlabPlan::try_new(space, self.backend.as_ref()) {
+            return self.drive_chunks(
+                ids.len() as u64,
+                |lo, hi| plan.evaluate_ids(&ids[lo as usize..hi as usize]),
+                fold,
+                sink,
+            );
+        }
+        self.run_ids(space, ids, fold, sink)
+    }
+
+    /// Sweep `count` distinct uniformly sampled points (seeded, without
+    /// replacement — see [`ParamSpace::sample_ids`]), folding in
+    /// ascending id order.
     pub fn run_sampled<F: Fold + Send>(
         &self,
         space: &ParamSpace,
@@ -530,12 +565,7 @@ impl SweepEngine {
         (id.0 < space.len()).then(|| self.evaluate_id(space, id, &space.label_table()))
     }
 
-    fn evaluate_id(
-        &self,
-        space: &ParamSpace,
-        id: DesignId,
-        labels: &Arc<Vec<Vec<Arc<str>>>>,
-    ) -> PointEval {
+    fn evaluate_id(&self, space: &ParamSpace, id: DesignId, labels: &Arc<LabelTable>) -> PointEval {
         let spec = space.point(id).expect("design id in range");
         let scenario = match &self.backend {
             Some(b) => spec.scenario.cost_backend(b.clone()),
@@ -692,15 +722,22 @@ mod tests {
     }
 
     #[test]
-    fn sampled_sweep_is_reproducible() {
+    fn sampled_sweep_is_reproducible_and_duplicate_free() {
         let engine = SweepEngine::new().threads(2).chunk_size(4);
-        let a = engine.run_sampled(&space(), 16, 9, Collect::new(), &NullSweepSink);
-        let b = engine.run_sampled(&space(), 16, 9, Collect::new(), &NullSweepSink);
-        assert_eq!(a.len(), 16);
+        let a = engine.run_sampled(&space(), 5, 9, Collect::new(), &NullSweepSink);
+        let b = engine.run_sampled(&space(), 5, 9, Collect::new(), &NullSweepSink);
+        assert_eq!(a.len(), 5);
+        assert!(
+            a.windows(2).all(|w| w[0].id < w[1].id),
+            "ascending, no duplicates"
+        );
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.id, y.id);
             assert_eq!(x.cycles, y.cycles);
         }
+        // Oversampling clamps to the whole space.
+        let all = engine.run_sampled(&space(), 16, 9, Collect::new(), &NullSweepSink);
+        assert_eq!(all.len(), 8);
     }
 
     #[test]
@@ -756,6 +793,30 @@ mod tests {
             misses < 8,
             "slab sweep must share DP classes: {hits} hits, {misses} misses"
         );
+    }
+
+    #[test]
+    fn run_ids_fast_matches_the_scalar_reference_on_arbitrary_lists() {
+        let space = space();
+        let engine = SweepEngine::new()
+            .backend(Backend::AnalyticBatched.instantiate())
+            .chunk_size(3);
+        // Non-contiguous, non-monotone list: the slab path must decode
+        // each id rather than assume consecutive ranks.
+        let ids: Vec<DesignId> = [6u64, 0, 3, 5, 1, 2].map(DesignId).to_vec();
+        let fast = engine.run_ids_fast(&space, &ids, Collect::new(), &NullSweepSink);
+        let scalar = engine.run_ids(&space, &ids, Collect::new(), &NullSweepSink);
+        assert_eq!(fast.len(), scalar.len());
+        for (a, b) in fast.iter().zip(&scalar) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(&a.coords, &b.coords);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.normalized.to_bits(), b.normalized.to_bits());
+            assert_eq!(
+                a.metrics.fp_tflops_per_w.to_bits(),
+                b.metrics.fp_tflops_per_w.to_bits()
+            );
+        }
     }
 
     #[test]

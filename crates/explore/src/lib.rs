@@ -55,6 +55,7 @@ pub mod engine;
 pub mod events;
 pub mod objective;
 pub mod pareto;
+pub mod search;
 pub mod shard;
 mod slab;
 pub mod space;
@@ -65,5 +66,9 @@ pub use engine::{Collect, Count, Fold, PointEval, SweepEngine};
 pub use events::{FnSink, NullSweepSink, SweepEvent, SweepSink};
 pub use objective::{objectives, Objective, Sense};
 pub use pareto::{pareto_front, FrontierPoint, ParetoFold, TopK};
+pub use search::{
+    BoxSearcher, Confirmation, NeighborSearcher, RungStats, SearchConfig, SearchEngine,
+    SearchOutcome, SearchState, Searcher, SurrogateSearcher, Survivor, UniformSearcher,
+};
 pub use shard::{partition_units, ShardMerge, UnitFold, UnitRange};
-pub use space::{DesignId, DesignPointSpec, ParamSpace};
+pub use space::{DesignId, DesignPointSpec, LabelTable, ParamSpace};

@@ -119,7 +119,7 @@ mod tests {
         PointEval {
             id: DesignId(0),
             coords: Vec::new().into(),
-            label_table: std::sync::Arc::new(vec![]),
+            label_table: std::sync::Arc::new(vec![].into()),
             cycles: 100,
             baseline_cycles: 80,
             normalized,

@@ -25,7 +25,7 @@ pub struct FrontierPoint {
 }
 
 /// `a` strictly dominates `b` (both in keyed, minimize form).
-fn dominates(a: &[f64], b: &[f64]) -> bool {
+pub(crate) fn dominates(a: &[f64], b: &[f64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
     let mut strict = false;
     for (x, y) in a.iter().zip(b) {
@@ -105,6 +105,16 @@ impl ParetoFold {
         self.front.len()
     }
 
+    /// A copy of the current frontier in canonical ([`DesignId`]) order
+    /// without consuming the fold — what [`Fold::finish`] would return
+    /// right now. The guided search engine reads this between rungs to
+    /// steer proposals while the fold keeps accumulating.
+    pub fn snapshot(&self) -> Vec<FrontierPoint> {
+        let mut out: Vec<FrontierPoint> = self.front.iter().map(|(_, p)| p.clone()).collect();
+        out.sort_by_key(|p| p.id);
+        out
+    }
+
     /// Fold an already-selected frontier point (a shard-merge step).
     ///
     /// Keyed values are recomputed from the point's stored
@@ -169,7 +179,7 @@ impl Fold for ParetoFold {
             keyed.clone(),
             FrontierPoint {
                 id: eval.id,
-                labels: eval.labels().map(str::to_string).collect(),
+                labels: eval.labels().map(|l| l.to_string()).collect(),
                 values,
             },
         ));
@@ -179,6 +189,51 @@ impl Fold for ParetoFold {
         let mut out: Vec<FrontierPoint> = self.front.into_iter().map(|(_, p)| p).collect();
         out.sort_by_key(|p| p.id);
         out
+    }
+}
+
+impl ParetoFold {
+    /// Fold a point with arrival-order-independent tie handling: when
+    /// the keyed vector exactly equals an incumbent's, the lower
+    /// [`DesignId`] wins instead of the first arrival.
+    ///
+    /// [`Fold::accept`] keeps the first member of an equal-vector tie
+    /// class, which collapses ties to the lowest id *only* when points
+    /// arrive in ascending id order — true for exhaustive sweeps, false
+    /// for guided search, whose evaluation order follows the proposal
+    /// schedule. Folding through this entry point instead makes the
+    /// representative the least evaluated id of each tie class, so the
+    /// search lands on the same canonical frontier the exhaustive fold
+    /// produces whenever it evaluates the canonical member at all.
+    pub fn accept_canonical(&mut self, eval: &PointEval) {
+        self.seen += 1;
+        self.scratch.clear();
+        self.scratch
+            .extend(self.objectives.iter().map(|o| o.keyed(eval)));
+        let keyed = &self.scratch;
+        if let Some((_, p)) = self.front.iter_mut().find(|(k, _)| k == keyed) {
+            if eval.id < p.id {
+                *p = FrontierPoint {
+                    id: eval.id,
+                    labels: eval.labels().map(|l| l.to_string()).collect(),
+                    values: self.objectives.iter().map(|o| o.value(eval)).collect(),
+                };
+            }
+            return;
+        }
+        if self.front.iter().any(|(k, _)| dominates(k, keyed)) {
+            return;
+        }
+        self.front.retain(|(k, _)| !dominates(keyed, k));
+        let values = self.objectives.iter().map(|o| o.value(eval)).collect();
+        self.front.push((
+            keyed.clone(),
+            FrontierPoint {
+                id: eval.id,
+                labels: eval.labels().map(|l| l.to_string()).collect(),
+                values,
+            },
+        ));
     }
 }
 
@@ -250,7 +305,7 @@ impl Fold for TopK {
         }
         let point = FrontierPoint {
             id: eval.id,
-            labels: eval.labels().map(str::to_string).collect(),
+            labels: eval.labels().map(|l| l.to_string()).collect(),
             values: vec![self.objective.value(eval)],
         };
         let at = self
@@ -276,9 +331,12 @@ mod tests {
         PointEval {
             id: DesignId(id),
             coords: vec![id as usize].into(),
-            label_table: Arc::new(vec![(0..=id)
-                .map(|i| Arc::from(format!("p{i}").as_str()))
-                .collect()]),
+            label_table: Arc::new(
+                vec![(0..=id)
+                    .map(|i| Arc::from(format!("p{i}").as_str()))
+                    .collect()]
+                .into(),
+            ),
             cycles: (normalized * 1000.0) as u64,
             baseline_cycles: 1000,
             normalized,
@@ -324,6 +382,33 @@ mod tests {
         ]);
         assert_eq!(front.len(), 1);
         assert_eq!(front[0].id, DesignId(2));
+    }
+
+    #[test]
+    fn canonical_accept_collapses_ties_to_the_lowest_id_in_any_order() {
+        // Equal-vector twins arriving high-id first: plain accept keeps
+        // the first arrival; accept_canonical lands on id 1 regardless
+        // of order, matching the exhaustive (ascending-id) fold.
+        let points = [eval(7, 1.0, 10.0), eval(1, 1.0, 10.0), eval(4, 1.0, 10.0)];
+        let plain = fold_all(&points);
+        assert_eq!(plain[0].id, DesignId(7), "plain accept is first-arrival");
+        let mut fold = ParetoFold::new(vec![objectives::FP_SLOWDOWN, objectives::INT_TOPS_PER_MM2]);
+        for p in &points {
+            fold.accept_canonical(p);
+        }
+        assert_eq!(fold.seen(), 3);
+        let front = fold.finish();
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].id, DesignId(1), "lowest id wins the tie class");
+        // Dominance handling is unchanged: a strictly better point still
+        // evicts, a dominated one is still dropped.
+        let mut fold = ParetoFold::new(vec![objectives::FP_SLOWDOWN, objectives::INT_TOPS_PER_MM2]);
+        fold.accept_canonical(&eval(3, 2.0, 10.0));
+        fold.accept_canonical(&eval(5, 1.0, 10.0));
+        fold.accept_canonical(&eval(6, 3.0, 5.0));
+        let front = fold.finish();
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].id, DesignId(5));
     }
 
     #[test]

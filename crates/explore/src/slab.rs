@@ -33,7 +33,7 @@
 
 use crate::axis::Axis;
 use crate::engine::PointEval;
-use crate::space::{DesignId, ParamSpace};
+use crate::space::{DesignId, LabelTable, ParamSpace};
 use mpipu::Scenario;
 use mpipu_analysis::dist::Distribution;
 use mpipu_dnn::zoo::Workload;
@@ -56,8 +56,8 @@ pub(crate) struct SlabPlan<'s> {
     /// Whether the backend's cache key ignores the seed — the license to
     /// collapse same-window queries within a point.
     seed_blind: bool,
-    /// `labels[axis][value]`, shared into every [`PointEval`].
-    labels: Arc<Vec<Vec<Arc<str>>>>,
+    /// The space's label table, shared into every [`PointEval`].
+    labels: Arc<LabelTable>,
     /// Axes whose coordinate changes the resolved workload
     /// ([`Axis::Workload`] / [`Axis::Pass`]).
     wl_axes: Vec<usize>,
@@ -71,7 +71,11 @@ impl<'s> SlabPlan<'s> {
         space: &'s ParamSpace,
         override_backend: Option<&Arc<dyn CostBackend>>,
     ) -> Option<SlabPlan<'s>> {
-        if space.axes().iter().any(|a| matches!(a, Axis::Schedule(_))) {
+        if space
+            .axes()
+            .iter()
+            .any(|a| matches!(a, Axis::Schedule(_) | Axis::ScheduleMask { .. }))
+        {
             return None;
         }
         let lowered = space.base().try_lower().ok()?;
@@ -114,7 +118,17 @@ impl<'s> SlabPlan<'s> {
     /// Evaluate design ids `lo..hi` (the engine's chunk unit) through
     /// the three-pass slab pipeline.
     pub(crate) fn evaluate_chunk(&self, lo: u64, hi: u64) -> Vec<PointEval> {
-        Worker::new(self).chunk(lo, hi)
+        let ids: Vec<DesignId> = (lo..hi).map(DesignId).collect();
+        Worker::new(self).ids(&ids)
+    }
+
+    /// Evaluate an explicit id list (in list order) through the same
+    /// three-pass pipeline — the [`crate::SweepEngine::run_ids_fast`]
+    /// chunk unit. Consecutive ids cost exactly what a contiguous chunk
+    /// does (the diff-based walk degenerates to the odometer); arbitrary
+    /// jumps just reapply a wider axis suffix.
+    pub(crate) fn evaluate_ids(&self, ids: &[DesignId]) -> Vec<PointEval> {
+        Worker::new(self).ids(ids)
     }
 }
 
@@ -268,14 +282,19 @@ impl<'p, 's> Worker<'p, 's> {
         }
     }
 
-    fn chunk(mut self, lo: u64, hi: u64) -> Vec<PointEval> {
+    fn ids(mut self, ids: &[DesignId]) -> Vec<PointEval> {
         let plan = self.plan;
         let axes = plan.space.axes();
         let n = axes.len();
-        let mut coords = plan
-            .space
-            .coords(DesignId(lo))
-            .expect("slab chunk start in range");
+        let Some(&first) = ids.first() else {
+            return Vec::new();
+        };
+        let mut coords = plan.space.coords(first).expect("slab id in range");
+        // Scratch row for the next id's decoded coordinates (diffed
+        // against `coords` to find the leftmost changed axis — for
+        // consecutive ids this reproduces the mixed-radix odometer's
+        // carry position exactly).
+        let mut next = vec![0usize; n];
 
         // Axes whose values touch exactly one field of the derived
         // evaluation inputs: a distribution override swaps `dists`, a
@@ -317,18 +336,18 @@ impl<'p, 's> Worker<'p, 's> {
         // override is the whole lowering.
         // Seed-blind single-window points gather one query each, so the
         // chunk's point count is almost always the exact slab length.
-        let mut queries: Vec<CostQuery> = Vec::with_capacity((hi - lo) as usize);
-        let mut pending: Vec<Pending> = Vec::with_capacity((hi - lo) as usize);
+        let mut queries: Vec<CostQuery> = Vec::with_capacity(ids.len());
+        let mut pending: Vec<Pending> = Vec::with_capacity(ids.len());
         // All points' coordinates, row-major in one slab the chunk's
         // `PointEval`s share — no per-point coordinate allocation.
-        let mut coord_slab: Vec<usize> = Vec::with_capacity((hi - lo) as usize * n);
+        let mut coord_slab: Vec<usize> = Vec::with_capacity(ids.len() * n);
         let mut derived: Option<Derived> = None;
         let mut last_table: Option<((usize, [usize; 5]), usize)> = None;
         let mut last_factors: Option<((u32, usize, bool), MetricsFactors)> = None;
         // First axis whose coordinate changed since the previous point
         // (everything, for the chunk's first point).
         let mut changed = 0usize;
-        for rank in lo..hi {
+        for k in 0..ids.len() {
             let d = match derived {
                 Some(mut d) if changed >= fast_lo => {
                     for i in changed..n {
@@ -414,22 +433,28 @@ impl<'p, 's> Worker<'p, 's> {
                 qbase,
             });
 
-            if rank + 1 < hi {
-                // Advance the mixed-radix odometer (last axis fastest)
-                // and reapply only the changed suffix. A move within the
-                // fast tail skips the reapply entirely: the next point
-                // patches `Derived` instead of reading `states[n]`, and
-                // any later wider step rebuilds the stale suffix from
-                // the still-valid prefix.
-                let mut j = n;
-                while j > 0 {
-                    j -= 1;
-                    coords[j] += 1;
-                    if coords[j] < axes[j].len() {
-                        break;
-                    }
-                    coords[j] = 0;
+            if k + 1 < ids.len() {
+                // Step to the next id: decode it, find the leftmost
+                // changed axis, and reapply only that suffix. A move
+                // within the fast tail skips the reapply entirely: the
+                // next point patches `Derived` instead of reading
+                // `states[n]`, and any later wider step rebuilds the
+                // stale suffix from the still-valid prefix. (A repeated
+                // id diffs to `changed == n` and reuses `Derived`
+                // untouched.)
+                let mut rank = ids[k + 1].0;
+                debug_assert!(rank < plan.space.len(), "slab id in range");
+                for (slot, axis) in next.iter_mut().zip(axes).rev() {
+                    let radix = axis.len() as u64;
+                    *slot = (rank % radix) as usize;
+                    rank /= radix;
                 }
+                let j = coords
+                    .iter()
+                    .zip(&next)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(n);
+                coords.copy_from_slice(&next);
                 changed = j;
                 if j < fast_lo {
                     for i in j..fast_lo {
@@ -489,7 +514,7 @@ impl<'p, 's> Worker<'p, 's> {
                     (total, normalized)
                 });
                 PointEval {
-                    id: DesignId(lo + i as u64),
+                    id: ids[i],
                     coords,
                     label_table: plan.labels.clone(),
                     cycles: total,

@@ -11,7 +11,76 @@ use crate::axis::Axis;
 use mpipu::Scenario;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 use std::sync::Arc;
+
+/// Largest axis whose labels are materialized eagerly. Wider axes (a
+/// 2^27-value schedule mask) render labels on demand instead — a sweep
+/// touches a vanishing fraction of such an axis, and materializing it
+/// would cost more than the sweep.
+const DENSE_LABEL_LIMIT: usize = 4096;
+
+/// One axis's label column: either every label pre-rendered, or the axis
+/// itself, rendering on demand.
+#[derive(Debug)]
+enum LabelColumn {
+    Dense(Vec<Arc<str>>),
+    Lazy(Axis),
+}
+
+/// The shared axis-value label table every [`crate::PointEval`] of a
+/// sweep references. Small axes pre-render their labels once per run;
+/// axes too wide to materialize (see [`crate::Axis::schedule_mask`])
+/// render each requested label on demand from the axis definition, so
+/// the table's footprint is bounded by the *narrow* axes regardless of
+/// how large the space is.
+#[derive(Debug)]
+pub struct LabelTable {
+    columns: Vec<LabelColumn>,
+}
+
+impl LabelTable {
+    fn build(axes: &[Axis]) -> LabelTable {
+        LabelTable {
+            columns: axes
+                .iter()
+                .map(|a| {
+                    if a.len() <= DENSE_LABEL_LIMIT {
+                        LabelColumn::Dense((0..a.len()).map(|i| Arc::from(a.label(i))).collect())
+                    } else {
+                        LabelColumn::Lazy(a.clone())
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of axis columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The label of value `value` on axis `axis`.
+    ///
+    /// # Panics
+    /// Panics when `axis` or `value` is out of range.
+    pub fn label(&self, axis: usize, value: usize) -> Arc<str> {
+        match &self.columns[axis] {
+            LabelColumn::Dense(v) => v[value].clone(),
+            LabelColumn::Lazy(a) => Arc::from(a.label(value)),
+        }
+    }
+}
+
+/// A fully-materialized table (every column dense) — the form test
+/// helpers build by hand.
+impl From<Vec<Vec<Arc<str>>>> for LabelTable {
+    fn from(columns: Vec<Vec<Arc<str>>>) -> LabelTable {
+        LabelTable {
+            columns: columns.into_iter().map(LabelColumn::Dense).collect(),
+        }
+    }
+}
 
 /// Stable identifier of one design point within its [`ParamSpace`]: the
 /// row-major rank in the cartesian product.
@@ -76,16 +145,11 @@ impl ParamSpace {
         self.axes.iter().map(Axis::name).collect()
     }
 
-    /// The shared axis-value label table (`table[axis][value]`) every
-    /// [`crate::PointEval`] of a sweep references — one allocation per
-    /// run instead of one label vector per point.
-    pub fn label_table(&self) -> Arc<Vec<Vec<Arc<str>>>> {
-        Arc::new(
-            self.axes
-                .iter()
-                .map(|a| (0..a.len()).map(|i| Arc::from(a.label(i))).collect())
-                .collect(),
-        )
+    /// The shared axis-value label table (`table.label(axis, value)`)
+    /// every [`crate::PointEval`] of a sweep references — one allocation
+    /// per run instead of one label vector per point.
+    pub fn label_table(&self) -> Arc<LabelTable> {
+        Arc::new(LabelTable::build(&self.axes))
     }
 
     /// Number of design points in the cartesian product.
@@ -137,15 +201,46 @@ impl ParamSpace {
         (0..self.len()).map(|r| self.point(DesignId(r)).expect("rank in range"))
     }
 
-    /// Draw `count` design ids uniformly at random (with replacement —
-    /// a memoized backend dedupes repeated evaluation anyway), seeded and
-    /// therefore reproducible.
+    /// Encode per-axis coordinates back into the point's [`DesignId`] —
+    /// the inverse of [`ParamSpace::coords`]. `None` when the arity is
+    /// wrong or any coordinate is out of its axis's range.
+    pub fn id_of(&self, coords: &[usize]) -> Option<DesignId> {
+        if coords.len() != self.axes.len() {
+            return None;
+        }
+        let mut rank = 0u64;
+        for (axis, &c) in self.axes.iter().zip(coords) {
+            if c >= axis.len() {
+                return None;
+            }
+            rank = rank * axis.len() as u64 + c as u64;
+        }
+        Some(DesignId(rank))
+    }
+
+    /// Draw `count` *distinct* design ids uniformly at random (without
+    /// replacement — duplicates would waste backend queries), seeded and
+    /// therefore reproducible. Uses Floyd's algorithm, so the cost is
+    /// `O(count)` even when the space is astronomically larger than the
+    /// sample. `count` is clamped to the space size; ids come back
+    /// sorted ascending (the engines' canonical fold order).
     pub fn sample_ids(&self, count: usize, seed: u64) -> Vec<DesignId> {
         let total = self.len();
+        let count = (count as u64).min(total);
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..count)
-            .map(|_| DesignId(rng.gen_range(0..total)))
-            .collect()
+        let mut chosen: HashSet<u64> = HashSet::with_capacity(count as usize);
+        // Floyd: for j in total-count..total, draw r in [0, j]; take r
+        // unless already taken, else take j. Every count-subset is
+        // equally likely, and only `count` draws are made.
+        for j in (total - count)..total {
+            let r = rng.gen_range(0..=j);
+            if !chosen.insert(r) {
+                chosen.insert(j);
+            }
+        }
+        let mut ids: Vec<DesignId> = chosen.into_iter().map(DesignId).collect();
+        ids.sort_unstable();
+        ids
     }
 }
 
@@ -199,16 +294,49 @@ mod tests {
     }
 
     #[test]
-    fn sampling_is_seeded_and_in_range() {
+    fn sampling_is_seeded_distinct_and_in_range() {
         let s = ParamSpace::new(Scenario::small_tile())
-            .axis(Axis::w(vec![12, 16]))
+            .axis(Axis::w_grid(8, 38, 1))
+            .axis(Axis::cluster(vec![1, 2, 4, 8]))
             .axis(Axis::workload(vec![WorkloadSel::Zoo(Zoo::ResNet18)]));
         let a = s.sample_ids(32, 7);
         let b = s.sample_ids(32, 7);
         assert_eq!(a, b, "same seed, same draw");
+        assert_eq!(a.len(), 32);
         assert!(a.iter().all(|id| id.0 < s.len()));
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
         let c = s.sample_ids(32, 8);
         assert_ne!(a, c, "different seed, different draw");
+    }
+
+    #[test]
+    fn oversampling_clamps_to_the_whole_space_in_id_order() {
+        let s = space(); // 6 points
+        let all = s.sample_ids(100, 3);
+        assert_eq!(all, (0..6).map(DesignId).collect::<Vec<_>>());
+        assert!(s.sample_ids(0, 3).is_empty());
+    }
+
+    #[test]
+    fn id_of_inverts_coords() {
+        let s = space();
+        for id in 0..s.len() {
+            let coords = s.coords(DesignId(id)).unwrap();
+            assert_eq!(s.id_of(&coords), Some(DesignId(id)));
+        }
+        assert_eq!(s.id_of(&[0]), None, "wrong arity");
+        assert_eq!(s.id_of(&[0, 2]), None, "coordinate out of range");
+    }
+
+    #[test]
+    fn wide_axes_render_labels_lazily_and_match_dense_rendering() {
+        let s = ParamSpace::new(Scenario::small_tile().synthetic(16, 7, 12))
+            .axis(Axis::w(vec![12, 16]))
+            .axis(Axis::schedule_mask(13)); // 8192 values > dense limit
+        let table = s.label_table();
+        assert_eq!(table.width(), 2);
+        assert_eq!(&*table.label(0, 1), "16");
+        assert_eq!(&*table.label(1, 0x1a2b), s.axes()[1].label(0x1a2b));
     }
 
     #[test]

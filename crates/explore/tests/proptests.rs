@@ -5,7 +5,7 @@
 //! parameter spaces and chunk boundaries.
 
 use mpipu_explore::{pareto_front, FrontierPoint, Objective, ParetoFold, PointEval, Sense};
-use mpipu_explore::{DesignId, Fold, ShardMerge, TopK, UnitFold};
+use mpipu_explore::{DesignId, Fold, ParamSpace, ShardMerge, TopK, UnitFold};
 use mpipu_hw::DesignMetrics;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -71,9 +71,12 @@ fn make_eval(i: usize, p: &[f64]) -> PointEval {
     PointEval {
         id: DesignId(i as u64),
         coords: vec![i].into(),
-        label_table: std::sync::Arc::new(vec![(0..=i)
-            .map(|j| std::sync::Arc::from(format!("{j}").as_str()))
-            .collect()]),
+        label_table: std::sync::Arc::new(
+            vec![(0..=i)
+                .map(|j| std::sync::Arc::from(format!("{j}").as_str()))
+                .collect()]
+            .into(),
+        ),
         cycles: 1,
         baseline_cycles: 1,
         normalized: 1.0,
@@ -376,6 +379,137 @@ proptest! {
             prop_assert_eq!(
                 a.metrics.fp_tflops_per_mm2.to_bits(),
                 b.metrics.fp_tflops_per_mm2.to_bits()
+            );
+            prop_assert_eq!(
+                a.metrics.fp_tflops_per_w.to_bits(),
+                b.metrics.fp_tflops_per_w.to_bits()
+            );
+        }
+    }
+}
+
+/// The non-empty subset of `all` selected by the mask's bits.
+fn masked<T: Copy>(all: &[T], mask: usize) -> Vec<T> {
+    all.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, &v)| v)
+        .collect()
+}
+
+/// A small analytic-batched space shaped by two axis masks (guaranteed
+/// non-empty; 1–20 points).
+fn small_space(w_mask: usize, cluster_mask: usize) -> ParamSpace {
+    use mpipu::{Backend, Scenario, Zoo};
+    use mpipu_explore::Axis;
+    ParamSpace::new(
+        Scenario::small_tile()
+            .workload(Zoo::ResNet18)
+            .sample_steps(8)
+            .backend(Backend::AnalyticBatched),
+    )
+    .axis(Axis::w(masked(&[8u32, 12, 16, 25, 38], w_mask)))
+    .axis(Axis::cluster(masked(&[1usize, 2, 4, 8], cluster_mask)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ISSUE 10 satellite: `ParamSpace::sample_ids` draws *without*
+    /// replacement — every draw is distinct, in range, ascending, and
+    /// seed-reproducible, and oversampling clamps to the whole space.
+    #[test]
+    fn sampling_is_distinct_in_range_and_seed_stable(
+        w_mask in 1usize..32,
+        cluster_mask in 1usize..16,
+        count in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let space = small_space(w_mask, cluster_mask);
+        let ids = space.sample_ids(count, seed);
+        prop_assert_eq!(ids.len() as u64, (count as u64).min(space.len()));
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "not strictly ascending");
+        prop_assert!(ids.iter().all(|id| id.0 < space.len()));
+        prop_assert_eq!(&ids, &space.sample_ids(count, seed));
+        if count >= space.len() as usize {
+            let all: Vec<DesignId> = (0..space.len()).map(DesignId).collect();
+            prop_assert_eq!(&ids, &all);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// ISSUE 10: with pruning disabled (one rung, keep-fraction 1.0, an
+    /// initial cohort covering the space) the guided search degenerates
+    /// to exhaustive enumeration and its frontier is *bit-identical* —
+    /// ids, labels, and value bits — to the exhaustive `ParetoFold`
+    /// sweep, whatever the seed.
+    #[test]
+    fn degenerate_guided_search_equals_exhaustive_fold(
+        w_mask in 1usize..32,
+        cluster_mask in 1usize..16,
+        seed in any::<u64>(),
+        threads in 1usize..=4,
+    ) {
+        use mpipu_explore::{
+            objectives, NullSweepSink, SearchConfig, SearchEngine, SweepEngine,
+        };
+
+        let space = small_space(w_mask, cluster_mask);
+        let objs = vec![objectives::FP_SLOWDOWN, objectives::INT_TOPS_PER_MM2];
+        let reference = SweepEngine::new()
+            .threads(threads)
+            .run(&space, ParetoFold::new(objs.clone()), &NullSweepSink);
+
+        let mut cfg = SearchConfig::new(objs);
+        cfg.rungs = 1;
+        cfg.keep_fraction = 1.0;
+        cfg.initial = space.len() as usize;
+        cfg.max_evals = space.len();
+        cfg.seed = seed;
+        let out = SearchEngine::new(cfg)
+            .engine(SweepEngine::new().threads(threads).chunk_size(3))
+            .run(&space, &NullSweepSink);
+
+        prop_assert_eq!(out.evaluated, space.len());
+        prop_assert_eq!(exact(&out.frontier), exact(&reference));
+        for (a, b) in out.frontier.iter().zip(&reference) {
+            prop_assert_eq!(&a.labels, &b.labels);
+        }
+    }
+
+    /// ISSUE 10: `run_ids_fast` (the slab path over explicit id lists)
+    /// is bit-identical to the scalar reference `run_ids` for arbitrary
+    /// id lists — unsorted, duplicated, empty — across chunk sizes and
+    /// thread counts.
+    #[test]
+    fn run_ids_fast_matches_run_ids_on_arbitrary_lists(
+        w_mask in 1usize..32,
+        cluster_mask in 1usize..16,
+        picks in prop::collection::vec(any::<u64>(), 0..30),
+        chunk in 1usize..=7,
+        threads in 1usize..=4,
+    ) {
+        use mpipu_explore::{Collect, NullSweepSink, SweepEngine};
+
+        let space = small_space(w_mask, cluster_mask);
+        let ids: Vec<DesignId> = picks.iter().map(|p| DesignId(p % space.len())).collect();
+        let engine = SweepEngine::new().threads(threads).chunk_size(chunk);
+        let fast = engine.run_ids_fast(&space, &ids, Collect::new(), &NullSweepSink);
+        let scalar = engine.run_ids(&space, &ids, Collect::new(), &NullSweepSink);
+
+        prop_assert_eq!(fast.len(), scalar.len());
+        for (a, b) in fast.iter().zip(&scalar) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(&a.coords, &b.coords);
+            prop_assert_eq!(a.cycles, b.cycles);
+            prop_assert_eq!(a.normalized.to_bits(), b.normalized.to_bits());
+            prop_assert_eq!(a.fp_fraction.to_bits(), b.fp_fraction.to_bits());
+            prop_assert_eq!(
+                a.metrics.int_tops_per_mm2.to_bits(),
+                b.metrics.int_tops_per_mm2.to_bits()
             );
             prop_assert_eq!(
                 a.metrics.fp_tflops_per_w.to_bits(),

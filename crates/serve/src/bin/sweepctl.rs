@@ -11,6 +11,9 @@
 //! sweepctl sweep  ADDR [--demo | --frontier | --cold-grid] [--scale F]
 //!                      [--sample N] [--sample-seed N] [--max-ms N]
 //!                      [--chunk N] [--progress-every N] [--tag S]
+//! sweepctl search ADDR [--layers N] [--initial N] [--rungs N]
+//!                      [--keep F] [--max-evals N] [--seed N]
+//!                      [--max-ms N] [--chunk N] [--tag S] [--verify]
 //! sweepctl sweep  local [--demo | --frontier | --cold-grid] [--scale F]
 //!                       [--workers N] [--unit-points N]
 //!                       [--journal PATH] [--resume]
@@ -31,6 +34,12 @@
 //! `suite --threads`. `--journal` makes the run durable; `--resume`
 //! replays completed units after a crash.
 //!
+//! `search` runs the guided schedule search preset (successive halving
+//! over a `2^layers`-point per-layer precision space — far past any
+//! sweep budget; the daemon admits it on the evaluation budget instead).
+//! `--verify` re-runs the search through an in-process engine and
+//! compares the daemon's `result` line byte-for-byte.
+//!
 //! `verify` replays a sweep through an in-process engine and compares
 //! the daemon's `result` line byte-for-byte. `bench ADDR` runs the
 //! serve_load load test (latency percentiles, throughput, cold/warm
@@ -40,8 +49,8 @@
 
 use mpipu_bench::json::Json;
 use mpipu_serve::presets;
-use mpipu_serve::request::{EvalReq, PassSel, Request, ScenarioSpec, SweepReq, TileSel};
-use mpipu_serve::service::reference_sweep_result;
+use mpipu_serve::request::{EvalReq, PassSel, Request, ScenarioSpec, SearchReq, SweepReq, TileSel};
+use mpipu_serve::service::{reference_search_result, reference_sweep_result};
 use mpipu_serve::{run_sharded, wire, worker_main, Client, Response, ShardConfig};
 use std::time::{Duration, Instant};
 
@@ -57,6 +66,7 @@ fn main() {
         "stats" => simple(rest, Request::Stats),
         "eval" => eval(rest),
         "sweep" => sweep(rest),
+        "search" => search(rest),
         "raw" => raw(rest),
         "verify" => verify(rest),
         "bench" => bench(rest),
@@ -78,7 +88,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: sweepctl <wait|list|stats|eval|sweep|raw|verify|bench> ADDR [options]\n\
+        "usage: sweepctl <wait|list|stats|eval|sweep|search|raw|verify|bench> ADDR [options]\n\
          ADDR may be `local` for sweep/bench: sharded worker processes instead of a \
          daemon ([--workers N] [--unit-points N] [--journal PATH] [--resume]; \
          --workers 0 = one per CPU core)\n\
@@ -101,7 +111,7 @@ impl Opts {
             if let Some(name) = a.strip_prefix("--") {
                 let v = match name {
                     // Valueless flags.
-                    "demo" | "frontier" | "cold-grid" | "resume" => String::new(),
+                    "demo" | "frontier" | "cold-grid" | "resume" | "verify" => String::new(),
                     _ => it
                         .next()
                         .cloned()
@@ -352,6 +362,73 @@ fn sweep(args: &[String]) -> i32 {
             }
             Err(e) => return fail(e),
         }
+    }
+}
+
+fn search_request(opts: &Opts) -> Result<SearchReq, String> {
+    let mut req = presets::schedule_search(opts.num::<u32>("layers")?.unwrap_or(27));
+    if let Some(v) = opts.num::<usize>("initial")? {
+        req.initial = Some(v);
+    }
+    if let Some(v) = opts.num::<usize>("rungs")? {
+        req.rungs = Some(v);
+    }
+    if let Some(v) = opts.num::<f64>("keep")? {
+        req.keep = Some(v);
+    }
+    if let Some(v) = opts.num::<u64>("max-evals")? {
+        req.max_evals = Some(v);
+    }
+    if let Some(v) = opts.num::<u64>("seed")? {
+        req.seed = Some(v);
+    }
+    req.max_ms = opts.num("max-ms")?.or(req.max_ms);
+    if let Some(chunk) = opts.num("chunk")? {
+        req.chunk = Some(chunk);
+    }
+    if let Some(tag) = opts.get("tag") {
+        req.tag = Some(tag.to_string());
+    }
+    Ok(req)
+}
+
+fn search(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let req = match search_request(&opts) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let r = match run_request(&opts.addr, &Request::Search(req.clone())) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let code = print_response(&r);
+    if code != 0 || !opts.has("verify") {
+        return code;
+    }
+    // --verify: the served line must match a fresh single-threaded
+    // in-process search byte-for-byte (guided search is deterministic
+    // at any thread count, so one reference suffices).
+    let Some(served) = r.result_line() else {
+        return fail("daemon response had no result line");
+    };
+    let reference = match reference_search_result(&req, 1) {
+        Ok(j) => j.to_string_compact(),
+        Err(e) => return fail(e),
+    };
+    if served == reference {
+        eprintln!(
+            "search: verify OK — served result is byte-identical to the in-process \
+             engine ({} bytes)",
+            served.len()
+        );
+        0
+    } else {
+        eprintln!("search: verify MISMATCH\n  served:    {served}\n  reference: {reference}");
+        1
     }
 }
 

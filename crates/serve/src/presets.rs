@@ -2,7 +2,7 @@
 //! and the end-to-end tests.
 
 use crate::request::{
-    AxisSpec, DistSpec, PassSel, SampleSpec, ScenarioSpec, SweepReq, TileSel, TopKSpec,
+    AxisSpec, DistSpec, PassSel, SampleSpec, ScenarioSpec, SearchReq, SweepReq, TileSel, TopKSpec,
     WorkloadSpec, ZooSel,
 };
 use mpipu_explore::{grid_u32, log2_range};
@@ -118,10 +118,46 @@ pub fn cold_grid_sweep() -> SweepReq {
     }
 }
 
+/// The guided schedule search: per-layer FP16/INT precision schedules
+/// over a `layers`-deep synthetic stack — a `2^layers`-point space (at
+/// the default 27 layers, ~1.34·10⁸ points, far past any sweep budget)
+/// searched with a few hundred evaluations. The daemon admits it on the
+/// evaluation budget, not the space size. The synthetic depth tracks
+/// `layers` because `schedule_mask` assigns one precision per workload
+/// layer (`depth` convs + the classifier).
+pub fn schedule_search(layers: u32) -> SearchReq {
+    SearchReq {
+        base: ScenarioSpec {
+            workload: Some(WorkloadSpec::Synthetic(64, 14, layers.max(2) as usize - 1)),
+            sample_steps: Some(48),
+            seed: Some(1),
+            ..ScenarioSpec::default()
+        },
+        axes: vec![AxisSpec::ScheduleMask(layers)],
+        objectives: vec!["fp_slowdown".to_string(), "fp_tflops_per_w".to_string()],
+        initial: Some(128),
+        rungs: Some(8),
+        max_evals: Some(640),
+        seed: Some(0x5EA2C4),
+        chunk: Some(64),
+        tag: Some("schedule-search".to_string()),
+        ..SearchReq::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::request::Request;
+
+    #[test]
+    fn schedule_search_round_trips_and_dwarfs_any_sweep_budget() {
+        let search = schedule_search(27);
+        assert_eq!(search.space_points(), 1 << 27);
+        assert!(search.space_points() > 100_000_000);
+        let line = Request::Search(search.clone()).to_line();
+        assert_eq!(Request::parse(&line), Ok(Request::Search(search)));
+    }
 
     #[test]
     fn presets_round_trip_and_size_correctly() {

@@ -636,6 +636,12 @@ pub enum AxisSpec {
     Pass(Vec<PassSel>),
     /// `(activation, weight)` distribution pairs.
     Dists(Vec<DistPair>),
+    /// Per-layer INT/FP16 precision masks over this many layers —
+    /// `2^layers` points, wire form `{"axis":"schedule_mask","layers":N}`.
+    /// Unlike the policy-valued `schedule` axis (still not in wire v1),
+    /// a mask axis is a closed, enumerable value set, which is what the
+    /// `search` request needs to address points by [`mpipu_explore::DesignId`].
+    ScheduleMask(u32),
 }
 
 impl AxisSpec {
@@ -651,6 +657,7 @@ impl AxisSpec {
             AxisSpec::Workload(_) => "workload",
             AxisSpec::Pass(_) => "pass",
             AxisSpec::Dists(_) => "dists",
+            AxisSpec::ScheduleMask(_) => "schedule_mask",
         }
     }
 
@@ -666,6 +673,7 @@ impl AxisSpec {
             AxisSpec::Workload(v) => v.len(),
             AxisSpec::Pass(v) => v.len(),
             AxisSpec::Dists(v) => v.len(),
+            AxisSpec::ScheduleMask(layers) => 1usize << layers,
         }
     }
 
@@ -676,6 +684,12 @@ impl AxisSpec {
 
     /// The canonical wire object.
     pub fn to_json(&self) -> Json {
+        if let AxisSpec::ScheduleMask(layers) = self {
+            return Json::obj([
+                ("axis", Json::str("schedule_mask")),
+                ("layers", Json::from(*layers)),
+            ]);
+        }
         let values = match self {
             AxisSpec::W(v) => v.iter().copied().map(Json::from).collect(),
             AxisSpec::SoftwarePrecision(v) => v.iter().copied().map(Json::from).collect(),
@@ -686,6 +700,7 @@ impl AxisSpec {
             AxisSpec::Workload(v) => v.iter().map(|w| w.to_json()).collect(),
             AxisSpec::Pass(v) => v.iter().map(|p| Json::str(p.label())).collect(),
             AxisSpec::Dists(v) => v.iter().map(dist_pair_to_json).collect(),
+            AxisSpec::ScheduleMask(_) => unreachable!("handled above"),
         };
         Json::obj([
             ("axis", Json::str(self.name())),
@@ -696,12 +711,35 @@ impl AxisSpec {
     /// Parse a wire axis object (strict; accepts `grid`/`log2` sugar).
     pub fn parse(j: &Json) -> Result<AxisSpec, WireError> {
         let fields = as_obj(j, "axis")?;
-        check_keys(fields, &["axis", "values", "grid", "log2"], "axis")?;
+        check_keys(
+            fields,
+            &["axis", "values", "grid", "log2", "layers"],
+            "axis",
+        )?;
         let name = as_str(
             field(fields, "axis")
                 .ok_or_else(|| WireError::bad_request("axis entry is missing \"axis\""))?,
             "axis.axis",
         )?;
+        if name == "schedule_mask" {
+            check_keys(fields, &["axis", "layers"], "schedule_mask axis")?;
+            let layers = as_u32(
+                field(fields, "layers")
+                    .ok_or_else(|| WireError::bad_request("schedule_mask axis needs \"layers\""))?,
+                "axis.layers",
+            )?;
+            if !(1..=48).contains(&layers) {
+                return Err(WireError::bad_request(
+                    "schedule_mask layers must be in 1..=48",
+                ));
+            }
+            return Ok(AxisSpec::ScheduleMask(layers));
+        }
+        if field(fields, "layers").is_some() {
+            return Err(WireError::bad_request(format!(
+                "\"layers\" is only defined for the \"schedule_mask\" axis, not {name:?}"
+            )));
+        }
         let values = field(fields, "values");
         let grid = field(fields, "grid");
         let log2 = field(fields, "log2");
@@ -807,6 +845,7 @@ impl AxisSpec {
             AxisSpec::Dists(v) => {
                 Axis::distributions(v.iter().map(|(a, w)| (a.to_dist(), w.to_dist())).collect())
             }
+            AxisSpec::ScheduleMask(layers) => Axis::schedule_mask(*layers),
         }
     }
 }
@@ -913,20 +952,99 @@ impl SweepReq {
 
     /// Resolve the objective names against the catalog.
     pub fn resolve_objectives(&self) -> Result<Vec<Objective>, WireError> {
-        if self.objectives.is_empty() {
-            return Err(WireError::bad_request("objectives must not be empty"));
-        }
-        self.objectives
-            .iter()
-            .map(|name| {
-                objective_by_name(name).ok_or_else(|| {
-                    WireError::bad_request(format!(
-                        "unknown objective {name:?} (catalog: {})",
-                        OBJECTIVE_NAMES.join(", ")
-                    ))
-                })
+        resolve_objective_names(&self.objectives)
+    }
+}
+
+/// Resolve a list of objective names against the catalog (shared by the
+/// sweep and search requests).
+fn resolve_objective_names(names: &[String]) -> Result<Vec<Objective>, WireError> {
+    if names.is_empty() {
+        return Err(WireError::bad_request("objectives must not be empty"));
+    }
+    names
+        .iter()
+        .map(|name| {
+            objective_by_name(name).ok_or_else(|| {
+                WireError::bad_request(format!(
+                    "unknown objective {name:?} (catalog: {})",
+                    OBJECTIVE_NAMES.join(", ")
+                ))
             })
-            .collect()
+        })
+        .collect()
+}
+
+/// The `search` request: guided (successive-halving + surrogate) search
+/// over a declared space — the space may be far too large to sweep
+/// (admission is on the evaluation *budget*, not the point count), and
+/// the response is one `result` line with the recovered frontier plus
+/// per-rung accounting. Unset knobs keep the library's
+/// [`mpipu_explore::SearchConfig`] defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReq {
+    /// The base scenario the axes refine.
+    pub base: ScenarioSpec,
+    /// Searched axes, in declaration order.
+    pub axes: Vec<AxisSpec>,
+    /// Objective names (catalog-validated; defaults to
+    /// [`DEFAULT_OBJECTIVES`] when absent on the wire).
+    pub objectives: Vec<String>,
+    /// Rung-0 cohort size.
+    pub initial: Option<usize>,
+    /// Maximum rung count.
+    pub rungs: Option<usize>,
+    /// Successive-halving keep fraction, in `(0, 1]`.
+    pub keep: Option<f64>,
+    /// Evaluation budget (admission-checked against the server's
+    /// point budget).
+    pub max_evals: Option<u64>,
+    /// Proposal-stream seed.
+    pub seed: Option<u64>,
+    /// Client-side wall-clock budget in ms (min'd with the server's).
+    pub max_ms: Option<u64>,
+    /// Engine chunk size override.
+    pub chunk: Option<usize>,
+    /// Client-chosen tag echoed on the result line.
+    pub tag: Option<String>,
+}
+
+impl Default for SearchReq {
+    fn default() -> SearchReq {
+        SearchReq {
+            base: ScenarioSpec::default(),
+            axes: Vec::new(),
+            objectives: DEFAULT_OBJECTIVES.iter().map(|s| s.to_string()).collect(),
+            initial: None,
+            rungs: None,
+            keep: None,
+            max_evals: None,
+            seed: None,
+            max_ms: None,
+            chunk: None,
+            tag: None,
+        }
+    }
+}
+
+impl SearchReq {
+    /// Resolve the declared space (base scenario + axes in order).
+    pub fn to_space(&self) -> ParamSpace {
+        let mut space = ParamSpace::new(self.base.to_scenario());
+        for axis in &self.axes {
+            space = space.axis(axis.to_axis());
+        }
+        space
+    }
+
+    /// Points in the declared space (the search touches far fewer).
+    pub fn space_points(&self) -> u64 {
+        self.axes.iter().map(|a| a.len() as u64).product()
+    }
+
+    /// Resolve the objective names against the catalog.
+    pub fn resolve_objectives(&self) -> Result<Vec<Objective>, WireError> {
+        resolve_objective_names(&self.objectives)
     }
 }
 
@@ -941,6 +1059,8 @@ pub enum Request {
     Eval(EvalReq),
     /// Sweep a declared space.
     Sweep(SweepReq),
+    /// Guided search over a declared space.
+    Search(SearchReq),
 }
 
 impl Request {
@@ -977,8 +1097,9 @@ impl Request {
                 }))
             }
             "sweep" => parse_sweep(fields).map(Request::Sweep),
+            "search" => parse_search(fields).map(Request::Search),
             other => Err(WireError::parse(format!(
-                "unknown request kind {other:?} (expected list, stats, eval, or sweep)"
+                "unknown request kind {other:?} (expected list, stats, eval, sweep, or search)"
             ))),
         }
     }
@@ -1038,6 +1159,34 @@ impl Request {
                 push("max_ms", s.max_ms.map(Json::from));
                 push("chunk", s.chunk.map(Json::from));
                 push("progress_every", s.progress_every.map(Json::from));
+                push("tag", s.tag.as_ref().map(Json::str));
+                Json::Obj(fields)
+            }
+            Request::Search(s) => {
+                let mut fields = vec![
+                    ("req".to_string(), Json::str("search")),
+                    ("base".to_string(), s.base.to_json()),
+                    (
+                        "axes".to_string(),
+                        Json::Arr(s.axes.iter().map(AxisSpec::to_json).collect()),
+                    ),
+                    (
+                        "objectives".to_string(),
+                        Json::Arr(s.objectives.iter().map(Json::str).collect()),
+                    ),
+                ];
+                let mut push = |key: &str, value: Option<Json>| {
+                    if let Some(v) = value {
+                        fields.push((key.to_string(), v));
+                    }
+                };
+                push("initial", s.initial.map(Json::from));
+                push("rungs", s.rungs.map(Json::from));
+                push("keep", s.keep.map(Json::from));
+                push("max_evals", s.max_evals.map(Json::from));
+                push("seed", s.seed.map(Json::from));
+                push("max_ms", s.max_ms.map(Json::from));
+                push("chunk", s.chunk.map(Json::from));
                 push("tag", s.tag.as_ref().map(Json::str));
                 Json::Obj(fields)
             }
@@ -1173,6 +1322,107 @@ fn parse_sweep(fields: &[(String, Json)]) -> Result<SweepReq, WireError> {
     })
 }
 
+fn parse_search(fields: &[(String, Json)]) -> Result<SearchReq, WireError> {
+    check_keys(
+        fields,
+        &[
+            "req",
+            "base",
+            "axes",
+            "objectives",
+            "initial",
+            "rungs",
+            "keep",
+            "max_evals",
+            "seed",
+            "max_ms",
+            "chunk",
+            "tag",
+        ],
+        "search request",
+    )?;
+    let axes = match field(fields, "axes") {
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| WireError::bad_request("axes must be an array"))?
+            .iter()
+            .map(AxisSpec::parse)
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+    };
+    if axes.is_empty() {
+        return Err(WireError::bad_request(
+            "search requires at least one axis (a zero-dimensional space has nothing to search)",
+        ));
+    }
+    let objectives = match field(fields, "objectives") {
+        Some(v) => {
+            let names: Vec<String> = v
+                .as_arr()
+                .ok_or_else(|| WireError::bad_request("objectives must be an array"))?
+                .iter()
+                .map(|n| as_str(n, "objective name").map(str::to_string))
+                .collect::<Result<_, _>>()?;
+            resolve_objective_names(&names)?;
+            names
+        }
+        None => DEFAULT_OBJECTIVES.iter().map(|s| s.to_string()).collect(),
+    };
+    let initial = field(fields, "initial")
+        .map(|v| as_usize(v, "initial"))
+        .transpose()?;
+    if initial == Some(0) {
+        return Err(WireError::bad_request("initial must be >= 1"));
+    }
+    let rungs = field(fields, "rungs")
+        .map(|v| as_usize(v, "rungs"))
+        .transpose()?;
+    if rungs == Some(0) {
+        return Err(WireError::bad_request("rungs must be >= 1"));
+    }
+    let keep = field(fields, "keep")
+        .map(|v| {
+            let k = v
+                .as_f64()
+                .ok_or_else(|| WireError::bad_request("keep must be a number"))?;
+            if !(k > 0.0 && k <= 1.0) {
+                return Err(WireError::bad_request("keep must be in (0, 1]"));
+            }
+            Ok(k)
+        })
+        .transpose()?;
+    let max_evals = field(fields, "max_evals")
+        .map(|v| as_u64(v, "max_evals"))
+        .transpose()?;
+    if max_evals == Some(0) {
+        return Err(WireError::bad_request("max_evals must be >= 1"));
+    }
+    Ok(SearchReq {
+        base: field(fields, "base")
+            .map(ScenarioSpec::parse)
+            .transpose()?
+            .unwrap_or_default(),
+        axes,
+        objectives,
+        initial,
+        rungs,
+        keep,
+        max_evals,
+        seed: field(fields, "seed")
+            .map(|v| as_u64(v, "seed"))
+            .transpose()?,
+        max_ms: field(fields, "max_ms")
+            .map(|v| as_u64(v, "max_ms"))
+            .transpose()?,
+        chunk: field(fields, "chunk")
+            .map(|v| as_usize(v, "chunk"))
+            .transpose()?,
+        tag: field(fields, "tag")
+            .map(|v| as_str(v, "tag").map(str::to_string))
+            .transpose()?,
+    })
+}
+
 // ---- strict-parse helpers -------------------------------------------------
 
 fn as_obj<'a>(j: &'a Json, what: &str) -> Result<&'a [(String, Json)], WireError> {
@@ -1284,6 +1534,17 @@ mod tests {
                 max_ms: Some(1000),
                 ..SweepReq::default()
             }),
+            Request::Search(SearchReq {
+                axes: vec![AxisSpec::ScheduleMask(27), AxisSpec::W(vec![8, 12])],
+                initial: Some(128),
+                rungs: Some(8),
+                keep: Some(0.5),
+                max_evals: Some(640),
+                seed: Some(9),
+                max_ms: Some(5000),
+                tag: Some("sched".to_string()),
+                ..SearchReq::default()
+            }),
         ];
         for req in reqs {
             let line = req.to_line();
@@ -1350,6 +1611,33 @@ mod tests {
                 "{\"req\":\"sweep\",\"axes\":[{\"axis\":\"w\"}]}",
                 ErrorCode::BadRequest,
             ),
+            // Search: axes are mandatory, knobs are validated, and the
+            // schedule_mask sugar stays exclusive to its own axis kind.
+            ("{\"req\":\"search\"}", ErrorCode::BadRequest),
+            (
+                "{\"req\":\"search\",\"axes\":[{\"axis\":\"w\",\"layers\":4}]}",
+                ErrorCode::BadRequest,
+            ),
+            (
+                "{\"req\":\"search\",\"axes\":[{\"axis\":\"schedule_mask\",\"layers\":0}]}",
+                ErrorCode::BadRequest,
+            ),
+            (
+                "{\"req\":\"search\",\"axes\":[{\"axis\":\"schedule_mask\",\"layers\":49}]}",
+                ErrorCode::BadRequest,
+            ),
+            (
+                "{\"req\":\"search\",\"axes\":[{\"axis\":\"w\",\"values\":[8]}],\"keep\":0}",
+                ErrorCode::BadRequest,
+            ),
+            (
+                "{\"req\":\"search\",\"axes\":[{\"axis\":\"w\",\"values\":[8]}],\"max_evals\":0}",
+                ErrorCode::BadRequest,
+            ),
+            (
+                "{\"req\":\"search\",\"axes\":[{\"axis\":\"w\",\"values\":[8]}],\"sample\":{}}",
+                ErrorCode::BadRequest,
+            ),
         ];
         for (line, code) in cases {
             let err = Request::parse(line).expect_err(line);
@@ -1388,6 +1676,19 @@ mod tests {
             ..req
         };
         assert_eq!(sampled.points(), 17);
+    }
+
+    #[test]
+    fn schedule_mask_axis_declares_an_exponential_space() {
+        let req = SearchReq {
+            axes: vec![AxisSpec::ScheduleMask(27)],
+            ..SearchReq::default()
+        };
+        assert_eq!(req.space_points(), 1 << 27);
+        assert!(req.space_points() > 100_000_000);
+        let space = req.to_space();
+        assert_eq!(space.len(), 1 << 27);
+        assert_eq!(space.axes()[0].name(), "schedule_mask");
     }
 
     #[test]

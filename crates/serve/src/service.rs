@@ -25,14 +25,14 @@
 //! oracle) cheap to write.
 
 use crate::fair::FairShare;
-use crate::request::{EvalReq, Request, SweepReq, WireError};
+use crate::request::{EvalReq, Request, SearchReq, SweepReq, WireError};
 use crate::wire;
 use mpipu_bench::json::Json;
 use mpipu_bench::registry::Registry;
 use mpipu_bench::sweep_wire::sweep_event_json;
 use mpipu_explore::{
     CancelToken, FnSink, Fold, FrontierPoint, NullSweepSink, ParamSpace, ParetoFold, PointEval,
-    SweepEngine, SweepEvent, TopK,
+    SearchConfig, SearchEngine, SweepEngine, SweepEvent, TopK,
 };
 use mpipu_sim::{AnalyticBatched, CacheStats, CostBackend, Memoized};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -41,7 +41,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Every sweepable wire axis name, in catalog order.
-pub const AXIS_NAMES: [&str; 9] = [
+pub const AXIS_NAMES: [&str; 10] = [
     "w",
     "software_precision",
     "cluster",
@@ -51,6 +51,7 @@ pub const AXIS_NAMES: [&str; 9] = [
     "workload",
     "pass",
     "dists",
+    "schedule_mask",
 ];
 
 /// Server-side resource limits (per-request budgets are min-combined
@@ -95,10 +96,14 @@ pub struct MetricsSnapshot {
     pub evals: u64,
     /// `sweep` requests admitted.
     pub sweeps: u64,
+    /// `search` requests admitted.
+    pub searches: u64,
     /// Sweeps that stopped early (disconnect or deadline).
     pub sweeps_cancelled: u64,
     /// Points folded by completed sweeps.
     pub points_swept: u64,
+    /// Points evaluated by completed searches.
+    pub points_searched: u64,
     /// Requests that ended in an error event.
     pub errors: u64,
     /// Sweeps currently admitted (running or draining).
@@ -110,8 +115,10 @@ struct Counters {
     requests: AtomicU64,
     evals: AtomicU64,
     sweeps: AtomicU64,
+    searches: AtomicU64,
     sweeps_cancelled: AtomicU64,
     points_swept: AtomicU64,
+    points_searched: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -276,8 +283,10 @@ impl Service {
             requests: self.counters.requests.load(Ordering::Relaxed),
             evals: self.counters.evals.load(Ordering::Relaxed),
             sweeps: self.counters.sweeps.load(Ordering::Relaxed),
+            searches: self.counters.searches.load(Ordering::Relaxed),
             sweeps_cancelled: self.counters.sweeps_cancelled.load(Ordering::Relaxed),
             points_swept: self.counters.points_swept.load(Ordering::Relaxed),
+            points_searched: self.counters.points_searched.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
             active_sweeps: self.admission.active() as u64,
         }
@@ -345,6 +354,7 @@ impl Service {
             }
             Request::Eval(e) => self.eval(e, emit),
             Request::Sweep(s) => self.sweep(s, cancel, emit),
+            Request::Search(s) => self.search(s, cancel, emit),
         };
         match outcome {
             Ok(()) => {
@@ -406,16 +416,7 @@ impl Service {
         // The wall-clock budget covers queueing too: derive the deadline
         // token before admission so a sweep cannot dodge its budget by
         // waiting in line.
-        let ms = match (self.limits.max_ms, req.max_ms) {
-            (0, None) => None,
-            (0, Some(c)) => Some(c),
-            (s, None) => Some(s),
-            (s, Some(c)) => Some(s.min(c)),
-        };
-        let token = match ms {
-            Some(ms) => cancel.deadline_at(Instant::now() + Duration::from_millis(ms)),
-            None => cancel.clone(),
-        };
+        let token = self.deadline_token(cancel, req.max_ms);
 
         let _permit = self.admission.acquire(&token)?;
         self.counters.sweeps.fetch_add(1, Ordering::Relaxed);
@@ -488,6 +489,81 @@ impl Service {
             top.as_deref(),
         ));
         Ok(())
+    }
+
+    fn search(
+        &self,
+        req: &SearchReq,
+        cancel: &CancelToken,
+        emit: &(dyn Fn(&Json) + Sync),
+    ) -> Result<(), WireError> {
+        let cfg = search_config(req)?;
+        // Admission budgets the *evaluations*, not the declared space:
+        // a search over a 2^27-point space is welcome as long as it only
+        // prices a few thousand of them.
+        let budget = self.limits.max_points;
+        if cfg.max_evals > budget {
+            return Err(WireError::budget(format!(
+                "search budgets {} evaluations, budget is {budget}",
+                cfg.max_evals
+            )));
+        }
+        let token = self.deadline_token(cancel, req.max_ms);
+        let _permit = self.admission.acquire(&token)?;
+        self.counters.searches.fetch_add(1, Ordering::Relaxed);
+
+        let space = req.to_space();
+        let space_points = req.space_points();
+        let ticket = self.fair.ticket(token.clone());
+        let start = self.backend.cache_stats();
+        let engine = SweepEngine::new()
+            .threads(self.limits.engine_threads)
+            .chunk_size(req.chunk.unwrap_or(self.limits.default_chunk))
+            .backend(self.backend.clone())
+            .cancel_token(token.clone())
+            .governor(ticket);
+        let out = SearchEngine::new(cfg)
+            .engine(engine)
+            .run(&space, &NullSweepSink);
+        self.emit_cache_delta(start.as_ref(), emit);
+
+        if token.is_cancelled() {
+            // A cancelled search still returns an outcome (whatever the
+            // rungs had folded), but a partial frontier is not a frontier
+            // — report the stop instead of a wrong answer.
+            self.counters
+                .sweeps_cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::cancelled(format!(
+                "search stopped after {} evaluations",
+                out.evaluated
+            )));
+        }
+        self.counters
+            .points_searched
+            .fetch_add(out.evaluated, Ordering::Relaxed);
+        emit(&wire::search_result_json(
+            req.tag.as_deref(),
+            space_points,
+            &req.objectives,
+            &out,
+        ));
+        Ok(())
+    }
+
+    /// Min-combine the server's and the request's wall-clock budgets
+    /// into a deadline on the request's cancel token (0 = unlimited).
+    fn deadline_token(&self, cancel: &CancelToken, req_ms: Option<u64>) -> CancelToken {
+        let ms = match (self.limits.max_ms, req_ms) {
+            (0, None) => None,
+            (0, Some(c)) => Some(c),
+            (s, None) => Some(s),
+            (s, Some(c)) => Some(s.min(c)),
+        };
+        match ms {
+            Some(ms) => cancel.deadline_at(Instant::now() + Duration::from_millis(ms)),
+            None => cancel.clone(),
+        }
     }
 
     /// Emit this request's share of the shared cache's counters as a
@@ -594,6 +670,52 @@ pub fn reference_sweep_result(req: &SweepReq, threads: usize) -> Result<Json, Wi
     ))
 }
 
+/// Resolve a search request's knobs onto the library defaults — shared
+/// by the served path and [`reference_search_result`] so the two can
+/// never drift.
+fn search_config(req: &SearchReq) -> Result<SearchConfig, WireError> {
+    let mut cfg = SearchConfig::new(req.resolve_objectives()?);
+    if let Some(v) = req.initial {
+        cfg.initial = v;
+    }
+    if let Some(v) = req.rungs {
+        cfg.rungs = v;
+    }
+    if let Some(v) = req.keep {
+        cfg.keep_fraction = v;
+    }
+    if let Some(v) = req.max_evals {
+        cfg.max_evals = v;
+    }
+    if let Some(v) = req.seed {
+        cfg.seed = v;
+    }
+    Ok(cfg)
+}
+
+/// The search byte-identity oracle: run `req` through a fresh
+/// in-process engine (own memoized batched backend, no sharing, no
+/// governor, no cancellation) at `threads` threads and return the
+/// `result` line the server would emit. Guided search promises the same
+/// bytes at any thread count; the e2e tests hold the served line to it.
+pub fn reference_search_result(req: &SearchReq, threads: usize) -> Result<Json, WireError> {
+    let cfg = search_config(req)?;
+    let backend: Arc<dyn CostBackend> = Arc::new(Memoized::new(Arc::new(AnalyticBatched::new())));
+    let engine = SweepEngine::new()
+        .threads(threads.max(1))
+        .chunk_size(req.chunk.unwrap_or(Limits::default().default_chunk))
+        .backend(backend);
+    let out = SearchEngine::new(cfg)
+        .engine(engine)
+        .run(&req.to_space(), &NullSweepSink);
+    Ok(wire::search_result_json(
+        req.tag.as_deref(),
+        req.space_points(),
+        &req.objectives,
+        &out,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -680,6 +802,83 @@ mod tests {
             assert_eq!(served, reference, "threads={threads}");
         }
         assert_eq!(service.metrics().points_swept, 4);
+    }
+
+    fn small_search() -> crate::request::SearchReq {
+        crate::request::SearchReq {
+            base: ScenarioSpec {
+                // schedule_mask assigns one precision per layer, so the
+                // base workload must have exactly `layers` of them: a
+                // 9-deep synthetic stack plus its classifier is 10.
+                workload: Some(crate::request::WorkloadSpec::Synthetic(16, 8, 9)),
+                sample_steps: Some(16),
+                ..ScenarioSpec::default()
+            },
+            axes: vec![AxisSpec::ScheduleMask(10)],
+            initial: Some(32),
+            rungs: Some(3),
+            max_evals: Some(128),
+            seed: Some(7),
+            ..crate::request::SearchReq::default()
+        }
+    }
+
+    #[test]
+    fn search_matches_the_reference_at_any_thread_count() {
+        let service = Service::new(Limits {
+            engine_threads: 3,
+            ..Limits::default()
+        });
+        let req = small_search();
+        let (ok, events) = collect(&service, &Request::Search(req.clone()));
+        assert!(ok, "{events:?}");
+        let served = events
+            .iter()
+            .find(|j| event_name(j) == "result")
+            .expect("result line");
+        assert_eq!(served.get("kind").and_then(Json::as_str), Some("search"));
+        assert_eq!(
+            served.get("space_points").and_then(Json::as_f64),
+            Some(1024.0)
+        );
+        let evaluated = served.get("evaluated").and_then(Json::as_f64).unwrap();
+        assert!(evaluated <= 128.0, "budget respected: {evaluated}");
+        let served = served.to_string_compact();
+        for threads in [1, 4] {
+            let reference = reference_search_result(&req, threads)
+                .unwrap()
+                .to_string_compact();
+            assert_eq!(served, reference, "threads={threads}");
+        }
+        let m = service.metrics();
+        assert_eq!(m.searches, 1);
+        assert_eq!(m.points_searched, evaluated as u64);
+    }
+
+    #[test]
+    fn over_budget_searches_are_rejected_on_evals_not_space_size() {
+        let service = Service::new(Limits {
+            max_points: 100,
+            ..Limits::default()
+        });
+        // A space far beyond max_points is fine as long as the
+        // evaluation budget fits.
+        let ok_req = crate::request::SearchReq {
+            max_evals: Some(64),
+            ..small_search()
+        };
+        let (ok, events) = collect(&service, &Request::Search(ok_req));
+        assert!(ok, "{events:?}");
+        // But an evaluation budget over the limit is refused up front.
+        let big = crate::request::SearchReq {
+            max_evals: Some(101),
+            ..small_search()
+        };
+        let (ok, events) = collect(&service, &Request::Search(big));
+        assert!(!ok);
+        assert_eq!(event_name(&events[0]), "error");
+        assert_eq!(events[0].get("code").and_then(Json::as_str), Some("budget"));
+        assert_eq!(service.metrics().searches, 1, "second never admitted");
     }
 
     #[test]

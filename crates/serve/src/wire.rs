@@ -12,7 +12,7 @@ use crate::request::{WireError, OBJECTIVE_NAMES};
 use crate::service::{JournalInfo, MetricsSnapshot};
 use mpipu_bench::json::Json;
 use mpipu_bench::sweep_wire::SWEEP_WIRE_VERSION;
-use mpipu_explore::FrontierPoint;
+use mpipu_explore::{FrontierPoint, SearchOutcome};
 use mpipu_sim::CacheStats;
 
 /// `{"event":"error","code":...,"message":...}`.
@@ -79,11 +79,13 @@ pub fn stats_json(
         ("requests".to_string(), Json::from(m.requests)),
         ("evals".to_string(), Json::from(m.evals)),
         ("sweeps".to_string(), Json::from(m.sweeps)),
+        ("searches".to_string(), Json::from(m.searches)),
         (
             "sweeps_cancelled".to_string(),
             Json::from(m.sweeps_cancelled),
         ),
         ("points_swept".to_string(), Json::from(m.points_swept)),
+        ("points_searched".to_string(), Json::from(m.points_searched)),
         ("errors".to_string(), Json::from(m.errors)),
         ("active_sweeps".to_string(), Json::from(m.active_sweeps)),
     ];
@@ -207,6 +209,63 @@ pub fn sweep_result_json(
             Json::Arr(top.iter().map(frontier_point_json).collect()),
         ));
     }
+    Json::Obj(fields)
+}
+
+/// The `search` result line: the declared space size, the budget
+/// actually spent (evaluated / proposed, per-rung and polish
+/// accounting), and the recovered frontier. The point of guided search
+/// is the gap between `space_points` and `evaluated` — both are on the
+/// line so every client (and CI) can check it.
+pub fn search_result_json(
+    tag: Option<&str>,
+    space_points: u64,
+    objectives: &[String],
+    out: &SearchOutcome,
+) -> Json {
+    let mut fields = vec![
+        ("event".to_string(), Json::str("result")),
+        ("kind".to_string(), Json::str("search")),
+    ];
+    if let Some(tag) = tag {
+        fields.push(("tag".to_string(), Json::str(tag)));
+    }
+    fields.extend([
+        ("space_points".to_string(), Json::from(space_points)),
+        ("evaluated".to_string(), Json::from(out.evaluated)),
+        ("proposed".to_string(), Json::from(out.proposed)),
+        (
+            "rungs".to_string(),
+            Json::Arr(
+                out.rungs
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("rung", Json::from(r.rung)),
+                            ("proposed", Json::from(r.proposed)),
+                            ("evaluated", Json::from(r.evaluated)),
+                            ("frontier", Json::from(r.frontier)),
+                            ("survivors", Json::from(r.survivors)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("polish_rounds".to_string(), Json::from(out.polish_rounds)),
+        (
+            "polish_evaluated".to_string(),
+            Json::from(out.polish_evaluated),
+        ),
+        (
+            "objectives".to_string(),
+            Json::Arr(objectives.iter().map(Json::str).collect()),
+        ),
+        ("frontier_size".to_string(), Json::from(out.frontier.len())),
+        (
+            "frontier".to_string(),
+            Json::Arr(out.frontier.iter().map(frontier_point_json).collect()),
+        ),
+    ]);
     Json::Obj(fields)
 }
 

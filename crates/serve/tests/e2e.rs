@@ -4,7 +4,7 @@
 use mpipu_bench::json::Json;
 use mpipu_serve::presets;
 use mpipu_serve::request::{AxisSpec, EvalReq, Request, ScenarioSpec, SweepReq};
-use mpipu_serve::service::reference_sweep_result;
+use mpipu_serve::service::{reference_search_result, reference_sweep_result};
 use mpipu_serve::{Client, Limits, Server, ServerConfig};
 use std::time::{Duration, Instant};
 
@@ -115,6 +115,56 @@ fn served_sweep_is_byte_identical_to_the_in_process_engine() {
             .unwrap()
             .to_string_compact()
     );
+}
+
+#[test]
+fn served_search_is_byte_identical_and_admitted_on_evals_not_space() {
+    // A space 2000x over the server's point budget: a sweep would be
+    // rejected, but the guided search is admitted on its evaluation
+    // budget and must serve the same bytes the in-process engine
+    // produces at any thread count.
+    let server = start(Limits {
+        engine_threads: 4,
+        max_points: 400,
+        ..Limits::default()
+    });
+    let req = mpipu_serve::request::SearchReq {
+        initial: Some(48),
+        rungs: Some(4),
+        max_evals: Some(256),
+        ..presets::schedule_search(20)
+    };
+    assert!(req.space_points() > 2000 * 400);
+    let mut client = connect(&server);
+    let r = client.request(&Request::Search(req.clone())).unwrap();
+    assert!(r.ok, "{:?}", r.lines);
+    let served = r.result_line().expect("result line");
+    let served_json = Json::parse(served).unwrap();
+    assert_eq!(
+        served_json.get("kind").and_then(Json::as_str),
+        Some("search")
+    );
+    assert_eq!(
+        served_json.get("space_points").and_then(Json::as_f64),
+        Some((1u64 << 20) as f64)
+    );
+    assert!(served_json.get("evaluated").and_then(Json::as_f64).unwrap() <= 256.0);
+    assert!(
+        served_json
+            .get("frontier_size")
+            .and_then(Json::as_f64)
+            .unwrap()
+            >= 1.0
+    );
+    for threads in [1, 8] {
+        let reference = reference_search_result(&req, threads)
+            .unwrap()
+            .to_string_compact();
+        assert_eq!(served, reference, "threads={threads}");
+    }
+    let m = server.service().metrics();
+    assert_eq!(m.searches, 1);
+    assert!(m.points_searched > 0);
 }
 
 #[test]

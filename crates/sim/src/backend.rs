@@ -362,6 +362,19 @@ impl Backend {
             Backend::MemoizedAnalytic => Arc::new(Memoized::new(Arc::new(Analytic))),
         }
     }
+
+    /// The higher-fidelity backend a search escalates this one's
+    /// frontier survivors to: every analytic variant maps to its
+    /// Monte-Carlo counterpart (memoization preserved), and the MC
+    /// variants — already highest fidelity — map to themselves.
+    pub fn escalated(self) -> Backend {
+        match self {
+            Backend::Analytic | Backend::AnalyticBatched => Backend::MonteCarlo,
+            Backend::MemoizedAnalytic => Backend::Memoized,
+            Backend::MonteCarlo => Backend::MonteCarlo,
+            Backend::Memoized => Backend::Memoized,
+        }
+    }
 }
 
 /// The Monte-Carlo backend: today's [`CostModel`] sampling pipeline plus
@@ -1264,6 +1277,19 @@ mod tests {
             );
         }
         assert_eq!(Backend::parse("montecarlo"), None);
+    }
+
+    #[test]
+    fn escalation_maps_analytic_variants_to_seeded_counterparts() {
+        assert_eq!(Backend::Analytic.escalated(), Backend::MonteCarlo);
+        assert_eq!(Backend::AnalyticBatched.escalated(), Backend::MonteCarlo);
+        assert_eq!(Backend::MemoizedAnalytic.escalated(), Backend::Memoized);
+        // Highest-fidelity backends are fixed points, so escalation is
+        // idempotent across the whole enum.
+        for name in Backend::NAMES {
+            let b = Backend::parse(name).unwrap();
+            assert_eq!(b.escalated().escalated(), b.escalated(), "{name}");
+        }
     }
 
     #[test]
